@@ -1,0 +1,133 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//! outlier threshold, init policy, and stopping rule. Criterion
+//! measures the runtime cost of each variant; the printed `[info]`
+//! lines report the quality effect (reconstruction error), which is
+//! what the ablation is really about.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gobo_model::config::ModelConfig;
+use gobo_model::spec::enumerate_fc_layers;
+use gobo_model::synth::{layer_distribution, synthesize_layer};
+use gobo_quant::{gobo, init, kmeans, OutlierSplit, QuantConfig, QuantMethod, QuantizedLayer};
+
+fn layer_weights() -> Vec<f32> {
+    let config = ModelConfig::bert_base();
+    let specs = enumerate_fc_layers(&config);
+    let idx = specs.len() / 3;
+    let dist = layer_distribution(&config, idx, specs.len());
+    synthesize_layer(&specs[idx], &dist, 7)
+}
+
+/// Outlier-threshold ablation: sweeping the log-pdf threshold trades
+/// outlier count against G-group reconstruction error; disabling
+/// outliers entirely explodes the worst-case error.
+fn ablation_outliers(c: &mut Criterion) {
+    let weights = layer_weights();
+    let mut group = c.benchmark_group("ablation_outlier_threshold");
+    group.sample_size(10);
+    for thr in [-2.0f64, -4.0, -6.0] {
+        let config = QuantConfig::new(QuantMethod::Gobo, 3)
+            .expect("bits")
+            .with_outlier_threshold(thr)
+            .expect("thr");
+        let layer = QuantizedLayer::encode(&weights, &config).expect("encode");
+        let max_err = layer
+            .decode()
+            .iter()
+            .zip(&weights)
+            .map(|(d, o)| (d - o).abs())
+            .fold(0.0f32, f32::max);
+        println!(
+            "[info] threshold {thr}: outliers {:.4}%, CR {:.2}x, max err {max_err:.4}",
+            layer.outlier_fraction() * 100.0,
+            layer.compression_ratio()
+        );
+        group.bench_with_input(BenchmarkId::new("threshold", format!("{thr}")), &weights, |b, w| {
+            b.iter(|| QuantizedLayer::encode(w, &config).expect("encode"))
+        });
+    }
+    let no_outliers = QuantConfig::new(QuantMethod::Gobo, 3).expect("bits").without_outliers();
+    let layer = QuantizedLayer::encode(&weights, &no_outliers).expect("encode");
+    let max_err = layer
+        .decode()
+        .iter()
+        .zip(&weights)
+        .map(|(d, o)| (d - o).abs())
+        .fold(0.0f32, f32::max);
+    println!(
+        "[info] no outliers: CR {:.2}x, max err {max_err:.4} (outliers are essential)",
+        layer.compression_ratio()
+    );
+    group.bench_with_input(BenchmarkId::new("threshold", "disabled"), &weights, |b, w| {
+        b.iter(|| QuantizedLayer::encode(w, &no_outliers).expect("encode"))
+    });
+    group.finish();
+}
+
+/// Init ablation: equal-population vs linear initialization, both
+/// refined by the GOBO iteration. Also prints the entropy-coding
+/// analysis: equal-population indices are near-incompressible (fixed
+/// packing is optimal), linear indices are not.
+fn ablation_init(c: &mut Criterion) {
+    let weights = layer_weights();
+    let split = OutlierSplit::detect(&weights, -4.0).expect("split");
+    let g = split.g_values();
+    {
+        let gobo_run = gobo::quantize_g(g, 8, 100).expect("gobo");
+        let linear_run = gobo_quant::linear::quantize_g(g, 8).expect("linear");
+        let rg = gobo_quant::entropy::entropy_report(&gobo_run.assignments, 3).expect("report");
+        let rl = gobo_quant::entropy::entropy_report(&linear_run.assignments, 3).expect("report");
+        println!(
+            "[info] index entropy: GOBO {:.3} bits (Huffman would save {:.1}%), linear {:.3} bits (would save {:.1}%)",
+            rg.entropy_bits,
+            rg.huffman_saving() * 100.0,
+            rl.entropy_bits,
+            rl.huffman_saving() * 100.0
+        );
+    }
+    let ep = init::equal_population(g, 8).expect("init");
+    let lin = init::linear(g, 8).expect("init");
+    let a_ep = ep.assign(g);
+    let a_lin = lin.assign(g);
+    println!(
+        "[info] initial L1: equal-population {:.1} vs linear {:.1}",
+        ep.l1_norm(g, &a_ep),
+        lin.l1_norm(g, &a_lin)
+    );
+    let mut group = c.benchmark_group("ablation_init");
+    group.sample_size(10);
+    group.bench_function("equal_population", |b| {
+        b.iter(|| init::equal_population(g, 8).expect("init"))
+    });
+    group.bench_function("linear", |b| b.iter(|| init::linear(g, 8).expect("init")));
+    group.finish();
+}
+
+/// Stop-rule ablation: GOBO's L1-min early stop vs running Lloyd to
+/// assignment convergence.
+fn ablation_stop_rule(c: &mut Criterion) {
+    let weights = layer_weights();
+    let split = OutlierSplit::detect(&weights, -4.0).expect("split");
+    let g_values = split.g_values().to_vec();
+    let g = gobo::quantize_g(&g_values, 8, 1000).expect("gobo");
+    let k = kmeans::quantize_g(&g_values, 8, 1000).expect("kmeans");
+    println!(
+        "[info] stop rule: L1-min stops at {} iters (L1 {:.1}); convergence at {} iters (L1 {:.1})",
+        g.trace.iterations(),
+        g.trace.l1[g.trace.selected_iteration],
+        k.trace.iterations(),
+        k.trace.l1.last().unwrap()
+    );
+    let mut group = c.benchmark_group("ablation_stop_rule");
+    group.sample_size(10);
+    group.bench_function("l1_min_early_stop", |b| {
+        b.iter(|| gobo::quantize_g(&g_values, 8, 1000).expect("gobo"))
+    });
+    group.bench_function("assignment_convergence", |b| {
+        b.iter(|| kmeans::quantize_g(&g_values, 8, 1000).expect("kmeans"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, ablation_outliers, ablation_init, ablation_stop_rule);
+criterion_main!(benches);

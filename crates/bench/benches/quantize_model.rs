@@ -1,0 +1,67 @@
+//! The "minutes, not days" claim: GOBO quantization throughput on
+//! full-size BERT layers, and whole-model quantization of the tiny
+//! stand-ins.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gobo::pipeline::{quantize_model, QuantizeOptions};
+use gobo_model::config::ModelConfig;
+use gobo_model::spec::enumerate_fc_layers;
+use gobo_model::synth::{layer_distribution, synthesize_layer};
+use gobo_model::TransformerModel;
+use gobo_quant::{QuantConfig, QuantMethod, QuantizedLayer};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_single_layers(c: &mut Criterion) {
+    let config = ModelConfig::bert_base();
+    let specs = enumerate_fc_layers(&config);
+    let mut group = c.benchmark_group("quantize_layer");
+    group.sample_size(10);
+    // One attention layer (768×768) and one intermediate (3072×768).
+    for idx in [0usize, 4] {
+        let spec = &specs[idx];
+        let dist = layer_distribution(&config, idx, specs.len());
+        let weights = synthesize_layer(spec, &dist, 7);
+        group.throughput(Throughput::Elements(weights.len() as u64));
+        for (name, method) in
+            [("gobo", QuantMethod::Gobo), ("kmeans", QuantMethod::KMeans), ("linear", QuantMethod::Linear)]
+        {
+            let quant_config = QuantConfig::new(method, 3).expect("3 bits");
+            group.bench_with_input(
+                BenchmarkId::new(name, format!("{}x{}", spec.rows, spec.cols)),
+                &weights,
+                |b, w| b.iter(|| QuantizedLayer::encode(w, &quant_config).expect("encode")),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_whole_model(c: &mut Criterion) {
+    let config = ModelConfig::tiny("Bench", 4, 64, 4, 256, 32).expect("config");
+    let model = TransformerModel::new(config, &mut StdRng::seed_from_u64(1)).expect("model");
+    let options = QuantizeOptions::gobo(3).expect("options");
+    let mut group = c.benchmark_group("quantize_model");
+    group.sample_size(10);
+    group.bench_function("tiny_4x64_gobo3", |b| {
+        b.iter(|| quantize_model(&model, &options).expect("quantize"))
+    });
+    group.finish();
+}
+
+fn bench_decode(c: &mut Criterion) {
+    let config = ModelConfig::bert_base();
+    let specs = enumerate_fc_layers(&config);
+    let dist = layer_distribution(&config, 0, specs.len());
+    let weights = synthesize_layer(&specs[0], &dist, 7);
+    let layer =
+        QuantizedLayer::encode(&weights, &QuantConfig::new(QuantMethod::Gobo, 3).expect("cfg"))
+            .expect("encode");
+    let mut group = c.benchmark_group("decode_layer");
+    group.throughput(Throughput::Elements(weights.len() as u64));
+    group.bench_function("gobo_3bit_768x768", |b| b.iter(|| layer.decode()));
+    group.finish();
+}
+
+criterion_group!(benches, bench_single_layers, bench_whole_model, bench_decode);
+criterion_main!(benches);

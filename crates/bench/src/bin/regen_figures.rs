@@ -1,0 +1,88 @@
+//! Regenerates the paper's figures (as text renderings + raw series).
+//!
+//! Usage: `regen-figures [--figure 1b|1c|2|3|4|all] [--full]`
+
+use gobo::experiments::{figures, ExperimentOptions};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let full = args.iter().any(|a| a == "--full");
+    let figure = args
+        .iter()
+        .position(|a| a == "--figure")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+        .unwrap_or("all")
+        .to_owned();
+    let options = if full { ExperimentOptions::full() } else { ExperimentOptions::smoke() };
+    println!(
+        "# scale: {} (geometry 1/{}, zoo {:?})\n",
+        if full { "full" } else { "smoke" },
+        options.geometry_divisor,
+        options.zoo_scale
+    );
+
+    let want = |name: &str| figure == "all" || figure == name;
+    let mut ran = false;
+    if want("1b") {
+        match figures::figure1b(&options) {
+            Ok(f) => println!("{f}"),
+            Err(e) => eprintln!("figure 1b failed: {e}"),
+        }
+        ran = true;
+    }
+    if want("1c") {
+        match figures::figure1c(&options) {
+            Ok(f) => println!("{f}"),
+            Err(e) => eprintln!("figure 1c failed: {e}"),
+        }
+        ran = true;
+    }
+    if want("2") {
+        match figures::figure2(&options) {
+            Ok(cmp) => {
+                println!("Figure 2: GOBO vs K-Means convergence on {}", cmp.layer_name);
+                println!("{:>5} {:>14} {:>14} {:>14} {:>14}", "iter", "GOBO L1", "GOBO L2", "KM L1", "KM L2");
+                let rows = cmp.gobo.iterations().max(cmp.kmeans.iterations());
+                for i in 0..rows {
+                    let cell = |v: Option<&f64>| v.map_or("-".into(), |x: &f64| format!("{x:.1}"));
+                    println!(
+                        "{:>5} {:>14} {:>14} {:>14} {:>14}",
+                        i,
+                        cell(cmp.gobo.l1.get(i)),
+                        cell(cmp.gobo.l2.get(i)),
+                        cell(cmp.kmeans.l1.get(i)),
+                        cell(cmp.kmeans.l2.get(i)),
+                    );
+                }
+                println!(
+                    "GOBO: {} iterations (selected {}), K-Means: {} — speedup {:.1}x",
+                    cmp.gobo.iterations(),
+                    cmp.gobo.selected_iteration,
+                    cmp.kmeans.iterations(),
+                    cmp.iteration_speedup()
+                );
+            }
+            Err(e) => eprintln!("figure 2 failed: {e}"),
+        }
+        ran = true;
+    }
+    if want("3") {
+        match figures::figure3(&options) {
+            Ok(f) => println!("{f}"),
+            Err(e) => eprintln!("figure 3 failed: {e}"),
+        }
+        ran = true;
+    }
+    if want("4") {
+        match figures::figure4(&options) {
+            Ok(f) => println!("{f}"),
+            Err(e) => eprintln!("figure 4 failed: {e}"),
+        }
+        ran = true;
+    }
+    if !ran {
+        eprintln!("unknown figure `{figure}`; expected 1b, 1c, 2, 3, 4, or all");
+        std::process::exit(2);
+    }
+}

@@ -1,0 +1,365 @@
+//! Command implementations and argument parsing.
+
+use std::fmt;
+
+use gobo::pipeline::{quantize_model, QuantizeOptions};
+use gobo_model::config::ModelConfig;
+use gobo_model::io::{load_model, save_model};
+use gobo_model::TransformerModel;
+use gobo_quant::QuantMethod;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::format::CompressedModel;
+
+/// Error surfaced by the CLI.
+#[derive(Debug)]
+pub enum CliError {
+    /// Bad command line.
+    Usage(String),
+    /// I/O failure.
+    Io(std::io::Error),
+    /// Any pipeline failure, pre-rendered.
+    Failed(String),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Usage(msg) => write!(f, "usage error: {msg}\n\n{USAGE}"),
+            CliError::Io(e) => write!(f, "i/o error: {e}"),
+            CliError::Failed(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError::Io(e)
+    }
+}
+
+/// The tool's usage text.
+pub const USAGE: &str = "\
+gobo — post-training quantization for transformer models (GOBO, MICRO 2020)
+
+USAGE:
+  gobo demo     --output <model.gobor> [--layers N] [--hidden N] [--seed N]
+  gobo quantize --input <model.gobor> --output <model.gobom>
+                [--bits N] [--method gobo|kmeans|linear]
+                [--embedding-bits N] [--threshold T]
+  gobo inspect  --input <model.gobor|model.gobom>
+  gobo decode   --input <model.gobom> --output <model.gobor>
+
+FORMATS:
+  .gobor  raw FP32 model (gobo-model io format)
+  .gobom  compressed model (config + FP32 aux + quantized layers)";
+
+/// Minimal flag parser: `--name value` pairs after the subcommand.
+struct Args {
+    pairs: Vec<(String, String)>,
+}
+
+impl Args {
+    fn parse(args: &[String]) -> Result<Self, CliError> {
+        let mut pairs = Vec::new();
+        let mut i = 0;
+        while i < args.len() {
+            let key = &args[i];
+            if !key.starts_with("--") {
+                return Err(CliError::Usage(format!("unexpected argument `{key}`")));
+            }
+            let value = args
+                .get(i + 1)
+                .ok_or_else(|| CliError::Usage(format!("flag `{key}` needs a value")))?;
+            pairs.push((key[2..].to_owned(), value.clone()));
+            i += 2;
+        }
+        Ok(Args { pairs })
+    }
+
+    fn get(&self, name: &str) -> Option<&str> {
+        self.pairs.iter().find(|(k, _)| k == name).map(|(_, v)| v.as_str())
+    }
+
+    fn require(&self, name: &str) -> Result<&str, CliError> {
+        self.get(name).ok_or_else(|| CliError::Usage(format!("missing required flag --{name}")))
+    }
+
+    fn parse_num<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, CliError> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| CliError::Usage(format!("flag --{name}: cannot parse `{v}`"))),
+        }
+    }
+}
+
+/// Runs the CLI; returns the text to print on success.
+///
+/// # Errors
+///
+/// Returns [`CliError`] for bad usage, I/O failures, or pipeline
+/// failures.
+pub fn run(args: &[String]) -> Result<String, CliError> {
+    let (command, rest) = args
+        .split_first()
+        .ok_or_else(|| CliError::Usage("no command given".into()))?;
+    let args = Args::parse(rest)?;
+    match command.as_str() {
+        "demo" => demo(&args),
+        "quantize" => quantize(&args),
+        "inspect" => inspect(&args),
+        "decode" => decode(&args),
+        "help" | "--help" | "-h" => Ok(USAGE.to_owned()),
+        other => Err(CliError::Usage(format!("unknown command `{other}`"))),
+    }
+}
+
+fn demo(args: &Args) -> Result<String, CliError> {
+    let output = args.require("output")?;
+    let layers: usize = args.parse_num("layers", 2)?;
+    let hidden: usize = args.parse_num("hidden", 48)?;
+    let seed: u64 = args.parse_num("seed", 0)?;
+    let config = ModelConfig::tiny("Demo", layers, hidden, 4, 256, 64)
+        .map_err(|e| CliError::Failed(format!("invalid demo geometry: {e}")))?;
+    let model = TransformerModel::new(config, &mut StdRng::seed_from_u64(seed))
+        .map_err(|e| CliError::Failed(e.to_string()))?;
+    let bytes = save_model(&model);
+    std::fs::write(output, &bytes)?;
+    Ok(format!(
+        "wrote demo model `{output}`: {} ({} bytes)",
+        model.config(),
+        bytes.len()
+    ))
+}
+
+fn read_raw(path: &str) -> Result<TransformerModel, CliError> {
+    let bytes = std::fs::read(path)?;
+    load_model(&bytes).map_err(|e| CliError::Failed(format!("{path}: {e}")))
+}
+
+fn quantize(args: &Args) -> Result<String, CliError> {
+    let input = args.require("input")?;
+    let output = args.require("output")?;
+    let bits: u8 = args.parse_num("bits", 3)?;
+    let method = match args.get("method").unwrap_or("gobo") {
+        "gobo" => QuantMethod::Gobo,
+        "kmeans" => QuantMethod::KMeans,
+        "linear" => QuantMethod::Linear,
+        other => return Err(CliError::Usage(format!("unknown method `{other}`"))),
+    };
+    let threshold: f64 = args.parse_num("threshold", -4.0)?;
+
+    let model = read_raw(input)?;
+    let mut options = QuantizeOptions::with_method(method, bits)
+        .map_err(|e| CliError::Failed(e.to_string()))?
+        .with_outlier_threshold(threshold);
+    if let Some(embedding_bits) = args.get("embedding-bits") {
+        let eb: u8 = embedding_bits
+            .parse()
+            .map_err(|_| CliError::Usage("flag --embedding-bits: not a number".into()))?;
+        options =
+            options.with_embedding_bits(eb).map_err(|e| CliError::Failed(e.to_string()))?;
+    }
+    let outcome =
+        quantize_model(&model, &options).map_err(|e| CliError::Failed(e.to_string()))?;
+    let compressed = CompressedModel::new(&model, outcome.archive);
+    let bytes = compressed.to_bytes();
+    std::fs::write(output, &bytes)?;
+    Ok(format!(
+        "quantized `{input}` -> `{output}` with {method} at {bits} bits\n\
+         quantized layers: {}, weight compression {:.2}x, outliers {:.3}%\n\
+         file size: {} bytes",
+        outcome.report.layers.len(),
+        outcome.report.compression_ratio(),
+        outcome.report.outlier_fraction() * 100.0,
+        bytes.len(),
+    ))
+}
+
+fn inspect(args: &Args) -> Result<String, CliError> {
+    let input = args.require("input")?;
+    let bytes = std::fs::read(input)?;
+    // Dispatch on magic.
+    if bytes.len() >= 4 && bytes[..4] == *b"GOBM" {
+        let compressed = CompressedModel::from_bytes(&bytes)
+            .map_err(|e| CliError::Failed(format!("{input}: {e}")))?;
+        let mut out = format!(
+            "compressed model: {} ({} bytes)\n{:<32} {:>5} {:>10} {:>10} {:>8}\n",
+            compressed.skeleton.config(),
+            bytes.len(),
+            "layer",
+            "bits",
+            "weights",
+            "outliers",
+            "CR"
+        );
+        for (name, layer) in compressed.archive.iter() {
+            out.push_str(&format!(
+                "{:<32} {:>5} {:>10} {:>10} {:>7.2}x\n",
+                name,
+                layer.bits(),
+                layer.total(),
+                layer.outlier_count(),
+                layer.compression_ratio(),
+            ));
+        }
+        Ok(out)
+    } else if bytes.len() >= 4 && bytes[..4] == *b"GOBm" {
+        let model = load_model(&bytes).map_err(|e| CliError::Failed(format!("{input}: {e}")))?;
+        let mut out = format!(
+            "raw model: {} ({} bytes)\n{:<32} {:>14}\n",
+            model.config(),
+            bytes.len(),
+            "layer",
+            "shape"
+        );
+        for spec in model.fc_layers().iter().chain(&model.embedding_tables()) {
+            out.push_str(&format!("{:<32} {:>8} x {}\n", spec.name, spec.rows, spec.cols));
+        }
+        Ok(out)
+    } else {
+        Err(CliError::Failed(format!("{input}: not a gobo model file")))
+    }
+}
+
+fn decode(args: &Args) -> Result<String, CliError> {
+    let input = args.require("input")?;
+    let output = args.require("output")?;
+    let bytes = std::fs::read(input)?;
+    let compressed = CompressedModel::from_bytes(&bytes)
+        .map_err(|e| CliError::Failed(format!("{input}: {e}")))?;
+    let model = compressed.decode().map_err(|e| CliError::Failed(e.to_string()))?;
+    let raw = save_model(&model);
+    std::fs::write(output, &raw)?;
+    Ok(format!(
+        "decoded `{input}` ({} bytes) -> `{output}` ({} bytes, FP32)",
+        bytes.len(),
+        raw.len()
+    ))
+}
+
+/// Helper for tests: runs a command line given as str slices.
+pub fn run_str(args: &[&str]) -> Result<String, CliError> {
+    let owned: Vec<String> = args.iter().map(|s| (*s).to_owned()).collect();
+    run(&owned)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> String {
+        let dir = std::env::temp_dir().join("gobo-cli-tests");
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        dir.join(name).to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn demo_quantize_inspect_decode_round_trip() {
+        let raw = tmp("m.gobor");
+        let packed = tmp("m.gobom");
+        let restored = tmp("m2.gobor");
+
+        let msg = run_str(&["demo", "--output", &raw, "--layers", "1", "--hidden", "16"]).unwrap();
+        assert!(msg.contains("demo model"));
+
+        let msg = run_str(&[
+            "quantize", "--input", &raw, "--output", &packed, "--bits", "3", "--method", "gobo",
+        ])
+        .unwrap();
+        assert!(msg.contains("3 bits"), "{msg}");
+
+        let msg = run_str(&["inspect", "--input", &packed]).unwrap();
+        assert!(msg.contains("compressed model"));
+        assert!(msg.contains("pooler"));
+
+        let msg = run_str(&["decode", "--input", &packed, "--output", &restored]).unwrap();
+        assert!(msg.contains("FP32"));
+
+        // The decoded raw file loads and has the same geometry.
+        let original = load_model(&std::fs::read(&raw).unwrap()).unwrap();
+        let decoded = load_model(&std::fs::read(&restored).unwrap()).unwrap();
+        assert_eq!(original.config(), decoded.config());
+        // Weights differ (quantized) but are close.
+        let a = original.weight("pooler").unwrap();
+        let b = decoded.weight("pooler").unwrap();
+        assert_ne!(a, b);
+        let max_err = a
+            .as_slice()
+            .iter()
+            .zip(b.as_slice())
+            .map(|(x, y)| (x - y).abs())
+            .fold(0.0f32, f32::max);
+        // Xavier-normal at hidden 16 has std ~0.25; 3-bit error is a
+        // fraction of that.
+        assert!(max_err < 0.5, "max err {max_err}");
+    }
+
+    #[test]
+    fn inspect_raw_model() {
+        let raw = tmp("inspect.gobor");
+        run_str(&["demo", "--output", &raw, "--layers", "1", "--hidden", "16"]).unwrap();
+        let msg = run_str(&["inspect", "--input", &raw]).unwrap();
+        assert!(msg.contains("raw model"));
+        assert!(msg.contains("embeddings.word"));
+    }
+
+    #[test]
+    fn usage_errors() {
+        assert!(matches!(run_str(&[]), Err(CliError::Usage(_))));
+        assert!(matches!(run_str(&["frobnicate"]), Err(CliError::Usage(_))));
+        assert!(matches!(run_str(&["quantize"]), Err(CliError::Usage(_))));
+        assert!(matches!(
+            run_str(&["quantize", "--input"]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run_str(&["demo", "positional"]),
+            Err(CliError::Usage(_))
+        ));
+        let msg = run_str(&["help"]).unwrap();
+        assert!(msg.contains("USAGE"));
+    }
+
+    #[test]
+    fn quantize_validates_method_and_bits() {
+        let raw = tmp("val.gobor");
+        run_str(&["demo", "--output", &raw, "--layers", "1", "--hidden", "16"]).unwrap();
+        let out = tmp("val.gobom");
+        assert!(matches!(
+            run_str(&["quantize", "--input", &raw, "--output", &out, "--method", "magic"]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(run_str(&[
+            "quantize", "--input", &raw, "--output", &out, "--bits", "9"
+        ])
+        .is_err());
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        assert!(matches!(
+            run_str(&["inspect", "--input", "/nonexistent/path.gobom"]),
+            Err(CliError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn embedding_bits_flag_quantizes_embeddings() {
+        let raw = tmp("emb.gobor");
+        let packed = tmp("emb.gobom");
+        run_str(&["demo", "--output", &raw, "--layers", "1", "--hidden", "16"]).unwrap();
+        run_str(&[
+            "quantize", "--input", &raw, "--output", &packed, "--bits", "3",
+            "--embedding-bits", "4",
+        ])
+        .unwrap();
+        let msg = run_str(&["inspect", "--input", &packed]).unwrap();
+        assert!(msg.contains("embeddings.word"), "{msg}");
+    }
+}

@@ -1,0 +1,21 @@
+//! Library backing the `gobo` command-line tool.
+//!
+//! The CLI works on two file formats:
+//!
+//! * **raw models** (`.gobor`) — FP32 `TransformerModel`s in
+//!   `gobo-model`'s [`io`](gobo_model::io) format;
+//! * **compressed models** (`.gobom`) — [`format::CompressedModel`]:
+//!   the model configuration, the FP32 auxiliary parameters (biases and
+//!   LayerNorms, which GOBO leaves unquantized), and a
+//!   [`gobo_quant::container::ModelArchive`] holding every quantized
+//!   layer.
+//!
+//! Everything the binary does is reachable from [`run`], so the whole
+//! tool is testable without spawning processes.
+
+#![deny(missing_docs)]
+
+pub mod cmd;
+pub mod format;
+
+pub use cmd::{run, CliError};

@@ -1,0 +1,19 @@
+//! The `gobo` command-line tool.
+
+use std::io::Write;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match gobo_cli::run(&args) {
+        Ok(output) => {
+            // Writing through a pipe that closed early (e.g. `| head`)
+            // is not an error worth panicking over.
+            let stdout = std::io::stdout();
+            let _ = writeln!(stdout.lock(), "{output}");
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(1);
+        }
+    }
+}

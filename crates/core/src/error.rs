@@ -1,0 +1,81 @@
+//! Top-level error type.
+
+use std::fmt;
+
+use gobo_model::ModelError;
+use gobo_quant::QuantError;
+use gobo_tasks::TaskError;
+
+/// Error returned by the end-to-end pipeline and experiment drivers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GoboError {
+    /// Quantization failed.
+    Quant(QuantError),
+    /// Model construction or inference failed.
+    Model(ModelError),
+    /// Task training or evaluation failed.
+    Task(TaskError),
+    /// An experiment was asked for an unsupported configuration.
+    InvalidExperiment {
+        /// Description of the problem.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for GoboError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GoboError::Quant(e) => write!(f, "quantization failure: {e}"),
+            GoboError::Model(e) => write!(f, "model failure: {e}"),
+            GoboError::Task(e) => write!(f, "task failure: {e}"),
+            GoboError::InvalidExperiment { what } => write!(f, "invalid experiment: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for GoboError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GoboError::Quant(e) => Some(e),
+            GoboError::Model(e) => Some(e),
+            GoboError::Task(e) => Some(e),
+            GoboError::InvalidExperiment { .. } => None,
+        }
+    }
+}
+
+impl From<QuantError> for GoboError {
+    fn from(e: QuantError) -> Self {
+        GoboError::Quant(e)
+    }
+}
+
+impl From<ModelError> for GoboError {
+    fn from(e: ModelError) -> Self {
+        GoboError::Model(e)
+    }
+}
+
+impl From<TaskError> for GoboError {
+    fn from(e: TaskError) -> Self {
+        GoboError::Task(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_sources() {
+        use std::error::Error;
+        let e: GoboError = QuantError::EmptyLayer.into();
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("quantization"));
+        let e: GoboError = ModelError::InvalidConfig { name: "hidden" }.into();
+        assert!(e.to_string().contains("model"));
+        let e: GoboError = TaskError::EmptyDataset.into();
+        assert!(e.to_string().contains("task"));
+        assert!(GoboError::InvalidExperiment { what: "x" }.source().is_none());
+    }
+}

@@ -1,0 +1,129 @@
+//! Ablation: how much do the outliers matter, and how sensitive is
+//! GOBO to the log-pdf threshold?
+//!
+//! The paper fixes the threshold at -4 and asserts that "representing
+//! just the outliers precisely and quantizing the rest ... is
+//! sufficient", and conversely that dropping outliers "sacrificed
+//! accuracy". This driver sweeps the threshold on the MNLI-like
+//! stand-in and adds a no-outlier row.
+
+use std::fmt;
+
+use gobo_tasks::TaskKind;
+
+use super::ExperimentOptions;
+use crate::error::GoboError;
+use crate::pipeline::QuantizeOptions;
+use crate::zoo::{train_zoo_model, PaperModel};
+
+/// One threshold row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Row {
+    /// Log-pdf threshold, or `None` for the no-outlier ablation.
+    pub threshold: Option<f64>,
+    /// Whole-model outlier fraction.
+    pub outlier_fraction: f64,
+    /// Measured accuracy.
+    pub accuracy: f64,
+    /// Drop vs the FP32 baseline.
+    pub error: f64,
+    /// Whole-model (tiny) compression ratio.
+    pub compression_ratio: f64,
+}
+
+/// The ablation table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AblationTable {
+    /// FP32 baseline accuracy.
+    pub baseline: f64,
+    /// Threshold sweep rows (most permissive first) plus the no-outlier
+    /// row (threshold `None`).
+    pub rows: Vec<Row>,
+}
+
+/// Thresholds swept (the paper's default is -4).
+pub const THRESHOLDS: [f64; 4] = [-2.0, -4.0, -6.0, -8.0];
+
+/// Runs the ablation at 3-bit GOBO on the BERT-Base MNLI stand-in.
+///
+/// # Errors
+///
+/// Propagates training, quantization and evaluation failures.
+pub fn run(options: &ExperimentOptions) -> Result<AblationTable, GoboError> {
+    let zoo = train_zoo_model(PaperModel::BertBase, TaskKind::Nli, options.zoo_scale)?;
+    let mut rows = Vec::new();
+    for thr in THRESHOLDS {
+        let opts = QuantizeOptions::gobo(3)?.with_outlier_threshold(thr);
+        let (score, report) = zoo.quantized_score(&opts)?;
+        rows.push(Row {
+            threshold: Some(thr),
+            outlier_fraction: report.outlier_fraction(),
+            accuracy: score.value,
+            error: zoo.baseline.value - score.value,
+            compression_ratio: report.compression_ratio(),
+        });
+    }
+    let opts = QuantizeOptions::gobo(3)?.without_outliers();
+    let (score, report) = zoo.quantized_score(&opts)?;
+    rows.push(Row {
+        threshold: None,
+        outlier_fraction: 0.0,
+        accuracy: score.value,
+        error: zoo.baseline.value - score.value,
+        compression_ratio: report.compression_ratio(),
+    });
+    Ok(AblationTable { baseline: zoo.baseline.value, rows })
+}
+
+impl fmt::Display for AblationTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Ablation: outlier threshold (3-bit GOBO, MNLI-like, baseline {})",
+            super::fmt_pct(self.baseline)
+        )?;
+        writeln!(
+            f,
+            "{:>10} {:>10} {:>10} {:>8} {:>8}",
+            "Threshold", "Outliers", "Accuracy", "Error", "CR"
+        )?;
+        for r in &self.rows {
+            writeln!(
+                f,
+                "{:>10} {:>9.3}% {:>10} {:>8} {:>8}",
+                r.threshold.map_or("none".into(), |t| format!("{t}")),
+                r.outlier_fraction * 100.0,
+                super::fmt_pct(r.accuracy),
+                super::fmt_pct(r.error),
+                super::fmt_ratio(r.compression_ratio),
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_threshold_monotonicity() {
+        let t = run(&ExperimentOptions::smoke()).unwrap();
+        assert_eq!(t.rows.len(), THRESHOLDS.len() + 1);
+        // More permissive threshold (closer to 0) ⇒ more outliers and a
+        // lower compression ratio.
+        let fractions: Vec<f64> = t.rows[..THRESHOLDS.len()].iter().map(|r| r.outlier_fraction).collect();
+        for w in fractions.windows(2) {
+            assert!(w[0] >= w[1] - 1e-12, "fractions not monotone: {fractions:?}");
+        }
+        let crs: Vec<f64> =
+            t.rows[..THRESHOLDS.len()].iter().map(|r| r.compression_ratio).collect();
+        for w in crs.windows(2) {
+            assert!(w[0] <= w[1] + 1e-9, "ratios not monotone: {crs:?}");
+        }
+        // The no-outlier row compresses hardest (nothing stored FP32).
+        let none = t.rows.last().unwrap();
+        assert!(none.compression_ratio >= crs[crs.len() - 1] - 1e-9);
+        assert!(t.to_string().contains("none"));
+    }
+}

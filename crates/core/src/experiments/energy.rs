@@ -1,0 +1,146 @@
+//! Extension experiment: off-chip traffic, energy and bandwidth-bound
+//! latency per inference, FP32 vs GOBO-compressed (supports the paper's
+//! title claims; see DESIGN.md §4, row "Extension").
+
+use std::fmt;
+
+use gobo_memsim::{EnergyModel, InferenceTraffic};
+use gobo_model::footprint::Footprint;
+use gobo_quant::mixed::MixedPrecisionPlan;
+use gobo_quant::QuantMethod;
+
+use super::ExperimentOptions;
+use crate::analytic::{scaled_config, weight_compression};
+use crate::error::GoboError;
+use crate::zoo::PaperModel;
+
+/// One model's energy/latency comparison at sequence length 128.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Row {
+    /// Which model.
+    pub model: PaperModel,
+    /// Measured GOBO 3-bit whole-weight compression ratio.
+    pub compression_ratio: f64,
+    /// FP32 off-chip bytes per inference.
+    pub fp32_bytes: f64,
+    /// GOBO off-chip bytes per inference.
+    pub gobo_bytes: f64,
+    /// FP32 energy, microjoules.
+    pub fp32_energy_uj: f64,
+    /// GOBO energy, microjoules.
+    pub gobo_energy_uj: f64,
+    /// FP32 bandwidth-bound latency, milliseconds.
+    pub fp32_latency_ms: f64,
+    /// GOBO bandwidth-bound latency, milliseconds.
+    pub gobo_latency_ms: f64,
+}
+
+impl Row {
+    /// Energy saving factor.
+    pub fn energy_saving(&self) -> f64 {
+        self.fp32_energy_uj / self.gobo_energy_uj
+    }
+
+    /// Latency saving factor.
+    pub fn latency_saving(&self) -> f64 {
+        self.fp32_latency_ms / self.gobo_latency_ms
+    }
+}
+
+/// The energy/latency table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnergyTable {
+    /// One row per published model.
+    pub rows: Vec<Row>,
+    /// The technology constants used.
+    pub model: EnergyModel,
+}
+
+/// Runs the energy extension for all five models (3-bit GOBO weights).
+///
+/// # Errors
+///
+/// Propagates quantization failures.
+pub fn run(options: &ExperimentOptions) -> Result<EnergyTable, GoboError> {
+    let energy_model = EnergyModel::default();
+    let plan = MixedPrecisionPlan::uniform(3)?;
+    let mut rows = Vec::new();
+    for model in PaperModel::all() {
+        let config = scaled_config(&model.config(), options.geometry_divisor)?;
+        let report = weight_compression(&config, &plan, QuantMethod::Gobo, options.seed)?;
+        let ratio = report.compression_ratio();
+        // Traffic uses the full-scale footprint regardless of the smoke
+        // divisor (the divisor only speeds the measured ratio up).
+        let footprint = Footprint::of(&model.config(), 128);
+        let fp32 = InferenceTraffic::fp32(&footprint);
+        let gobo = fp32.with_weight_compression(ratio);
+        rows.push(Row {
+            model,
+            compression_ratio: ratio,
+            fp32_bytes: fp32.total_bytes(),
+            gobo_bytes: gobo.total_bytes(),
+            fp32_energy_uj: energy_model.energy(&fp32),
+            gobo_energy_uj: energy_model.energy(&gobo),
+            fp32_latency_ms: energy_model.latency_ms(&fp32),
+            gobo_latency_ms: energy_model.latency_ms(&gobo),
+        });
+    }
+    Ok(EnergyTable { rows, model: energy_model })
+}
+
+impl fmt::Display for EnergyTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Energy extension: per-inference off-chip traffic/energy/latency (seq 128, 3-bit GOBO)"
+        )?;
+        writeln!(
+            f,
+            "(DRAM {} pJ/B, SRAM {} pJ/B, {} GB/s)",
+            self.model.dram_pj_per_byte,
+            self.model.sram_pj_per_byte,
+            self.model.dram_bytes_per_sec / 1e9
+        )?;
+        writeln!(
+            f,
+            "{:<16} {:>7} {:>12} {:>12} {:>12} {:>12} {:>9} {:>9}",
+            "Model", "CR", "FP32 MB", "GOBO MB", "FP32 mJ", "GOBO mJ", "E-saving", "L-saving"
+        )?;
+        for r in &self.rows {
+            writeln!(
+                f,
+                "{:<16} {:>7} {:>12.1} {:>12.1} {:>12.2} {:>12.2} {:>8.2}x {:>8.2}x",
+                r.model.name(),
+                super::fmt_ratio(r.compression_ratio),
+                r.fp32_bytes / 1e6,
+                r.gobo_bytes / 1e6,
+                r.fp32_energy_uj / 1e3,
+                r.gobo_energy_uj / 1e3,
+                r.energy_saving(),
+                r.latency_saving(),
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn savings_track_compression() {
+        let t = run(&ExperimentOptions::smoke()).unwrap();
+        assert_eq!(t.rows.len(), 5);
+        for r in &t.rows {
+            assert!(r.compression_ratio > 8.0, "{}", r.compression_ratio);
+            assert!(r.energy_saving() > 4.0 && r.energy_saving() <= r.compression_ratio);
+            assert!((r.energy_saving() - r.latency_saving()).abs() < 1e-9);
+            assert!(r.gobo_bytes < r.fp32_bytes);
+        }
+        // Larger models save more absolute energy.
+        let base = t.rows.iter().find(|r| r.model == PaperModel::BertBase).unwrap();
+        let large = t.rows.iter().find(|r| r.model == PaperModel::BertLarge).unwrap();
+        assert!(large.fp32_energy_uj > base.fp32_energy_uj * 2.0);
+    }
+}

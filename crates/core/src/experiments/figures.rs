@@ -1,0 +1,262 @@
+//! Figure drivers: 1b (weight distributions), 1c (outlier scatter),
+//! 2 (convergence race), 3 (per-layer outlier fractions), 4 (embedding
+//! quantization effect).
+
+use std::fmt;
+
+use gobo_model::config::ModelConfig;
+use gobo_stats::Histogram;
+use gobo_tasks::TaskKind;
+
+use super::ExperimentOptions;
+use crate::analytic::{
+    convergence_comparison, layer_scatter, outlier_profile, scaled_config, weight_histogram,
+    ConvergenceComparison, OutlierPoint,
+};
+use crate::error::GoboError;
+use crate::pipeline::QuantizeOptions;
+use crate::zoo::{train_zoo_model, PaperModel};
+
+/// Figure 1b: per-layer weight histograms for a few layers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Figure1b {
+    /// `(layer index, histogram)` pairs for the paper's layers 5, 10,
+    /// 15, 20, 25.
+    pub layers: Vec<(usize, Histogram)>,
+}
+
+/// Regenerates Figure 1b.
+///
+/// # Errors
+///
+/// Propagates histogram failures.
+pub fn figure1b(options: &ExperimentOptions) -> Result<Figure1b, GoboError> {
+    let config = scaled_config(&ModelConfig::bert_base(), options.geometry_divisor)?;
+    let mut layers = Vec::new();
+    for idx in [5usize, 10, 15, 20, 25] {
+        layers.push((idx, weight_histogram(&config, idx, 41, options.seed)?));
+    }
+    Ok(Figure1b { layers })
+}
+
+impl fmt::Display for Figure1b {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Figure 1b: per-layer weight distributions (BERT-Base)")?;
+        for (idx, h) in &self.layers {
+            let max = h.counts().iter().copied().max().unwrap_or(1).max(1);
+            writeln!(f, "\nLayer {idx} (range {:.3}..{:.3}):", h.lo(), h.hi())?;
+            for bin in 0..h.bins() {
+                let bar = "#".repeat((h.counts()[bin] * 40 / max) as usize);
+                writeln!(f, "{:>8.3} |{bar}", h.bin_center(bin))?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Figure 1c: one layer's weights with outlier flags.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Figure1c {
+    /// Downsampled `(weight, is_outlier)` points.
+    pub points: Vec<(f32, bool)>,
+    /// Number of outliers among the points.
+    pub outliers: usize,
+}
+
+/// Regenerates Figure 1c.
+///
+/// # Errors
+///
+/// Propagates quantization failures.
+pub fn figure1c(options: &ExperimentOptions) -> Result<Figure1c, GoboError> {
+    let config = scaled_config(&ModelConfig::bert_base(), options.geometry_divisor)?;
+    let points = layer_scatter(&config, 30, 4000, options.seed)?;
+    let outliers = points.iter().filter(|(_, o)| *o).count();
+    Ok(Figure1c { points, outliers })
+}
+
+impl fmt::Display for Figure1c {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Figure 1c: layer weights and outliers (BERT-Base, one layer)")?;
+        writeln!(f, "points: {}, flagged outliers: {}", self.points.len(), self.outliers)?;
+        let bulk_max = self
+            .points
+            .iter()
+            .filter(|(_, o)| !*o)
+            .map(|(w, _)| w.abs())
+            .fold(0.0f32, f32::max);
+        writeln!(f, "bulk |w| <= {bulk_max:.4}; sample outliers:")?;
+        for (w, _) in self.points.iter().filter(|(_, o)| *o).take(10) {
+            writeln!(f, "  {w:+.4}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Regenerates Figure 2 (GOBO vs K-Means convergence on a
+/// representative layer, 3-bit).
+///
+/// # Errors
+///
+/// Propagates quantization failures.
+pub fn figure2(options: &ExperimentOptions) -> Result<ConvergenceComparison, GoboError> {
+    let config = scaled_config(&ModelConfig::bert_base(), options.geometry_divisor)?;
+    convergence_comparison(&config, 3, options.seed)
+}
+
+/// Figure 3 output: the per-layer outlier profile.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Figure3 {
+    /// One point per FC layer of BERT-Base.
+    pub points: Vec<OutlierPoint>,
+    /// Weight-weighted model average outlier fraction (paper: ≈0.1%).
+    pub average: f64,
+}
+
+/// Regenerates Figure 3.
+///
+/// # Errors
+///
+/// Propagates quantization failures.
+pub fn figure3(options: &ExperimentOptions) -> Result<Figure3, GoboError> {
+    let config = scaled_config(&ModelConfig::bert_base(), options.geometry_divisor)?;
+    let points = outlier_profile(&config, gobo_quant::DEFAULT_LOG_PDF_THRESHOLD, options.seed)?;
+    let average = points.iter().map(|p| p.fraction).sum::<f64>() / points.len() as f64;
+    Ok(Figure3 { points, average })
+}
+
+impl fmt::Display for Figure3 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Figure 3: per-FC-layer outlier percentage (BERT-Base)")?;
+        for p in &self.points {
+            let bar = "#".repeat((p.fraction * 4000.0) as usize);
+            writeln!(f, "{:>3} {:<28} {:>7.3}% |{bar}", p.layer_index + 1, p.name, p.fraction * 100.0)?;
+        }
+        writeln!(f, "average: {:.3}%", self.average * 100.0)
+    }
+}
+
+/// One model's Figure 4 bars.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Figure4Row {
+    /// Which model.
+    pub model: PaperModel,
+    /// FP32 baseline score.
+    pub baseline: f64,
+    /// FP32 weights, 3-bit embeddings (normalized score).
+    pub fp32_model_3bit_embed: f64,
+    /// FP32 weights, 4-bit embeddings.
+    pub fp32_model_4bit_embed: f64,
+    /// 3-bit GOBO weights + 3-bit embeddings.
+    pub gobo_3bit_embed: f64,
+    /// 3-bit GOBO weights + 4-bit embeddings.
+    pub gobo_4bit_embed: f64,
+}
+
+/// The regenerated Figure 4.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Figure4 {
+    /// One row per published model, scores normalized to the baseline.
+    pub rows: Vec<Figure4Row>,
+}
+
+/// Regenerates Figure 4 (normalized accuracy under embedding
+/// quantization, with and without weight quantization).
+///
+/// # Errors
+///
+/// Propagates training, quantization and evaluation failures.
+pub fn figure4(options: &ExperimentOptions) -> Result<Figure4, GoboError> {
+    let mut rows = Vec::new();
+    for model in PaperModel::all() {
+        let zoo = train_zoo_model(model, TaskKind::Nli, options.zoo_scale)?;
+        let norm = |v: f64| v / zoo.baseline.value;
+        let score = |opts: &QuantizeOptions| -> Result<f64, GoboError> {
+            Ok(zoo.quantized_score(opts)?.0.value)
+        };
+        let embed_only = |bits: u8| -> Result<f64, GoboError> {
+            score(&QuantizeOptions::gobo(3)?.with_embedding_bits(bits)?.embeddings_only())
+        };
+        let full = |bits: u8| -> Result<f64, GoboError> {
+            score(&QuantizeOptions::gobo(3)?.with_embedding_bits(bits)?)
+        };
+        rows.push(Figure4Row {
+            model,
+            baseline: zoo.baseline.value,
+            fp32_model_3bit_embed: norm(embed_only(3)?),
+            fp32_model_4bit_embed: norm(embed_only(4)?),
+            gobo_3bit_embed: norm(full(3)?),
+            gobo_4bit_embed: norm(full(4)?),
+        });
+    }
+    Ok(Figure4 { rows })
+}
+
+impl fmt::Display for Figure4 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Figure 4: embedding quantization effect (normalized accuracy)")?;
+        writeln!(
+            f,
+            "{:<16} {:>10} {:>16} {:>16} {:>16} {:>16}",
+            "Model", "Baseline", "FP32+3b embed", "FP32+4b embed", "GOBO+3b embed", "GOBO+4b embed"
+        )?;
+        for r in &self.rows {
+            writeln!(
+                f,
+                "{:<16} {:>10} {:>16.4} {:>16.4} {:>16.4} {:>16.4}",
+                r.model.name(),
+                super::fmt_pct(r.baseline),
+                r.fp32_model_3bit_embed,
+                r.fp32_model_4bit_embed,
+                r.gobo_3bit_embed,
+                r.gobo_4bit_embed,
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure1b_histograms_are_bellish() {
+        let fig = figure1b(&ExperimentOptions::smoke()).unwrap();
+        assert_eq!(fig.layers.len(), 5);
+        for (idx, h) in &fig.layers {
+            // The bulk peak dwarfs the fringe bins (which only hold
+            // outliers), and sits strictly inside the range.
+            let (peak_bin, peak) = h
+                .counts()
+                .iter()
+                .enumerate()
+                .max_by_key(|(_, &c)| c)
+                .map(|(i, &c)| (i, c))
+                .unwrap();
+            assert!(peak_bin > 0 && peak_bin < h.bins() - 1, "layer {idx}");
+            assert!(peak > 10 * h.counts()[0].max(1), "layer {idx}");
+            assert!(peak > 10 * h.counts()[h.bins() - 1].max(1), "layer {idx}");
+        }
+    }
+
+    #[test]
+    fn figure1c_finds_outliers() {
+        let fig = figure1c(&ExperimentOptions::smoke()).unwrap();
+        assert!(fig.outliers > 0);
+        assert!(fig.outliers < fig.points.len() / 10);
+    }
+
+    #[test]
+    fn figure2_speedup_positive() {
+        let cmp = figure2(&ExperimentOptions::smoke()).unwrap();
+        assert!(cmp.iteration_speedup() > 1.5);
+    }
+
+    #[test]
+    fn figure3_average_is_small() {
+        let fig = figure3(&ExperimentOptions::smoke()).unwrap();
+        assert_eq!(fig.points.len(), 73);
+        assert!(fig.average < 0.01, "average {}", fig.average);
+    }
+}

@@ -1,0 +1,142 @@
+//! The paper's headline claims in one summary table:
+//!
+//! 1. 99.9% of weights quantized to 3 bits (outliers ≈ 0.1%);
+//! 2. centroid selection converges ~9× faster than K-Means;
+//! 3. GOBO needs roughly half the centroids K-Means does for the same
+//!    accuracy (one fewer index bit);
+//! 4. ~10× model footprint reduction.
+
+use std::fmt;
+
+use gobo_model::config::ModelConfig;
+use gobo_quant::mixed::MixedPrecisionPlan;
+use gobo_quant::QuantMethod;
+use gobo_tasks::TaskKind;
+
+use super::ExperimentOptions;
+use crate::analytic::{
+    convergence_comparison, embedding_compression, scaled_config, weight_compression,
+};
+use crate::error::GoboError;
+use crate::pipeline::QuantizeOptions;
+use crate::zoo::{train_zoo_model, PaperModel, ZooModel};
+
+/// Measured values for the headline claims.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Headline {
+    /// Fraction of BERT-Base weights in the 3-bit G group.
+    pub g_group_fraction: f64,
+    /// GOBO vs K-Means iteration speedup on a representative layer.
+    pub convergence_speedup: f64,
+    /// Smallest index width at which GOBO stays within `tolerance` of
+    /// the baseline on the MNLI-like stand-in.
+    pub gobo_bits_to_lossless: Option<u8>,
+    /// The same for K-Means.
+    pub kmeans_bits_to_lossless: Option<u8>,
+    /// Accuracy tolerance used for "lossless".
+    pub tolerance: f64,
+    /// Whole-model compression ratio at 3-bit weights + 3-bit
+    /// embeddings.
+    pub footprint_reduction: f64,
+}
+
+/// Accuracy slack treated as lossless (the paper's tables use exact
+/// recovery; sampling noise on 300 synthetic examples warrants a small
+/// band).
+pub const LOSSLESS_TOLERANCE: f64 = 0.005;
+
+/// Computes the headline summary.
+///
+/// # Errors
+///
+/// Propagates training, quantization and evaluation failures.
+pub fn run(options: &ExperimentOptions) -> Result<Headline, GoboError> {
+    let config = scaled_config(&ModelConfig::bert_base(), options.geometry_divisor)?;
+
+    let weight_report = weight_compression(
+        &config,
+        &MixedPrecisionPlan::uniform(3)?,
+        QuantMethod::Gobo,
+        options.seed,
+    )?;
+    let g_group_fraction = 1.0 - weight_report.outlier_fraction();
+
+    let cmp = convergence_comparison(&config, 3, options.seed)?;
+
+    let zoo = train_zoo_model(PaperModel::BertBase, TaskKind::Nli, options.zoo_scale)?;
+    let gobo_bits = bits_to_lossless(&zoo, QuantMethod::Gobo)?;
+    let kmeans_bits = bits_to_lossless(&zoo, QuantMethod::KMeans)?;
+
+    let mut footprint = weight_report;
+    footprint.merge(embedding_compression(&config, 3, options.seed)?);
+
+    Ok(Headline {
+        g_group_fraction,
+        convergence_speedup: cmp.iteration_speedup(),
+        gobo_bits_to_lossless: gobo_bits,
+        kmeans_bits_to_lossless: kmeans_bits,
+        tolerance: LOSSLESS_TOLERANCE,
+        footprint_reduction: footprint.compression_ratio(),
+    })
+}
+
+/// Smallest width in `2..=8` whose quantized score is within
+/// [`LOSSLESS_TOLERANCE`] of the baseline.
+fn bits_to_lossless(zoo: &ZooModel, method: QuantMethod) -> Result<Option<u8>, GoboError> {
+    for bits in 2u8..=8 {
+        let opts = QuantizeOptions::with_method(method, bits)?;
+        let (score, _) = zoo.quantized_score(&opts)?;
+        if score.value >= zoo.baseline.value - LOSSLESS_TOLERANCE {
+            return Ok(Some(bits));
+        }
+    }
+    Ok(None)
+}
+
+impl fmt::Display for Headline {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Headline claims")?;
+        writeln!(
+            f,
+            "G-group fraction at 3 bits:     {:.3}% (paper: ~99.9%)",
+            self.g_group_fraction * 100.0
+        )?;
+        writeln!(
+            f,
+            "Convergence speedup vs K-Means: {:.1}x (paper: ~9x)",
+            self.convergence_speedup
+        )?;
+        let bits = |b: Option<u8>| b.map_or("-".into(), |v| format!("{v}"));
+        writeln!(
+            f,
+            "Bits to lossless (±{:.1}pp):     GOBO {} vs K-Means {} (paper: GOBO needs half the centroids)",
+            self.tolerance * 100.0,
+            bits(self.gobo_bits_to_lossless),
+            bits(self.kmeans_bits_to_lossless)
+        )?;
+        writeln!(
+            f,
+            "Footprint reduction (3b/3b):    {:.2}x (paper: ~10x)",
+            self.footprint_reduction
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_headline_values_in_band() {
+        let h = run(&ExperimentOptions::smoke()).unwrap();
+        assert!(h.g_group_fraction > 0.99);
+        assert!(h.convergence_speedup > 1.5);
+        assert!(h.footprint_reduction > 9.0 && h.footprint_reduction < 10.67);
+        // Lossless bits, when found, are ordered sensibly.
+        if let (Some(g), Some(k)) = (h.gobo_bits_to_lossless, h.kmeans_bits_to_lossless) {
+            assert!((2..=8).contains(&g));
+            assert!((2..=8).contains(&k));
+        }
+        assert!(h.to_string().contains("Headline"));
+    }
+}

@@ -1,0 +1,74 @@
+//! One driver per paper table and figure.
+//!
+//! Every driver returns typed rows and implements `Display` printing a
+//! paper-style text table, so the `regen-tables` / `regen-figures`
+//! binaries are thin wrappers. The DESIGN.md experiment index maps each
+//! table/figure to its driver here.
+
+pub mod ablation;
+pub mod energy;
+pub mod figures;
+pub mod headline;
+pub mod table1;
+pub mod table2;
+pub mod table3;
+pub mod table4;
+pub mod table5;
+pub mod table6;
+pub mod table7;
+
+use crate::zoo::ZooScale;
+
+/// Shared experiment sizing.
+///
+/// `full()` reproduces the paper's exact geometry and the reference
+/// training budget (run in release mode); `smoke()` shrinks both so the
+/// whole suite runs in debug-mode tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExperimentOptions {
+    /// Divisor applied to full-scale synthetic geometry (1 = exact).
+    pub geometry_divisor: usize,
+    /// Training budget for the tiny model zoo.
+    pub zoo_scale: ZooScale,
+    /// Seed for synthetic weights and data.
+    pub seed: u64,
+}
+
+impl ExperimentOptions {
+    /// The reference setting used for EXPERIMENTS.md numbers.
+    pub fn full() -> Self {
+        ExperimentOptions { geometry_divisor: 1, zoo_scale: ZooScale::Full, seed: 7 }
+    }
+
+    /// A fast setting for debug-mode smoke tests.
+    pub fn smoke() -> Self {
+        ExperimentOptions { geometry_divisor: 16, zoo_scale: ZooScale::Smoke, seed: 7 }
+    }
+}
+
+/// Formats a ratio as the paper prints it (`9.83x`).
+pub(crate) fn fmt_ratio(r: f64) -> String {
+    format!("{r:.2}x")
+}
+
+/// Formats an accuracy-like fraction as a percentage (`83.76%`).
+pub(crate) fn fmt_pct(v: f64) -> String {
+    format!("{:.2}%", v * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn options_presets() {
+        assert_eq!(ExperimentOptions::full().geometry_divisor, 1);
+        assert!(ExperimentOptions::smoke().geometry_divisor > 1);
+    }
+
+    #[test]
+    fn formatting_matches_paper_style() {
+        assert_eq!(fmt_ratio(9.832), "9.83x");
+        assert_eq!(fmt_pct(0.8376), "83.76%");
+    }
+}

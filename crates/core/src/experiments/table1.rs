@@ -1,0 +1,96 @@
+//! Table I: BERT architecture.
+
+use std::fmt;
+
+use gobo_model::config::ModelConfig;
+
+/// One architecture row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Row {
+    /// Model name.
+    pub model: String,
+    /// Encoder ("BERT") layer count.
+    pub layers: usize,
+    /// Attention FC dimensions (`4× hidden × hidden`).
+    pub attention_dims: (usize, usize),
+    /// Intermediate FC dimensions.
+    pub intermediate_dims: (usize, usize),
+    /// Output FC dimensions.
+    pub output_dims: (usize, usize),
+    /// Pooler dimensions.
+    pub pooler_dims: (usize, usize),
+}
+
+/// The regenerated Table I.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table1 {
+    /// BERT-Base and BERT-Large rows.
+    pub rows: Vec<Row>,
+}
+
+/// Regenerates Table I from the model configurations.
+pub fn run() -> Table1 {
+    let rows = [ModelConfig::bert_base(), ModelConfig::bert_large()]
+        .iter()
+        .map(|c| Row {
+            model: c.name.clone(),
+            layers: c.encoder_layers,
+            attention_dims: (c.hidden, c.hidden),
+            intermediate_dims: (c.hidden, c.intermediate),
+            output_dims: (c.intermediate, c.hidden),
+            pooler_dims: (c.hidden, c.hidden),
+        })
+        .collect();
+    Table1 { rows }
+}
+
+impl fmt::Display for Table1 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Table I: BERT Architecture")?;
+        writeln!(
+            f,
+            "{:<12} {:>7} {:>16} {:>16} {:>16} {:>14}",
+            "Model", "Layers", "Attention", "Intermediate", "Output", "Pooler"
+        )?;
+        for r in &self.rows {
+            writeln!(
+                f,
+                "{:<12} {:>7} {:>12} x4 {:>16} {:>16} {:>14}",
+                r.model,
+                r.layers,
+                format!("{} x {}", r.attention_dims.0, r.attention_dims.1),
+                format!("{} x {}", r.intermediate_dims.0, r.intermediate_dims.1),
+                format!("{} x {}", r.output_dims.0, r.output_dims.1),
+                format!("{} x {}", r.pooler_dims.0, r.pooler_dims.1),
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_paper_table1() {
+        let t = run();
+        assert_eq!(t.rows.len(), 2);
+        let base = &t.rows[0];
+        assert_eq!(base.layers, 12);
+        assert_eq!(base.attention_dims, (768, 768));
+        assert_eq!(base.intermediate_dims, (768, 3072));
+        assert_eq!(base.output_dims, (3072, 768));
+        let large = &t.rows[1];
+        assert_eq!(large.layers, 24);
+        assert_eq!(large.attention_dims, (1024, 1024));
+        assert_eq!(large.intermediate_dims, (1024, 4096));
+    }
+
+    #[test]
+    fn display_contains_dims() {
+        let s = run().to_string();
+        assert!(s.contains("768 x 3072"));
+        assert!(s.contains("1024 x 4096"));
+    }
+}

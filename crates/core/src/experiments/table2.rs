@@ -1,0 +1,99 @@
+//! Table II: BERT memory footprint.
+
+use std::fmt;
+
+use gobo_model::config::ModelConfig;
+use gobo_model::footprint::{Footprint, MIB};
+
+/// The regenerated Table II.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table2 {
+    /// BERT-Base and BERT-Large footprints at sequence length 128.
+    pub rows: Vec<Footprint>,
+}
+
+/// Regenerates Table II (sequence length 128, as in the paper).
+pub fn run() -> Table2 {
+    Table2 {
+        rows: vec![
+            Footprint::of(&ModelConfig::bert_base(), 128),
+            Footprint::of(&ModelConfig::bert_large(), 128),
+        ],
+    }
+}
+
+impl fmt::Display for Table2 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Table II: BERT Memory Footprint (seq len 128)")?;
+        writeln!(
+            f,
+            "{:<28} {:>14} {:>14}",
+            "Row",
+            self.rows[0].model.as_str(),
+            self.rows[1].model.as_str()
+        )?;
+        let fmt_mb = |bytes: usize| format!("{:.2} MB", bytes as f64 / MIB);
+        let fmt_kb = |bytes: usize| format!("{} KB", bytes / 1024);
+        writeln!(
+            f,
+            "{:<28} {:>14} {:>14}",
+            "Embedding Tables",
+            fmt_mb(self.rows[0].embedding_bytes),
+            fmt_mb(self.rows[1].embedding_bytes)
+        )?;
+        writeln!(
+            f,
+            "{:<28} {:>14} {:>14}",
+            "Weights",
+            fmt_mb(self.rows[0].weight_bytes),
+            fmt_mb(self.rows[1].weight_bytes)
+        )?;
+        writeln!(
+            f,
+            "{:<28} {:>14} {:>14}",
+            "Model Input per Word",
+            fmt_kb(self.rows[0].input_per_word_bytes),
+            fmt_kb(self.rows[1].input_per_word_bytes)
+        )?;
+        writeln!(
+            f,
+            "{:<28} {:>14} {:>14}",
+            "Largest layer Acts per Word",
+            fmt_kb(self.rows[0].largest_acts_per_word_bytes),
+            fmt_kb(self.rows[1].largest_acts_per_word_bytes)
+        )?;
+        writeln!(
+            f,
+            "{:<28} {:>14} {:>14}",
+            "Activations",
+            fmt_mb(self.rows[0].activation_bytes),
+            fmt_mb(self.rows[1].activation_bytes)
+        )?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_paper_values() {
+        let t = run();
+        assert!((t.rows[0].embedding_mib() - 89.42).abs() < 0.01);
+        assert!((t.rows[1].embedding_mib() - 119.22).abs() < 0.01);
+        assert!((t.rows[0].weight_mib() - 326.25).abs() < 0.5);
+        assert_eq!(t.rows[0].input_per_word_bytes / 1024, 3);
+        assert_eq!(t.rows[1].input_per_word_bytes / 1024, 4);
+        assert_eq!(t.rows[0].largest_acts_per_word_bytes / 1024, 12);
+        assert_eq!(t.rows[1].largest_acts_per_word_bytes / 1024, 16);
+    }
+
+    #[test]
+    fn display_prints_rows() {
+        let s = run().to_string();
+        assert!(s.contains("Embedding Tables"));
+        assert!(s.contains("89.42 MB"));
+        assert!(s.contains("3 KB"));
+    }
+}

@@ -1,0 +1,168 @@
+//! Table IV: centroid-selection policy sweep (Linear vs K-Means vs
+//! GOBO) across bit widths, on the MNLI-like and STS-B-like tasks
+//! (BERT-Base stand-in) and the SQuAD-like task (BERT-Large stand-in).
+
+use std::fmt;
+
+use gobo_quant::QuantMethod;
+use gobo_tasks::TaskKind;
+
+use super::ExperimentOptions;
+use crate::error::GoboError;
+use crate::pipeline::QuantizeOptions;
+use crate::zoo::{train_zoo_model, PaperModel, ZooModel};
+
+/// Accuracy of one (bits, method) cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cell {
+    /// Centroid-selection policy.
+    pub method: QuantMethod,
+    /// Metric value in `[0, 1]`.
+    pub score: f64,
+    /// Drop vs the FP32 baseline.
+    pub error: f64,
+}
+
+/// One bit-width row of the sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Row {
+    /// G-group index width.
+    pub bits: u8,
+    /// Linear / K-Means / GOBO cells, in that order.
+    pub cells: Vec<Cell>,
+    /// Ideal compression ratio `32 / bits` (the paper's "Potential
+    /// Comp. Ratio" column).
+    pub potential_ratio: f64,
+}
+
+/// The sweep for one task.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TaskSweep {
+    /// Which published model the stand-in replaces.
+    pub model: PaperModel,
+    /// The task and its metric.
+    pub kind: TaskKind,
+    /// FP32 baseline score.
+    pub baseline: f64,
+    /// One row per bit width (2..=6).
+    pub rows: Vec<Row>,
+}
+
+/// The regenerated Table IV.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table4 {
+    /// MNLI-like (BERT-Base), STS-B-like (BERT-Base), SQuAD-like
+    /// (BERT-Large) sweeps.
+    pub sweeps: Vec<TaskSweep>,
+}
+
+/// Bit widths the paper sweeps.
+pub const BITS: [u8; 5] = [2, 3, 4, 5, 6];
+
+/// Regenerates Table IV.
+///
+/// # Errors
+///
+/// Propagates training, quantization and evaluation failures.
+pub fn run(options: &ExperimentOptions) -> Result<Table4, GoboError> {
+    let mut sweeps = Vec::new();
+    for (paper, kind) in [
+        (PaperModel::BertBase, TaskKind::Nli),
+        (PaperModel::BertBase, TaskKind::Sts),
+        (PaperModel::BertLarge, TaskKind::Span),
+    ] {
+        let zoo = train_zoo_model(paper, kind, options.zoo_scale)?;
+        sweeps.push(sweep_one(&zoo)?);
+    }
+    Ok(Table4 { sweeps })
+}
+
+/// Runs the policy × bits sweep for one trained stand-in.
+///
+/// # Errors
+///
+/// Propagates quantization and evaluation failures.
+pub fn sweep_one(zoo: &ZooModel) -> Result<TaskSweep, GoboError> {
+    let mut rows = Vec::new();
+    for bits in BITS {
+        let mut cells = Vec::new();
+        for method in [QuantMethod::Linear, QuantMethod::KMeans, QuantMethod::Gobo] {
+            let opts = QuantizeOptions::with_method(method, bits)?;
+            let (score, _) = zoo.quantized_score(&opts)?;
+            cells.push(Cell {
+                method,
+                score: score.value,
+                error: zoo.baseline.value - score.value,
+            });
+        }
+        rows.push(Row { bits, cells, potential_ratio: 32.0 / f64::from(bits) });
+    }
+    Ok(TaskSweep { model: zoo.paper, kind: zoo.kind, baseline: zoo.baseline.value, rows })
+}
+
+/// Formats one sweep as a paper-style block (shared with Tables V/VI).
+pub(crate) fn fmt_sweep(f: &mut fmt::Formatter<'_>, sweep: &TaskSweep) -> fmt::Result {
+    writeln!(
+        f,
+        "\n{} on {} (baseline {})",
+        sweep.kind.paper_name(),
+        sweep.model.name(),
+        super::fmt_pct(sweep.baseline)
+    )?;
+    writeln!(
+        f,
+        "{:>4} {:>22} {:>22} {:>22} {:>10}",
+        "Bits", "Linear (err)", "K-Means (err)", "GOBO (err)", "Pot. CR"
+    )?;
+    for row in &sweep.rows {
+        let cell = |c: Option<&Cell>| match c {
+            Some(c) => format!("{} ({})", super::fmt_pct(c.score), super::fmt_pct(c.error)),
+            None => "-".to_owned(),
+        };
+        let by_method = |m: QuantMethod| row.cells.iter().find(|c| c.method == m);
+        writeln!(
+            f,
+            "{:>4} {:>22} {:>22} {:>22} {:>10}",
+            row.bits,
+            cell(by_method(QuantMethod::Linear)),
+            cell(by_method(QuantMethod::KMeans)),
+            cell(by_method(QuantMethod::Gobo)),
+            super::fmt_ratio(row.potential_ratio),
+        )?;
+    }
+    Ok(())
+}
+
+impl fmt::Display for Table4 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Table IV: G-group centroid selection policies")?;
+        for sweep in &self.sweeps {
+            fmt_sweep(f, sweep)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zoo::ZooScale;
+
+    #[test]
+    fn smoke_sweep_shapes_and_monotonicity() {
+        let zoo = train_zoo_model(PaperModel::BertBase, TaskKind::Nli, ZooScale::Smoke).unwrap();
+        let sweep = sweep_one(&zoo).unwrap();
+        assert_eq!(sweep.rows.len(), BITS.len());
+        for row in &sweep.rows {
+            assert_eq!(row.cells.len(), 3);
+            assert_eq!(row.cells[2].method, QuantMethod::Gobo);
+        }
+        // Potential CR column is pure arithmetic.
+        assert!((sweep.rows[1].potential_ratio - 32.0 / 3.0).abs() < 1e-9);
+        // At 6 bits every method should be close to the baseline.
+        let last = sweep.rows.last().unwrap();
+        for cell in &last.cells {
+            assert!(cell.error.abs() < 0.25, "{:?}", cell);
+        }
+    }
+}

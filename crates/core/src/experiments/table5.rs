@@ -1,0 +1,74 @@
+//! Table V: centroid-selection policies on DistilBERT (MNLI-like).
+//!
+//! Same sweep as Table IV restricted to K-Means and GOBO at 3–5 bits,
+//! matching the paper's reduced column set.
+
+use std::fmt;
+
+use gobo_quant::QuantMethod;
+use gobo_tasks::TaskKind;
+
+use super::table4::{fmt_sweep, Cell, Row, TaskSweep};
+use super::ExperimentOptions;
+use crate::error::GoboError;
+use crate::pipeline::QuantizeOptions;
+use crate::zoo::{train_zoo_model, PaperModel};
+
+/// The regenerated Table V.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table5 {
+    /// The DistilBERT MNLI sweep.
+    pub sweep: TaskSweep,
+}
+
+/// Regenerates Table V.
+///
+/// # Errors
+///
+/// Propagates training, quantization and evaluation failures.
+pub fn run(options: &ExperimentOptions) -> Result<Table5, GoboError> {
+    let zoo = train_zoo_model(PaperModel::DistilBert, TaskKind::Nli, options.zoo_scale)?;
+    let mut rows = Vec::new();
+    for bits in [3u8, 4, 5] {
+        let mut cells = Vec::new();
+        for method in [QuantMethod::KMeans, QuantMethod::Gobo] {
+            let opts = QuantizeOptions::with_method(method, bits)?;
+            let (score, _) = zoo.quantized_score(&opts)?;
+            cells.push(Cell {
+                method,
+                score: score.value,
+                error: zoo.baseline.value - score.value,
+            });
+        }
+        rows.push(Row { bits, cells, potential_ratio: 32.0 / f64::from(bits) });
+    }
+    Ok(Table5 {
+        sweep: TaskSweep {
+            model: zoo.paper,
+            kind: zoo.kind,
+            baseline: zoo.baseline.value,
+            rows,
+        },
+    })
+}
+
+impl fmt::Display for Table5 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Table V: centroid selection policies on DistilBERT")?;
+        fmt_sweep(f, &self.sweep)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_shape() {
+        let t = run(&ExperimentOptions::smoke()).unwrap();
+        assert_eq!(t.sweep.rows.len(), 3);
+        assert_eq!(t.sweep.rows[0].bits, 3);
+        assert_eq!(t.sweep.rows[0].cells.len(), 2);
+        assert!(t.to_string().contains("DistilBERT"));
+    }
+}

@@ -1,0 +1,108 @@
+//! Table VII: embedding-table sizes and compression ratios for all
+//! five models at 3- and 4-bit.
+
+use std::fmt;
+
+use gobo_model::footprint::MIB;
+
+use super::ExperimentOptions;
+use crate::analytic::{embedding_compression, scaled_config};
+use crate::error::GoboError;
+use crate::zoo::PaperModel;
+
+/// One model's embedding-compression row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Row {
+    /// Which model.
+    pub model: PaperModel,
+    /// FP32 embedding bytes (word table, as the paper counts).
+    pub baseline_bytes: usize,
+    /// Compressed bytes at 3 bits.
+    pub bytes_3bit: usize,
+    /// Compression ratio at 3 bits.
+    pub ratio_3bit: f64,
+    /// Compressed bytes at 4 bits.
+    pub bytes_4bit: usize,
+    /// Compression ratio at 4 bits.
+    pub ratio_4bit: f64,
+}
+
+/// The regenerated Table VII.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table7 {
+    /// One row per published model.
+    pub rows: Vec<Row>,
+}
+
+/// Regenerates Table VII. The paper's "Embedding" size counts the
+/// word-piece table (89.42 MB for BERT-Base), so position/type tables
+/// are excluded from the rows here.
+///
+/// # Errors
+///
+/// Propagates quantization failures.
+pub fn run(options: &ExperimentOptions) -> Result<Table7, GoboError> {
+    let word_only = |r: gobo_quant::CompressionReport| -> gobo_quant::CompressionReport {
+        r.layers.into_iter().filter(|l| l.name == "embeddings.word").collect()
+    };
+    let mut rows = Vec::new();
+    for model in PaperModel::all() {
+        let config = scaled_config(&model.config(), options.geometry_divisor)?;
+        let r3 = word_only(embedding_compression(&config, 3, options.seed)?);
+        let r4 = word_only(embedding_compression(&config, 4, options.seed)?);
+        rows.push(Row {
+            model,
+            baseline_bytes: r3.original_bytes(),
+            bytes_3bit: r3.compressed_bytes(),
+            ratio_3bit: r3.compression_ratio(),
+            bytes_4bit: r4.compressed_bytes(),
+            ratio_4bit: r4.compression_ratio(),
+        });
+    }
+    Ok(Table7 { rows })
+}
+
+impl fmt::Display for Table7 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Table VII: embedding size (MB) and compression ratio")?;
+        writeln!(
+            f,
+            "{:<16} {:>12} {:>10} {:>8} {:>10} {:>8}",
+            "Model", "FP32", "3-bit", "CR", "4-bit", "CR"
+        )?;
+        for r in &self.rows {
+            writeln!(
+                f,
+                "{:<16} {:>12} {:>10} {:>8} {:>10} {:>8}",
+                r.model.name(),
+                format!("{:.2} MB", r.baseline_bytes as f64 / MIB),
+                format!("{:.2} MB", r.bytes_3bit as f64 / MIB),
+                super::fmt_ratio(r.ratio_3bit),
+                format!("{:.2} MB", r.bytes_4bit as f64 / MIB),
+                super::fmt_ratio(r.ratio_4bit),
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_rows_have_paper_orderings() {
+        let t = run(&ExperimentOptions::smoke()).unwrap();
+        assert_eq!(t.rows.len(), 5);
+        for r in &t.rows {
+            // 3-bit compresses harder than 4-bit; both near their ideals.
+            assert!(r.ratio_3bit > r.ratio_4bit);
+            assert!(r.ratio_3bit > 9.0 && r.ratio_3bit < 10.67, "{}", r.ratio_3bit);
+            assert!(r.ratio_4bit > 7.0 && r.ratio_4bit < 8.0, "{}", r.ratio_4bit);
+        }
+        // RoBERTa-Large has the largest embedding table.
+        let largest = t.rows.iter().max_by_key(|r| r.baseline_bytes).unwrap();
+        assert_eq!(largest.model, PaperModel::RobertaLarge);
+        assert!(t.to_string().contains("RoBERTa-Large"));
+    }
+}

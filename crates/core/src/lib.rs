@@ -1,0 +1,51 @@
+//! GOBO: post-training quantization for attention-based NLP models.
+//!
+//! This crate is the end-to-end public API of the reproduction of
+//! *"GOBO: Quantizing Attention-Based NLP Models for Low Latency and
+//! Energy Efficient Inference"* (MICRO 2020). It ties the substrate
+//! crates together:
+//!
+//! * [`pipeline`] — quantize a whole [`gobo_model::TransformerModel`]
+//!   (any method × per-layer bit plan × optional embedding
+//!   quantization), producing a decoded FP32 model plus an exact
+//!   [`gobo_quant::CompressionReport`];
+//! * [`zoo`] — the deterministic "model zoo": tiny task-trained stand-ins
+//!   for the five published checkpoints the paper quantizes;
+//! * [`analytic`] — full-scale synthetic-weight experiments (outlier
+//!   fractions, compression ratios, convergence traces) streamed one
+//!   layer at a time so BERT-Large never has to be resident;
+//! * [`experiments`] — one driver per paper table and figure,
+//!   regenerating each row/series.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use gobo::pipeline::{quantize_model, QuantizeOptions};
+//! use gobo_model::{config::ModelConfig, TransformerModel};
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! // A small random model (real uses start from a trained one).
+//! let config = ModelConfig::tiny("Demo", 2, 32, 4, 64, 16)?;
+//! let model = TransformerModel::new(config, &mut StdRng::seed_from_u64(1))?;
+//!
+//! // Quantize every FC layer to 3-bit GOBO.
+//! let options = QuantizeOptions::gobo(3)?;
+//! let outcome = quantize_model(&model, &options)?;
+//!
+//! assert!(outcome.report.compression_ratio() > 5.0);
+//! // The decoded model has identical architecture and runs unmodified.
+//! let out = outcome.model.encode(&[1, 2, 3], &[])?;
+//! assert!(out.hidden.all_finite());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod analytic;
+pub mod error;
+pub mod experiments;
+pub mod pipeline;
+pub mod zoo;
+
+pub use error::GoboError;
+pub use pipeline::{quantize_model, QuantizeOptions, QuantizedModel};

@@ -1,0 +1,270 @@
+//! The model zoo: deterministic tiny stand-ins for the paper's five
+//! fine-tuned checkpoints.
+//!
+//! Each published model maps to a tiny trainable geometry with the same
+//! topology and a relative size ordering that mirrors the real family
+//! (Large > Base > Distil). Training is deterministic per
+//! (model, task, scale), so every experiment sees the same baseline.
+
+use gobo_model::config::ModelConfig;
+use gobo_model::TransformerModel;
+use gobo_tasks::data::{nli, span, sts, Example, TaskSpec};
+use gobo_tasks::eval::{evaluate, TaskScore};
+use gobo_tasks::heads::HeadWeights;
+use gobo_tasks::trainer::{train, TrainerOptions};
+use gobo_tasks::TaskKind;
+use gobo_train::layers::EncoderDims;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::error::GoboError;
+use crate::pipeline::{quantize_model, QuantizeOptions};
+
+/// The five published models the paper evaluates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PaperModel {
+    /// BERT-Base (12 layers, hidden 768).
+    BertBase,
+    /// BERT-Large (24 layers, hidden 1024).
+    BertLarge,
+    /// DistilBERT (6 layers distilled from BERT-Base).
+    DistilBert,
+    /// RoBERTa (base).
+    Roberta,
+    /// RoBERTa-Large.
+    RobertaLarge,
+}
+
+impl PaperModel {
+    /// All five models, in the paper's order.
+    pub fn all() -> [PaperModel; 5] {
+        [
+            PaperModel::BertBase,
+            PaperModel::BertLarge,
+            PaperModel::DistilBert,
+            PaperModel::Roberta,
+            PaperModel::RobertaLarge,
+        ]
+    }
+
+    /// The published name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            PaperModel::BertBase => "BERT-Base",
+            PaperModel::BertLarge => "BERT-Large",
+            PaperModel::DistilBert => "DistilBERT",
+            PaperModel::Roberta => "RoBERTa",
+            PaperModel::RobertaLarge => "RoBERTa-Large",
+        }
+    }
+
+    /// Full-scale geometry (Table I), used for the analytic size and
+    /// outlier experiments.
+    pub fn config(&self) -> ModelConfig {
+        match self {
+            PaperModel::BertBase => ModelConfig::bert_base(),
+            PaperModel::BertLarge => ModelConfig::bert_large(),
+            PaperModel::DistilBert => ModelConfig::distilbert(),
+            PaperModel::Roberta => ModelConfig::roberta_base(),
+            PaperModel::RobertaLarge => ModelConfig::roberta_large(),
+        }
+    }
+
+    /// The tiny trainable stand-in geometry (vocabulary matches the
+    /// shared [`TaskSpec`]).
+    pub fn tiny_dims(&self) -> EncoderDims {
+        let (layers, hidden) = match self {
+            PaperModel::BertBase => (4, 40),
+            PaperModel::BertLarge => (6, 48),
+            PaperModel::DistilBert => (2, 40),
+            PaperModel::Roberta => (4, 40),
+            PaperModel::RobertaLarge => (6, 48),
+        };
+        EncoderDims {
+            layers,
+            hidden,
+            heads: 4,
+            intermediate: hidden * 4,
+            vocab: task_spec().vocab,
+            max_position: 16,
+            type_vocab: 2,
+        }
+    }
+
+    /// Distinct training seed per model so RoBERTa is a different
+    /// trained instance than BERT-Base despite equal geometry.
+    fn seed(&self) -> u64 {
+        match self {
+            PaperModel::BertBase => 11,
+            PaperModel::BertLarge => 22,
+            PaperModel::DistilBert => 33,
+            PaperModel::Roberta => 44,
+            PaperModel::RobertaLarge => 55,
+        }
+    }
+}
+
+/// The shared synthetic-task specification: 62-token vocabulary, 6
+/// topic clusters, 5 tokens per sentence side, and 10% token noise.
+///
+/// The noise keeps the stand-in models' margins realistic (high-80s to
+/// low-90s baselines, like the paper's fine-tuned checkpoints) instead
+/// of saturating at 100%, which would hide quantization sensitivity.
+pub fn task_spec() -> TaskSpec {
+    TaskSpec::small(62).with_noise(0.10)
+}
+
+/// How big the zoo's training runs are.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ZooScale {
+    /// The reference setting used for reported numbers: 900 train /
+    /// 300 test examples; 10 epochs at lr 3e-4 for shallow stand-ins,
+    /// 15 at 2e-4 for 6-layer ones. Requires release-mode patience.
+    Full,
+    /// A smoke setting for debug-mode tests (works, but underfits).
+    Smoke,
+}
+
+impl ZooScale {
+    fn train_examples(&self) -> usize {
+        match self {
+            ZooScale::Full => 900,
+            ZooScale::Smoke => 90,
+        }
+    }
+
+    fn test_examples(&self) -> usize {
+        match self {
+            ZooScale::Full => 300,
+            ZooScale::Smoke => 45,
+        }
+    }
+
+    /// Deep stacks train with a gentler learning rate and more passes
+    /// (single-label NLI gradients thin out across 6 layers).
+    fn schedule(&self, layers: usize) -> (usize, f32) {
+        match (self, layers >= 6) {
+            (ZooScale::Full, false) => (10, 3e-4),
+            (ZooScale::Full, true) => (15, 2e-4),
+            (ZooScale::Smoke, false) => (2, 3e-4),
+            (ZooScale::Smoke, true) => (2, 2e-4),
+        }
+    }
+}
+
+/// A trained tiny stand-in: the inference model, its task head, its
+/// held-out data, and its FP32 baseline score.
+#[derive(Debug, Clone)]
+pub struct ZooModel {
+    /// Which published model this stands in for.
+    pub paper: PaperModel,
+    /// The task it was fine-tuned on.
+    pub kind: TaskKind,
+    /// The trained FP32 inference model.
+    pub model: TransformerModel,
+    /// The FP32 task head.
+    pub head: HeadWeights,
+    /// Held-out evaluation data.
+    pub test_data: Vec<Example>,
+    /// FP32 baseline score on `test_data`.
+    pub baseline: TaskScore,
+}
+
+impl ZooModel {
+    /// Quantizes this model with `options` and re-evaluates on the
+    /// held-out data, returning the quantized score (compare with
+    /// [`ZooModel::baseline`] for the paper's "Error" column) and the
+    /// compression report.
+    ///
+    /// # Errors
+    ///
+    /// Propagates quantization and evaluation failures.
+    pub fn quantized_score(
+        &self,
+        options: &QuantizeOptions,
+    ) -> Result<(TaskScore, gobo_quant::CompressionReport), GoboError> {
+        let outcome = quantize_model(&self.model, options)?;
+        let score = evaluate(&outcome.model, &self.head, &self.test_data)?;
+        Ok((score, outcome.report))
+    }
+}
+
+/// Trains (deterministically) the tiny stand-in for `paper` on `kind`.
+///
+/// # Errors
+///
+/// Propagates dataset-generation and training failures.
+pub fn train_zoo_model(
+    paper: PaperModel,
+    kind: TaskKind,
+    scale: ZooScale,
+) -> Result<ZooModel, GoboError> {
+    let spec = task_spec();
+    let dims = paper.tiny_dims();
+    let seed = paper.seed();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n_train = scale.train_examples();
+    let n_test = scale.test_examples();
+    let (train_data, test_data) = match kind {
+        TaskKind::Nli => {
+            (nli(&spec, n_train, &mut rng)?, nli(&spec, n_test, &mut rng)?)
+        }
+        TaskKind::Sts => {
+            (sts(&spec, n_train, &mut rng)?, sts(&spec, n_test, &mut rng)?)
+        }
+        TaskKind::Span => {
+            (span(&spec, n_train, &mut rng)?, span(&spec, n_test, &mut rng)?)
+        }
+    };
+    let (epochs, learning_rate) = scale.schedule(dims.layers);
+    let trained = train(kind, &dims, &train_data, &TrainerOptions { epochs, learning_rate, seed })?;
+    let model = gobo_tasks::export::to_transformer_model(paper.name(), &dims, &trained.params)?;
+    let head = HeadWeights::extract(kind, &trained.params)?;
+    let baseline = evaluate(&model, &head, &test_data)?;
+    Ok(ZooModel { paper, kind, model, head, test_data, baseline })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_zoo_trains_and_quantizes() {
+        let zoo = train_zoo_model(PaperModel::DistilBert, TaskKind::Nli, ZooScale::Smoke).unwrap();
+        assert_eq!(zoo.paper.name(), "DistilBERT");
+        assert!(zoo.baseline.value.is_finite());
+        let (score, report) =
+            zoo.quantized_score(&QuantizeOptions::gobo(4).unwrap()).unwrap();
+        assert!(score.value.is_finite());
+        assert!(report.compression_ratio() > 4.0);
+    }
+
+    #[test]
+    fn zoo_training_is_deterministic() {
+        let a = train_zoo_model(PaperModel::DistilBert, TaskKind::Nli, ZooScale::Smoke).unwrap();
+        let b = train_zoo_model(PaperModel::DistilBert, TaskKind::Nli, ZooScale::Smoke).unwrap();
+        assert_eq!(a.model, b.model);
+        assert_eq!(a.baseline, b.baseline);
+    }
+
+    #[test]
+    fn tiny_dims_are_ordered_like_the_family() {
+        let size = |p: PaperModel| {
+            let d = p.tiny_dims();
+            d.layers * d.hidden * d.hidden
+        };
+        assert!(size(PaperModel::BertLarge) > size(PaperModel::BertBase));
+        assert!(size(PaperModel::BertBase) > size(PaperModel::DistilBert));
+        assert_eq!(size(PaperModel::Roberta), size(PaperModel::BertBase));
+    }
+
+    #[test]
+    fn paper_model_metadata() {
+        assert_eq!(PaperModel::all().len(), 5);
+        for p in PaperModel::all() {
+            assert!(!p.name().is_empty());
+            assert!(p.config().validate().is_ok());
+            assert!(p.tiny_dims().validate().is_ok());
+        }
+    }
+}

@@ -1,0 +1,39 @@
+//! First-order memory-traffic, energy, and latency model.
+//!
+//! The paper's title claims — low latency and energy-efficient
+//! inference — rest on one observation (Section I): BERT inference is
+//! memory-bound, off-chip accesses cost roughly two orders of magnitude
+//! more energy and latency than on-chip ones, and the weights dominate
+//! traffic because they are streamed once per inference while the
+//! hidden state is small. Compressing the weights ~10× therefore cuts
+//! off-chip traffic, energy, and bandwidth-bound latency nearly ~10×.
+//!
+//! The arXiv v1 we reproduce motivates but does not tabulate a hardware
+//! evaluation, so this crate is the *extension* DESIGN.md documents: an
+//! analytic model with explicit, overridable constants that turns the
+//! compression ratios measured by `gobo-quant` into traffic, energy,
+//! and latency estimates.
+//!
+//! # Example
+//!
+//! ```
+//! use gobo_memsim::{EnergyModel, InferenceTraffic};
+//! use gobo_model::{config::ModelConfig, footprint::Footprint};
+//!
+//! let fp = Footprint::of(&ModelConfig::bert_base(), 128);
+//! let fp32 = InferenceTraffic::fp32(&fp);
+//! let gobo = fp32.with_weight_compression(9.8);
+//! let model = EnergyModel::default();
+//! let saving = model.energy(&fp32) / model.energy(&gobo);
+//! assert!(saving > 5.0, "energy saving {saving}");
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod energy;
+pub mod residency;
+pub mod traffic;
+
+pub use energy::EnergyModel;
+pub use residency::{analyze as analyze_residency, Residency, ResidencyReport};
+pub use traffic::InferenceTraffic;

@@ -1,0 +1,64 @@
+//! Property-based tests for the model substrate.
+
+use gobo_model::config::ModelConfig;
+use gobo_model::spec::{enumerate_embedding_tables, enumerate_fc_layers};
+use gobo_model::TransformerModel;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn tiny_config() -> impl Strategy<Value = ModelConfig> {
+    (1usize..3, 1usize..3, 2usize..5, 10usize..40, 4usize..10).prop_filter_map(
+        "divisible heads",
+        |(layers, heads_pow, width_mul, vocab, max_pos)| {
+            let heads = 1usize << heads_pow;
+            let hidden = heads * 4 * width_mul;
+            ModelConfig::tiny("Prop", layers, hidden, heads, vocab, max_pos).ok()
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn fc_count_formula_holds(config in tiny_config()) {
+        let layers = enumerate_fc_layers(&config);
+        prop_assert_eq!(layers.len(), config.encoder_layers * 6 + 1);
+        let total: usize = layers.iter().map(|l| l.params()).sum();
+        prop_assert_eq!(total, config.fc_weight_params());
+    }
+
+    #[test]
+    fn embedding_specs_cover_embedding_params(config in tiny_config()) {
+        let total: usize = enumerate_embedding_tables(&config).iter().map(|l| l.params()).sum();
+        prop_assert_eq!(total, config.embedding_params());
+    }
+
+    #[test]
+    fn encode_always_finite(config in tiny_config(), seed in 0u64..1000) {
+        let m = TransformerModel::new(config.clone(), &mut StdRng::seed_from_u64(seed)).unwrap();
+        let seq = config.max_position.min(5);
+        let ids: Vec<usize> = (0..seq).map(|i| (i * 7 + seed as usize) % config.vocab).collect();
+        let out = m.encode(&ids, &[]).unwrap();
+        prop_assert!(out.hidden.all_finite());
+        prop_assert_eq!(out.hidden.dims(), &[seq, config.hidden]);
+        if let Some(p) = out.pooled {
+            prop_assert!(p.all_finite());
+            prop_assert!(p.as_slice().iter().all(|v| v.abs() <= 1.0));
+        }
+    }
+
+    #[test]
+    fn hidden_rows_are_layer_normalized(config in tiny_config(), seed in 0u64..100) {
+        let m = TransformerModel::new(config.clone(), &mut StdRng::seed_from_u64(seed)).unwrap();
+        let ids: Vec<usize> = (0..3.min(config.max_position)).map(|i| i % config.vocab).collect();
+        let out = m.encode(&ids, &[]).unwrap();
+        // Final activation comes out of a LayerNorm with unit gain: each
+        // row must have ~zero mean and ~unit variance.
+        for mo in gobo_tensor::norm::row_moments(&out.hidden).unwrap() {
+            prop_assert!(mo.mean.abs() < 1e-3);
+            prop_assert!((mo.var - 1.0).abs() < 1e-2);
+        }
+    }
+}

@@ -1,0 +1,285 @@
+//! Codebooks (representative values) and assignment machinery shared by
+//! every centroid-selection policy.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::QuantError;
+
+/// A sorted table of representative values ("centroids") for one layer.
+///
+/// Invariant: centroids are finite and ascending. Nearest-centroid
+/// assignment for a sorted codebook only needs a binary search over the
+/// midpoints between adjacent centroids.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Codebook {
+    centroids: Vec<f32>,
+}
+
+impl Codebook {
+    /// Creates a codebook, sorting the provided centroids.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantError::EmptyLayer`] for an empty table and
+    /// [`QuantError::NonFinite`] if any centroid is NaN/infinite.
+    pub fn new(mut centroids: Vec<f32>) -> Result<Self, QuantError> {
+        if centroids.is_empty() {
+            return Err(QuantError::EmptyLayer);
+        }
+        if centroids.iter().any(|c| !c.is_finite()) {
+            return Err(QuantError::NonFinite);
+        }
+        centroids.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        Ok(Codebook { centroids })
+    }
+
+    /// The representative values, ascending.
+    pub fn centroids(&self) -> &[f32] {
+        &self.centroids
+    }
+
+    /// Number of representative values.
+    pub fn len(&self) -> usize {
+        self.centroids.len()
+    }
+
+    /// Returns `true` when the codebook has no entries (never holds for a
+    /// successfully constructed codebook).
+    pub fn is_empty(&self) -> bool {
+        self.centroids.is_empty()
+    }
+
+    /// Index of the centroid nearest to `x` (ties break toward the lower
+    /// index, i.e. the smaller centroid).
+    pub fn nearest(&self, x: f32) -> usize {
+        let cs = &self.centroids;
+        if cs.len() == 1 {
+            return 0;
+        }
+        // partition_point returns the first centroid > x.
+        let hi = cs.partition_point(|&c| c <= x);
+        if hi == 0 {
+            return 0;
+        }
+        if hi == cs.len() {
+            return cs.len() - 1;
+        }
+        let lo = hi - 1;
+        if (x - cs[lo]).abs() <= (cs[hi] - x).abs() {
+            lo
+        } else {
+            hi
+        }
+    }
+
+    /// Assigns every value to its nearest centroid.
+    pub fn assign(&self, values: &[f32]) -> Vec<u8> {
+        debug_assert!(self.centroids.len() <= 256, "u8 assignments");
+        values.iter().map(|&v| self.nearest(v) as u8).collect()
+    }
+
+    /// Decodes assignments back to representative values.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantError::CorruptPayload`] when any index is out of
+    /// range for this codebook.
+    pub fn decode(&self, assignments: &[u8]) -> Result<Vec<f32>, QuantError> {
+        let mut out = Vec::with_capacity(assignments.len());
+        for &a in assignments {
+            let idx = a as usize;
+            if idx >= self.centroids.len() {
+                return Err(QuantError::CorruptPayload { what: "assignment index out of range" });
+            }
+            out.push(self.centroids[idx]);
+        }
+        Ok(out)
+    }
+
+    /// Sum of `|v - c(v)|` over all values (the norm GOBO monitors).
+    pub fn l1_norm(&self, values: &[f32], assignments: &[u8]) -> f64 {
+        values
+            .iter()
+            .zip(assignments)
+            .map(|(&v, &a)| f64::from((v - self.centroids[a as usize]).abs()))
+            .sum()
+    }
+
+    /// Sum of `(v - c(v))²` over all values (the K-Means objective).
+    pub fn l2_norm(&self, values: &[f32], assignments: &[u8]) -> f64 {
+        values
+            .iter()
+            .zip(assignments)
+            .map(|(&v, &a)| {
+                let d = f64::from(v - self.centroids[a as usize]);
+                d * d
+            })
+            .sum()
+    }
+
+    /// Recomputes each centroid as the mean of its assigned values;
+    /// clusters with no members keep their previous centroid. Returns the
+    /// updated codebook (still sorted: means of interval-ordered clusters
+    /// preserve order).
+    pub fn update_means(&self, values: &[f32], assignments: &[u8]) -> Codebook {
+        let k = self.centroids.len();
+        let mut sums = vec![0.0f64; k];
+        let mut counts = vec![0u64; k];
+        for (&v, &a) in values.iter().zip(assignments) {
+            sums[a as usize] += f64::from(v);
+            counts[a as usize] += 1;
+        }
+        let centroids: Vec<f32> = (0..k)
+            .map(|i| {
+                if counts[i] == 0 {
+                    self.centroids[i]
+                } else {
+                    (sums[i] / counts[i] as f64) as f32
+                }
+            })
+            .collect();
+        // Means of clusters induced by a sorted codebook are themselves
+        // sorted, but empty clusters retaining stale centroids can break
+        // that in pathological cases — restore the invariant.
+        Codebook::new(centroids).expect("finite means")
+    }
+}
+
+/// Per-iteration L1/L2 norms recorded while clustering, regenerating the
+/// paper's Figure 2 (GOBO vs K-Means convergence).
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct ConvergenceTrace {
+    /// Summed L1 norm after each iteration (index 0 = initialization).
+    pub l1: Vec<f64>,
+    /// Summed L2 norm after each iteration (index 0 = initialization).
+    pub l2: Vec<f64>,
+    /// Iteration index (into `l1`/`l2`) the final codebook was taken
+    /// from.
+    pub selected_iteration: usize,
+}
+
+impl ConvergenceTrace {
+    /// Number of recorded iterations.
+    pub fn iterations(&self) -> usize {
+        self.l1.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_sorts_and_validates() {
+        let cb = Codebook::new(vec![3.0, -1.0, 2.0]).unwrap();
+        assert_eq!(cb.centroids(), &[-1.0, 2.0, 3.0]);
+        assert!(Codebook::new(vec![]).is_err());
+        assert!(Codebook::new(vec![1.0, f32::NAN]).is_err());
+    }
+
+    #[test]
+    fn nearest_basic_and_boundaries() {
+        let cb = Codebook::new(vec![0.0, 1.0, 10.0]).unwrap();
+        assert_eq!(cb.nearest(-5.0), 0);
+        assert_eq!(cb.nearest(0.4), 0);
+        assert_eq!(cb.nearest(0.6), 1);
+        assert_eq!(cb.nearest(5.0), 1);
+        assert_eq!(cb.nearest(6.0), 2);
+        assert_eq!(cb.nearest(99.0), 2);
+    }
+
+    #[test]
+    fn nearest_tie_prefers_lower() {
+        let cb = Codebook::new(vec![0.0, 2.0]).unwrap();
+        assert_eq!(cb.nearest(1.0), 0);
+    }
+
+    #[test]
+    fn nearest_matches_linear_scan() {
+        let cb = Codebook::new(vec![-2.0, -0.5, 0.0, 0.4, 1.7, 8.0]).unwrap();
+        for i in -300..300 {
+            let x = i as f32 * 0.05;
+            let fast = cb.nearest(x);
+            let slow = cb
+                .centroids()
+                .iter()
+                .enumerate()
+                .min_by(|(_, a), (_, b)| {
+                    (x - **a).abs().partial_cmp(&(x - **b).abs()).unwrap()
+                })
+                .map(|(i, _)| i)
+                .unwrap();
+            assert!(
+                (x - cb.centroids()[fast]).abs() <= (x - cb.centroids()[slow]).abs() + 1e-7,
+                "x={x}: fast={fast} slow={slow}"
+            );
+        }
+    }
+
+    #[test]
+    fn decode_round_trips_assignments() {
+        let cb = Codebook::new(vec![-1.0, 0.0, 1.0]).unwrap();
+        let values = [-0.9f32, 0.1, 0.8, -0.2];
+        let assignments = cb.assign(&values);
+        let decoded = cb.decode(&assignments).unwrap();
+        assert_eq!(decoded, vec![-1.0, 0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn decode_rejects_out_of_range() {
+        let cb = Codebook::new(vec![0.0, 1.0]).unwrap();
+        assert!(cb.decode(&[0, 1, 2]).is_err());
+    }
+
+    #[test]
+    fn norms_zero_when_values_equal_centroids() {
+        let cb = Codebook::new(vec![1.0, 5.0]).unwrap();
+        let values = [1.0f32, 5.0, 1.0];
+        let a = cb.assign(&values);
+        assert_eq!(cb.l1_norm(&values, &a), 0.0);
+        assert_eq!(cb.l2_norm(&values, &a), 0.0);
+    }
+
+    #[test]
+    fn norms_known_values() {
+        let cb = Codebook::new(vec![0.0]).unwrap();
+        let values = [1.0f32, -2.0];
+        let a = cb.assign(&values);
+        assert_eq!(cb.l1_norm(&values, &a), 3.0);
+        assert_eq!(cb.l2_norm(&values, &a), 5.0);
+    }
+
+    #[test]
+    fn update_means_moves_centroids_to_cluster_means() {
+        let cb = Codebook::new(vec![0.0, 10.0]).unwrap();
+        let values = [1.0f32, 2.0, 9.0, 11.0];
+        let a = cb.assign(&values);
+        let updated = cb.update_means(&values, &a);
+        assert_eq!(updated.centroids(), &[1.5, 10.0]);
+    }
+
+    #[test]
+    fn update_means_keeps_empty_cluster_centroid() {
+        let cb = Codebook::new(vec![0.0, 100.0]).unwrap();
+        let values = [1.0f32, 2.0, 3.0];
+        let a = cb.assign(&values);
+        let updated = cb.update_means(&values, &a);
+        assert_eq!(updated.centroids()[1], 100.0);
+    }
+
+    #[test]
+    fn mean_update_never_increases_l2() {
+        // One Lloyd step (assign + mean update) cannot increase the L2
+        // objective — spot-check on an irregular sample.
+        let values: Vec<f32> = (0..500).map(|i| ((i * 37) % 97) as f32 * 0.1).collect();
+        let mut cb = Codebook::new(vec![0.0, 2.0, 4.0, 8.0]).unwrap();
+        let mut prev = f64::INFINITY;
+        for _ in 0..10 {
+            let a = cb.assign(&values);
+            let l2 = cb.l2_norm(&values, &a);
+            assert!(l2 <= prev + 1e-9, "L2 increased: {l2} > {prev}");
+            prev = l2;
+            cb = cb.update_means(&values, &a);
+        }
+    }
+}

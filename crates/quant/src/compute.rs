@@ -1,0 +1,236 @@
+//! Computing directly on the compressed representation.
+//!
+//! The MICRO version of GOBO pairs the storage format with a hardware
+//! accelerator that never decompresses: because every G-group weight is
+//! one of a few representative values, a matrix–vector product can
+//! *accumulate activations per centroid* and multiply by each centroid
+//! once —
+//!
+//! ```text
+//! y[r] = Σ_c x[c]·w[r,c]
+//!      = Σ_k centroid[k] · ( Σ_{c: idx[r,c]=k} x[c] )  +  Σ_{outliers} x[c]·w[r,c]
+//! ```
+//!
+//! turning `cols` multiplications per output into `2^bits` plus a
+//! handful of outlier corrections. [`QuantizedMatrix`] implements that
+//! schedule in software, operating straight on the packed indices; the
+//! `codec` Criterion bench compares it against decode-then-matmul.
+
+use crate::error::QuantError;
+use crate::layer::QuantizedLayer;
+use crate::packing;
+
+/// A [`QuantizedLayer`] with matrix shape, supporting products without
+/// decompression.
+///
+/// Weights are row-major `(rows, cols)`, matching `gobo-model`'s
+/// `(out_features, in_features)` FC layout.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantizedMatrix {
+    layer: QuantizedLayer,
+    rows: usize,
+    cols: usize,
+    /// Unpacked G-group indices (one per non-outlier weight, in layer
+    /// order). Kept unpacked so products stream without per-element bit
+    /// twiddling; this costs `bits → 8 bits` of working memory and is a
+    /// deliberate software trade-off (hardware reads the packed form).
+    g_indices: Vec<u8>,
+}
+
+impl QuantizedMatrix {
+    /// Wraps a quantized layer with its matrix shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantError::InvalidConfig`] unless
+    /// `rows × cols == layer.total()`.
+    pub fn new(layer: QuantizedLayer, rows: usize, cols: usize) -> Result<Self, QuantError> {
+        if rows * cols != layer.total() {
+            return Err(QuantError::InvalidConfig { name: "rows*cols" });
+        }
+        let g_count = layer.total() - layer.outlier_count();
+        let g_indices = packing::unpack(layer.packed_indices(), layer.bits(), g_count)?;
+        Ok(QuantizedMatrix { layer, rows, cols, g_indices })
+    }
+
+    /// Number of output features (matrix rows).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of input features (matrix columns).
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// The underlying compressed layer.
+    pub fn layer(&self) -> &QuantizedLayer {
+        &self.layer
+    }
+
+    /// Consumes the wrapper, returning the compressed layer.
+    pub fn into_layer(self) -> QuantizedLayer {
+        self.layer
+    }
+
+    /// `y = W·x` computed on the compressed form: per output row,
+    /// activations are bucketed by centroid index and each centroid is
+    /// multiplied once; outliers contribute individually.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantError::InvalidConfig`] unless `x.len() == cols`.
+    pub fn matvec(&self, x: &[f32]) -> Result<Vec<f32>, QuantError> {
+        if x.len() != self.cols {
+            return Err(QuantError::InvalidConfig { name: "x.len" });
+        }
+        let centroids = self.layer.codebook().centroids();
+        let k = centroids.len();
+        let (outlier_positions, outlier_values) = self.layer.outliers();
+        let mut y = vec![0.0f32; self.rows];
+        let mut buckets = vec![0.0f32; k];
+
+        let mut o_idx = 0usize; // cursor into the outlier arrays
+        let mut g_idx = 0usize; // cursor into the G-group indices
+        for (r, y_r) in y.iter_mut().enumerate() {
+            buckets.iter_mut().for_each(|b| *b = 0.0);
+            let mut outlier_acc = 0.0f32;
+            let base = r * self.cols;
+            for (c, &xv) in x.iter().enumerate() {
+                let flat = (base + c) as u32;
+                if o_idx < outlier_positions.len() && outlier_positions[o_idx] == flat {
+                    outlier_acc += xv * outlier_values[o_idx];
+                    o_idx += 1;
+                } else {
+                    buckets[self.g_indices[g_idx] as usize] += xv;
+                    g_idx += 1;
+                }
+            }
+            let mut acc = outlier_acc;
+            for (b, &c) in buckets.iter().zip(centroids) {
+                acc += b * c;
+            }
+            *y_r = acc;
+        }
+        Ok(y)
+    }
+
+    /// `Y = A·Wᵀ` for row-major `a: (m, cols)`, producing `(m, rows)` —
+    /// the FC-layer product, computed on the compressed form.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantError::InvalidConfig`] unless `a.len()` is a
+    /// multiple of `cols`.
+    pub fn matmul_nt(&self, a: &[f32]) -> Result<Vec<f32>, QuantError> {
+        if self.cols == 0 || !a.len().is_multiple_of(self.cols) {
+            return Err(QuantError::InvalidConfig { name: "a.len" });
+        }
+        let m = a.len() / self.cols;
+        let mut out = Vec::with_capacity(m * self.rows);
+        for row in a.chunks(self.cols) {
+            out.extend(self.matvec(row)?);
+        }
+        Ok(out)
+    }
+
+    /// Decodes to a dense row-major weight matrix (for verification and
+    /// interop).
+    pub fn to_dense(&self) -> Vec<f32> {
+        self.layer.decode()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{QuantConfig, QuantMethod};
+
+    fn matrix(rows: usize, cols: usize, bits: u8) -> (QuantizedMatrix, Vec<f32>) {
+        let n = rows * cols;
+        let mut w: Vec<f32> = (0..n)
+            .map(|i| ((i as f32) * 0.13).sin() * 0.05 + ((i as f32) * 0.009).cos() * 0.02)
+            .collect();
+        if n > 64 {
+            w[5] = 1.4;
+            w[n - 9] = -1.1;
+        }
+        let layer =
+            QuantizedLayer::encode(&w, &QuantConfig::new(QuantMethod::Gobo, bits).unwrap()).unwrap();
+        (QuantizedMatrix::new(layer, rows, cols).unwrap(), w)
+    }
+
+    fn dense_matvec(w: &[f32], x: &[f32], rows: usize, cols: usize) -> Vec<f32> {
+        (0..rows)
+            .map(|r| (0..cols).map(|c| w[r * cols + c] * x[c]).sum())
+            .collect()
+    }
+
+    #[test]
+    fn matvec_matches_decoded_dense_product() {
+        for bits in [2u8, 3, 4] {
+            let (qm, _) = matrix(24, 40, bits);
+            let x: Vec<f32> = (0..40).map(|i| (i as f32 * 0.3).cos()).collect();
+            let fast = qm.matvec(&x).unwrap();
+            let dense = qm.to_dense();
+            let reference = dense_matvec(&dense, &x, 24, 40);
+            for (a, b) in fast.iter().zip(&reference) {
+                assert!((a - b).abs() < 1e-4, "bits {bits}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn outliers_contribute_exactly() {
+        // A weight matrix that is all-centroid except one huge outlier;
+        // the product must reflect the outlier at its exact position.
+        let rows = 8;
+        let cols = 32;
+        let mut w: Vec<f32> = (0..rows * cols).map(|i| ((i % 7) as f32 - 3.0) * 0.01).collect();
+        w[3 * cols + 10] = 5.0;
+        let layer =
+            QuantizedLayer::encode(&w, &QuantConfig::new(QuantMethod::Gobo, 3).unwrap()).unwrap();
+        let qm = QuantizedMatrix::new(layer, rows, cols).unwrap();
+        let mut x = vec![0.0f32; cols];
+        x[10] = 2.0;
+        let y = qm.matvec(&x).unwrap();
+        assert!((y[3] - 10.0).abs() < 0.1, "outlier row got {}", y[3]);
+    }
+
+    #[test]
+    fn matmul_nt_stacks_rows() {
+        let (qm, _) = matrix(12, 20, 3);
+        let a: Vec<f32> = (0..3 * 20).map(|i| (i as f32 * 0.17).sin()).collect();
+        let out = qm.matmul_nt(&a).unwrap();
+        assert_eq!(out.len(), 3 * 12);
+        for (i, row) in a.chunks(20).enumerate() {
+            let single = qm.matvec(row).unwrap();
+            assert_eq!(&out[i * 12..(i + 1) * 12], &single[..]);
+        }
+    }
+
+    #[test]
+    fn shape_validation() {
+        let (qm, _) = matrix(10, 10, 3);
+        assert!(qm.matvec(&[0.0; 9]).is_err());
+        assert!(qm.matmul_nt(&[0.0; 11]).is_err());
+        let layer = qm.into_layer();
+        assert!(QuantizedMatrix::new(layer, 3, 7).is_err());
+    }
+
+    #[test]
+    fn zero_input_gives_zero_output() {
+        let (qm, _) = matrix(6, 18, 3);
+        let y = qm.matvec(&[0.0; 18]).unwrap();
+        assert!(y.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn accessors() {
+        let (qm, _) = matrix(6, 18, 4);
+        assert_eq!(qm.rows(), 6);
+        assert_eq!(qm.cols(), 18);
+        assert_eq!(qm.layer().bits(), 4);
+        assert_eq!(qm.to_dense().len(), 6 * 18);
+    }
+}

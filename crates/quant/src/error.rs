@@ -1,0 +1,96 @@
+//! Error type for quantization.
+
+use std::fmt;
+
+use gobo_stats::StatsError;
+
+/// Error returned by fallible quantization operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QuantError {
+    /// The requested index width is outside the supported `1..=8` bits.
+    UnsupportedBits {
+        /// The requested width.
+        bits: u8,
+    },
+    /// The layer contained no weights.
+    EmptyLayer,
+    /// The layer contained NaN or infinity.
+    NonFinite,
+    /// Fewer distinct non-outlier weights than clusters; the layer is too
+    /// degenerate to quantize at the requested width.
+    TooFewValues {
+        /// Number of values available for the G group.
+        values: usize,
+        /// Number of clusters requested.
+        clusters: usize,
+    },
+    /// A configuration parameter was outside its valid domain.
+    InvalidConfig {
+        /// Name of the offending parameter.
+        name: &'static str,
+    },
+    /// An underlying statistics routine failed.
+    Stats(StatsError),
+    /// A packed payload failed validation during decode.
+    CorruptPayload {
+        /// Description of what was inconsistent.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for QuantError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QuantError::UnsupportedBits { bits } => {
+                write!(f, "unsupported index width: {bits} bits (supported: 1..=8)")
+            }
+            QuantError::EmptyLayer => write!(f, "layer has no weights"),
+            QuantError::NonFinite => write!(f, "layer contains non-finite weights"),
+            QuantError::TooFewValues { values, clusters } => {
+                write!(f, "only {values} G-group values for {clusters} clusters")
+            }
+            QuantError::InvalidConfig { name } => {
+                write!(f, "configuration parameter `{name}` outside valid domain")
+            }
+            QuantError::Stats(e) => write!(f, "statistics failure: {e}"),
+            QuantError::CorruptPayload { what } => {
+                write!(f, "corrupt quantized payload: {what}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for QuantError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            QuantError::Stats(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<StatsError> for QuantError {
+    fn from(e: StatsError) -> Self {
+        QuantError::Stats(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_covers_variants() {
+        assert!(QuantError::UnsupportedBits { bits: 9 }.to_string().contains('9'));
+        assert!(QuantError::EmptyLayer.to_string().contains("no weights"));
+        assert!(QuantError::TooFewValues { values: 3, clusters: 8 }.to_string().contains('8'));
+        assert!(QuantError::InvalidConfig { name: "threshold" }.to_string().contains("threshold"));
+    }
+
+    #[test]
+    fn stats_errors_convert_and_chain() {
+        use std::error::Error;
+        let e: QuantError = StatsError::EmptyInput.into();
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,168 @@
+//! Bit-packing of centroid indices.
+//!
+//! G-group weights are stored as `bits`-wide indices (1–8 bits) packed
+//! LSB-first into a byte stream. Packing is what turns "3-bit indexes"
+//! from bookkeeping into an actual 10.67× raw size reduction.
+
+use bytes::{BufMut, Bytes, BytesMut};
+
+use crate::error::QuantError;
+
+/// Packs `bits`-wide values LSB-first into bytes.
+///
+/// Values must each fit in `bits` bits.
+///
+/// # Errors
+///
+/// Returns [`QuantError::UnsupportedBits`] unless `1 <= bits <= 8` and
+/// [`QuantError::CorruptPayload`] when a value does not fit in `bits`.
+///
+/// # Example
+///
+/// ```
+/// use gobo_quant::packing::{pack, unpack};
+///
+/// let indices = vec![1u8, 7, 3, 0, 5];
+/// let packed = pack(&indices, 3)?;
+/// assert_eq!(packed.len(), 2); // ⌈5·3/8⌉
+/// assert_eq!(unpack(&packed, 3, indices.len())?, indices);
+/// # Ok::<(), gobo_quant::QuantError>(())
+/// ```
+pub fn pack(values: &[u8], bits: u8) -> Result<Bytes, QuantError> {
+    if !(1..=8).contains(&bits) {
+        return Err(QuantError::UnsupportedBits { bits });
+    }
+    let mask = mask_for(bits);
+    let mut out = BytesMut::with_capacity(packed_len(values.len(), bits));
+    let mut acc: u32 = 0;
+    let mut acc_bits: u8 = 0;
+    for &v in values {
+        if v & !mask != 0 {
+            return Err(QuantError::CorruptPayload { what: "value exceeds bit width" });
+        }
+        acc |= u32::from(v) << acc_bits;
+        acc_bits += bits;
+        while acc_bits >= 8 {
+            out.put_u8((acc & 0xFF) as u8);
+            acc >>= 8;
+            acc_bits -= 8;
+        }
+    }
+    if acc_bits > 0 {
+        out.put_u8((acc & 0xFF) as u8);
+    }
+    Ok(out.freeze())
+}
+
+/// Unpacks `count` `bits`-wide values from an LSB-first byte stream.
+///
+/// # Errors
+///
+/// Returns [`QuantError::UnsupportedBits`] unless `1 <= bits <= 8` and
+/// [`QuantError::CorruptPayload`] when `packed` is too short for
+/// `count` values.
+pub fn unpack(packed: &[u8], bits: u8, count: usize) -> Result<Vec<u8>, QuantError> {
+    if !(1..=8).contains(&bits) {
+        return Err(QuantError::UnsupportedBits { bits });
+    }
+    if packed.len() < packed_len(count, bits) {
+        return Err(QuantError::CorruptPayload { what: "packed payload too short" });
+    }
+    let mask = u32::from(mask_for(bits));
+    let mut out = Vec::with_capacity(count);
+    let mut acc: u32 = 0;
+    let mut acc_bits: u8 = 0;
+    let mut byte_idx = 0usize;
+    for _ in 0..count {
+        while acc_bits < bits {
+            acc |= u32::from(packed[byte_idx]) << acc_bits;
+            byte_idx += 1;
+            acc_bits += 8;
+        }
+        out.push((acc & mask) as u8);
+        acc >>= bits;
+        acc_bits -= bits;
+    }
+    Ok(out)
+}
+
+/// Number of bytes needed to pack `count` values of `bits` width.
+pub fn packed_len(count: usize, bits: u8) -> usize {
+    (count * bits as usize).div_ceil(8)
+}
+
+fn mask_for(bits: u8) -> u8 {
+    if bits == 8 {
+        0xFF
+    } else {
+        (1u8 << bits) - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_every_width() {
+        for bits in 1u8..=8 {
+            let max = if bits == 8 { 255u16 } else { (1u16 << bits) - 1 };
+            let values: Vec<u8> = (0..1000u16).map(|i| ((i * 7) % (max + 1)) as u8).collect();
+            let packed = pack(&values, bits).unwrap();
+            assert_eq!(packed.len(), packed_len(values.len(), bits));
+            let unpacked = unpack(&packed, bits, values.len()).unwrap();
+            assert_eq!(unpacked, values, "width {bits}");
+        }
+    }
+
+    #[test]
+    fn three_bit_layout_is_lsb_first() {
+        // values 0b001, 0b111 → byte 0 = 0b00_111_001 = 0x39.
+        let packed = pack(&[1, 7], 3).unwrap();
+        assert_eq!(packed[0], 0b0011_1001);
+    }
+
+    #[test]
+    fn eight_bit_is_identity() {
+        let values = vec![0u8, 255, 127, 1];
+        let packed = pack(&values, 8).unwrap();
+        assert_eq!(&packed[..], &values[..]);
+    }
+
+    #[test]
+    fn rejects_oversized_values() {
+        assert!(matches!(pack(&[8], 3), Err(QuantError::CorruptPayload { .. })));
+        assert!(pack(&[7], 3).is_ok());
+    }
+
+    #[test]
+    fn rejects_bad_widths() {
+        assert!(pack(&[0], 0).is_err());
+        assert!(pack(&[0], 9).is_err());
+        assert!(unpack(&[0], 0, 1).is_err());
+        assert!(unpack(&[0], 9, 1).is_err());
+    }
+
+    #[test]
+    fn unpack_detects_truncation() {
+        let packed = pack(&[1, 2, 3, 4, 5], 4).unwrap();
+        assert!(unpack(&packed[..1], 4, 5).is_err());
+        assert!(unpack(&packed, 4, 5).is_ok());
+    }
+
+    #[test]
+    fn empty_input_packs_to_empty() {
+        let packed = pack(&[], 3).unwrap();
+        assert!(packed.is_empty());
+        assert_eq!(unpack(&packed, 3, 0).unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn packed_len_formula() {
+        assert_eq!(packed_len(0, 3), 0);
+        assert_eq!(packed_len(1, 3), 1);
+        assert_eq!(packed_len(8, 3), 3);
+        assert_eq!(packed_len(3, 8), 3);
+        assert_eq!(packed_len(9, 1), 2);
+    }
+}

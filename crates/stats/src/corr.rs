@@ -1,0 +1,160 @@
+//! Pearson and Spearman correlation.
+//!
+//! STS-B reports the Spearman rank correlation between predicted and
+//! human similarity scores; the paper's Table IV uses it for the STS-B
+//! rows.
+
+use crate::error::StatsError;
+
+/// Pearson product-moment correlation between two equal-length samples.
+///
+/// # Errors
+///
+/// Returns [`StatsError::LengthMismatch`] when lengths differ,
+/// [`StatsError::EmptyInput`] when fewer than 2 pairs are supplied,
+/// [`StatsError::NonFinite`] for NaN/infinite values, and
+/// [`StatsError::ZeroVariance`] when either side is constant.
+///
+/// # Example
+///
+/// ```
+/// use gobo_stats::pearson;
+/// let r = pearson(&[1.0, 2.0, 3.0], &[2.0, 4.0, 6.0])?;
+/// assert!((r - 1.0).abs() < 1e-9);
+/// # Ok::<(), gobo_stats::StatsError>(())
+/// ```
+pub fn pearson(x: &[f32], y: &[f32]) -> Result<f64, StatsError> {
+    if x.len() != y.len() {
+        return Err(StatsError::LengthMismatch { lhs: x.len(), rhs: y.len() });
+    }
+    if x.len() < 2 {
+        return Err(StatsError::EmptyInput);
+    }
+    if x.iter().chain(y).any(|v| !v.is_finite()) {
+        return Err(StatsError::NonFinite);
+    }
+    let n = x.len() as f64;
+    let mx = x.iter().map(|&v| f64::from(v)).sum::<f64>() / n;
+    let my = y.iter().map(|&v| f64::from(v)).sum::<f64>() / n;
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for (&a, &b) in x.iter().zip(y) {
+        let dx = f64::from(a) - mx;
+        let dy = f64::from(b) - my;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    if sxx == 0.0 || syy == 0.0 {
+        return Err(StatsError::ZeroVariance);
+    }
+    Ok(sxy / (sxx.sqrt() * syy.sqrt()))
+}
+
+/// Spearman rank correlation between two equal-length samples.
+///
+/// Ties receive averaged (fractional) ranks, matching SciPy's
+/// `spearmanr`.
+///
+/// # Errors
+///
+/// Same conditions as [`pearson`].
+pub fn spearman(x: &[f32], y: &[f32]) -> Result<f64, StatsError> {
+    if x.len() != y.len() {
+        return Err(StatsError::LengthMismatch { lhs: x.len(), rhs: y.len() });
+    }
+    if x.len() < 2 {
+        return Err(StatsError::EmptyInput);
+    }
+    if x.iter().chain(y).any(|v| !v.is_finite()) {
+        return Err(StatsError::NonFinite);
+    }
+    let rx = fractional_ranks(x);
+    let ry = fractional_ranks(y);
+    pearson(&rx, &ry)
+}
+
+/// Assigns fractional ranks (1-based; ties averaged).
+fn fractional_ranks(xs: &[f32]) -> Vec<f32> {
+    let mut order: Vec<usize> = (0..xs.len()).collect();
+    order.sort_by(|&a, &b| xs[a].partial_cmp(&xs[b]).expect("finite values compare"));
+    let mut ranks = vec![0.0f32; xs.len()];
+    let mut i = 0;
+    while i < order.len() {
+        let mut j = i;
+        while j + 1 < order.len() && xs[order[j + 1]] == xs[order[i]] {
+            j += 1;
+        }
+        // Average rank of the tie group [i, j], 1-based.
+        let avg = (i + j) as f32 / 2.0 + 1.0;
+        for &idx in &order[i..=j] {
+            ranks[idx] = avg;
+        }
+        i = j + 1;
+    }
+    ranks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pearson_perfect_linear() {
+        let x = [1.0f32, 2.0, 3.0, 4.0];
+        let y: Vec<f32> = x.iter().map(|v| 3.0 * v - 1.0).collect();
+        assert!((pearson(&x, &y).unwrap() - 1.0).abs() < 1e-9);
+        let neg: Vec<f32> = x.iter().map(|v| -2.0 * v).collect();
+        assert!((pearson(&x, &neg).unwrap() + 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pearson_zero_for_orthogonal() {
+        let x = [-1.0f32, 0.0, 1.0];
+        let y = [1.0f32, -2.0, 1.0]; // symmetric: zero linear correlation
+        assert!(pearson(&x, &y).unwrap().abs() < 1e-9);
+    }
+
+    #[test]
+    fn pearson_error_cases() {
+        assert!(pearson(&[1.0], &[1.0]).is_err());
+        assert!(pearson(&[1.0, 2.0], &[1.0]).is_err());
+        assert!(pearson(&[1.0, 1.0], &[1.0, 2.0]).is_err());
+        assert!(pearson(&[1.0, f32::NAN], &[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn spearman_is_invariant_under_monotone_transform() {
+        let x = [0.5f32, 1.5, 0.1, 2.5, 0.9];
+        let y: Vec<f32> = x.iter().map(|&v| v.exp()).collect(); // monotone
+        assert!((spearman(&x, &y).unwrap() - 1.0).abs() < 1e-9);
+        let inv: Vec<f32> = x.iter().map(|&v| -v * v * v).collect(); // anti-monotone
+        assert!((spearman(&x, &inv).unwrap() + 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn spearman_known_value() {
+        // Classic example with one swapped pair.
+        let x = [1.0f32, 2.0, 3.0, 4.0, 5.0];
+        let y = [1.0f32, 2.0, 3.0, 5.0, 4.0];
+        // d = (0,0,0,1,1): rho = 1 - 6·2 / (5·24) = 0.9
+        assert!((spearman(&x, &y).unwrap() - 0.9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ranks_average_ties() {
+        let r = fractional_ranks(&[10.0, 20.0, 20.0, 30.0]);
+        assert_eq!(r, vec![1.0, 2.5, 2.5, 4.0]);
+    }
+
+    #[test]
+    fn spearman_with_ties_matches_pearson_of_ranks() {
+        let x = [1.0f32, 2.0, 2.0, 3.0];
+        let y = [1.0f32, 3.0, 2.0, 4.0];
+        let rho = spearman(&x, &y).unwrap();
+        let rx = fractional_ranks(&x);
+        let ry = fractional_ranks(&y);
+        assert!((rho - pearson(&rx, &ry).unwrap()).abs() < 1e-12);
+    }
+}

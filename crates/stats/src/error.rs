@@ -1,0 +1,64 @@
+//! Error type for statistical routines.
+
+use std::fmt;
+
+/// Error returned by fallible statistics routines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StatsError {
+    /// The input sample was empty where at least one value is required.
+    EmptyInput,
+    /// The input contained NaN or infinity.
+    NonFinite,
+    /// The two inputs must have equal, non-zero length.
+    LengthMismatch {
+        /// Length of the first input.
+        lhs: usize,
+        /// Length of the second input.
+        rhs: usize,
+    },
+    /// A parameter was outside its valid domain (e.g. a probability not in
+    /// `[0, 1]`, or zero histogram bins).
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+    },
+    /// The sample has zero variance where a spread is required (e.g.
+    /// correlation of a constant sequence).
+    ZeroVariance,
+}
+
+impl fmt::Display for StatsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StatsError::EmptyInput => write!(f, "empty input sample"),
+            StatsError::NonFinite => write!(f, "input contains non-finite values"),
+            StatsError::LengthMismatch { lhs, rhs } => {
+                write!(f, "input lengths differ: {lhs} vs {rhs}")
+            }
+            StatsError::InvalidParameter { name } => {
+                write!(f, "parameter `{name}` outside valid domain")
+            }
+            StatsError::ZeroVariance => write!(f, "sample has zero variance"),
+        }
+    }
+}
+
+impl std::error::Error for StatsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(StatsError::EmptyInput.to_string().contains("empty"));
+        assert!(StatsError::LengthMismatch { lhs: 1, rhs: 2 }.to_string().contains("1 vs 2"));
+        assert!(StatsError::InvalidParameter { name: "bins" }.to_string().contains("bins"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn check<T: Send + Sync>() {}
+        check::<StatsError>();
+    }
+}

@@ -1,0 +1,42 @@
+//! Statistical primitives for the GOBO reproduction.
+//!
+//! The paper fits a single-component Gaussian to each layer's weights
+//! (via scikit-learn's `GaussianMixture.fit` with one component) and
+//! classifies weights by `score_samples`, the per-sample log probability
+//! density. For one component that is exactly maximum-likelihood
+//! mean/variance estimation plus the Gaussian log-pdf, which
+//! [`Gaussian::fit`] and [`Gaussian::log_pdf`] implement.
+//!
+//! The crate also provides the descriptive statistics the evaluation
+//! needs: histograms (Figure 1b), quantiles, Welford online moments, and
+//! Pearson/Spearman correlation (the STS-B metric).
+//!
+//! # Example
+//!
+//! ```
+//! use gobo_stats::Gaussian;
+//!
+//! let weights = [0.0f32, 0.1, -0.1, 0.05, -0.05, 3.0];
+//! let g = Gaussian::fit(&weights)?;
+//! // The 3.0 sample sits far out in the tail: much lower log-density.
+//! assert!(g.log_pdf(3.0) < g.log_pdf(0.0) - 2.0);
+//! # Ok::<(), gobo_stats::StatsError>(())
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod corr;
+pub mod error;
+pub mod gaussian;
+pub mod histogram;
+pub mod moments;
+pub mod normality;
+pub mod quantile;
+
+pub use corr::{pearson, spearman};
+pub use error::StatsError;
+pub use gaussian::Gaussian;
+pub use histogram::Histogram;
+pub use moments::OnlineMoments;
+pub use normality::{jarque_bera, jarque_bera_per_sample};
+pub use quantile::{median, quantile};

@@ -1,0 +1,169 @@
+//! Online (streaming) moment accumulation via Welford's algorithm.
+//!
+//! Used when scanning a model layer-by-layer without materializing all
+//! weights at once — e.g. computing whole-model outlier fractions.
+
+/// Streaming accumulator for count, mean, and variance.
+///
+/// Numerically stable (Welford); merging two accumulators is supported so
+/// per-layer scans can run in parallel and combine.
+///
+/// # Example
+///
+/// ```
+/// use gobo_stats::OnlineMoments;
+///
+/// let mut m = OnlineMoments::new();
+/// for x in [1.0f32, 2.0, 3.0, 4.0] {
+///     m.push(x);
+/// }
+/// assert_eq!(m.count(), 4);
+/// assert!((m.mean() - 2.5).abs() < 1e-9);
+/// assert!((m.variance() - 1.25).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct OnlineMoments {
+    count: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl OnlineMoments {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f32) {
+        self.count += 1;
+        let x = f64::from(x);
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Adds every value in a slice.
+    pub fn extend_from_slice(&mut self, xs: &[f32]) {
+        for &x in xs {
+            self.push(x);
+        }
+    }
+
+    /// Number of observations so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of the observations; 0 when empty.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Population variance (divide by `n`); 0 when fewer than 2 samples.
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn std(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Merges another accumulator into this one (Chan's parallel update).
+    pub fn merge(&mut self, other: &OnlineMoments) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.count += other.count;
+    }
+}
+
+impl FromIterator<f32> for OnlineMoments {
+    fn from_iter<I: IntoIterator<Item = f32>>(iter: I) -> Self {
+        let mut m = OnlineMoments::new();
+        for x in iter {
+            m.push(x);
+        }
+        m
+    }
+}
+
+impl Extend<f32> for OnlineMoments {
+    fn extend<I: IntoIterator<Item = f32>>(&mut self, iter: I) {
+        for x in iter {
+            self.push(x);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_two_pass_computation() {
+        let xs: Vec<f32> = (0..1000).map(|i| ((i * 37) % 101) as f32 * 0.1 - 5.0).collect();
+        let m: OnlineMoments = xs.iter().copied().collect();
+        let mean = xs.iter().map(|&x| f64::from(x)).sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|&x| (f64::from(x) - mean).powi(2)).sum::<f64>() / xs.len() as f64;
+        assert!((m.mean() - mean).abs() < 1e-9);
+        assert!((m.variance() - var).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_and_single_sample_edge_cases() {
+        let mut m = OnlineMoments::new();
+        assert_eq!(m.count(), 0);
+        assert_eq!(m.variance(), 0.0);
+        m.push(5.0);
+        assert_eq!(m.count(), 1);
+        assert_eq!(m.mean(), 5.0);
+        assert_eq!(m.variance(), 0.0);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let xs: Vec<f32> = (0..500).map(|i| (i as f32).sin()).collect();
+        let (a, b) = xs.split_at(123);
+        let mut ma: OnlineMoments = a.iter().copied().collect();
+        let mb: OnlineMoments = b.iter().copied().collect();
+        ma.merge(&mb);
+        let all: OnlineMoments = xs.iter().copied().collect();
+        assert_eq!(ma.count(), all.count());
+        assert!((ma.mean() - all.mean()).abs() < 1e-9);
+        assert!((ma.variance() - all.variance()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut m: OnlineMoments = [1.0f32, 2.0].iter().copied().collect();
+        let before = m;
+        m.merge(&OnlineMoments::new());
+        assert_eq!(m, before);
+        let mut e = OnlineMoments::new();
+        e.merge(&before);
+        assert_eq!(e, before);
+    }
+
+    #[test]
+    fn extend_trait_works() {
+        let mut m = OnlineMoments::new();
+        m.extend([1.0f32, 3.0]);
+        assert_eq!(m.mean(), 2.0);
+    }
+}

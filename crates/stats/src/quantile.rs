@@ -1,0 +1,118 @@
+//! Quantiles and medians.
+
+use crate::error::StatsError;
+
+/// Returns the `q`-quantile of a sample using linear interpolation
+/// between order statistics (the "type 7" estimator used by NumPy's
+/// default `quantile`).
+///
+/// # Errors
+///
+/// Returns [`StatsError::EmptyInput`] for an empty sample,
+/// [`StatsError::NonFinite`] if the sample contains NaN/infinity, and
+/// [`StatsError::InvalidParameter`] unless `0 ≤ q ≤ 1`.
+///
+/// # Example
+///
+/// ```
+/// use gobo_stats::quantile;
+/// let xs = [1.0f32, 2.0, 3.0, 4.0];
+/// assert_eq!(quantile(&xs, 0.5)?, 2.5);
+/// # Ok::<(), gobo_stats::StatsError>(())
+/// ```
+pub fn quantile(sample: &[f32], q: f64) -> Result<f32, StatsError> {
+    if sample.is_empty() {
+        return Err(StatsError::EmptyInput);
+    }
+    if sample.iter().any(|x| !x.is_finite()) {
+        return Err(StatsError::NonFinite);
+    }
+    if !(0.0..=1.0).contains(&q) {
+        return Err(StatsError::InvalidParameter { name: "q" });
+    }
+    let mut sorted = sample.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values compare"));
+    Ok(quantile_of_sorted(&sorted, q))
+}
+
+/// Like [`quantile`] but assumes `sorted` is already ascending and
+/// finite. Used in hot paths that sort once and query many quantiles.
+///
+/// # Panics
+///
+/// Panics when `sorted` is empty (debug builds assert sortedness is the
+/// caller's contract; it is not re-checked).
+pub fn quantile_of_sorted(sorted: &[f32], q: f64) -> f32 {
+    assert!(!sorted.is_empty(), "quantile of empty sample");
+    let n = sorted.len();
+    if n == 1 {
+        return sorted[0];
+    }
+    let pos = q.clamp(0.0, 1.0) * (n - 1) as f64;
+    let idx = pos.floor() as usize;
+    let frac = (pos - idx as f64) as f32;
+    if idx + 1 >= n {
+        sorted[n - 1]
+    } else {
+        sorted[idx] * (1.0 - frac) + sorted[idx + 1] * frac
+    }
+}
+
+/// The sample median.
+///
+/// # Errors
+///
+/// Same conditions as [`quantile`].
+pub fn median(sample: &[f32]) -> Result<f32, StatsError> {
+    quantile(sample, 0.5)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_odd_and_even() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]).unwrap(), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]).unwrap(), 2.5);
+    }
+
+    #[test]
+    fn extremes_are_min_and_max() {
+        let xs = [5.0f32, -1.0, 3.0];
+        assert_eq!(quantile(&xs, 0.0).unwrap(), -1.0);
+        assert_eq!(quantile(&xs, 1.0).unwrap(), 5.0);
+    }
+
+    #[test]
+    fn interpolates_between_order_statistics() {
+        let xs = [0.0f32, 10.0];
+        assert_eq!(quantile(&xs, 0.25).unwrap(), 2.5);
+        assert_eq!(quantile(&xs, 0.75).unwrap(), 7.5);
+    }
+
+    #[test]
+    fn rejects_invalid_inputs() {
+        assert!(quantile(&[], 0.5).is_err());
+        assert!(quantile(&[1.0, f32::NAN], 0.5).is_err());
+        assert!(quantile(&[1.0], 1.5).is_err());
+        assert!(quantile(&[1.0], -0.1).is_err());
+    }
+
+    #[test]
+    fn single_element_is_every_quantile() {
+        for q in [0.0, 0.3, 0.5, 1.0] {
+            assert_eq!(quantile(&[7.0], q).unwrap(), 7.0);
+        }
+    }
+
+    #[test]
+    fn sorted_variant_matches_public_api() {
+        let xs = [9.0f32, 2.0, 5.0, 7.0, 1.0];
+        let mut sorted = xs.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for q in [0.0, 0.1, 0.33, 0.5, 0.9, 1.0] {
+            assert_eq!(quantile(&xs, q).unwrap(), quantile_of_sorted(&sorted, q));
+        }
+    }
+}

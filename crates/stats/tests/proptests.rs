@@ -1,0 +1,96 @@
+//! Property-based tests for statistical primitives.
+
+use gobo_stats::{pearson, quantile, spearman, Gaussian, Histogram, OnlineMoments};
+use proptest::prelude::*;
+
+fn sample(max_len: usize) -> impl Strategy<Value = Vec<f32>> {
+    proptest::collection::vec((-50.0f32..50.0).prop_map(|v| (v * 64.0).round() / 64.0), 2..max_len)
+}
+
+proptest! {
+    #[test]
+    fn gaussian_fit_matches_online_moments(xs in sample(200)) {
+        let spread = xs.iter().any(|&v| v != xs[0]);
+        let fit = Gaussian::fit(&xs);
+        if !spread {
+            prop_assert!(fit.is_err());
+            return Ok(());
+        }
+        let g = fit.unwrap();
+        let m: OnlineMoments = xs.iter().copied().collect();
+        prop_assert!((g.mean() - m.mean()).abs() < 1e-6);
+        prop_assert!((g.variance() - m.variance()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn log_pdf_peaks_at_mean(mean in -10.0f64..10.0, std in 0.01f64..5.0, x in -20.0f32..20.0) {
+        let g = Gaussian::new(mean, std).unwrap();
+        prop_assert!(g.log_pdf(mean as f32) + 1e-6 >= g.log_pdf(x));
+    }
+
+    #[test]
+    fn cutoff_radius_separates_in_from_out(std in 0.01f64..2.0, thr in -10.0f64..-1.0) {
+        let g = Gaussian::new(0.0, std).unwrap();
+        if let Some(r) = g.cutoff_radius(thr) {
+            prop_assert!(g.log_pdf((r * 0.95) as f32) >= thr - 1e-4);
+            prop_assert!(g.log_pdf((r * 1.05) as f32) <= thr + 1e-4);
+        }
+    }
+
+    #[test]
+    fn histogram_total_preserved(xs in sample(300), bins in 1usize..32) {
+        let mut h = Histogram::new(-50.0, 50.0, bins).unwrap();
+        h.extend_from_slice(&xs);
+        prop_assert_eq!(h.total(), xs.len() as u64);
+    }
+
+    #[test]
+    fn quantiles_are_monotone(xs in sample(100), q1 in 0.0f64..1.0, q2 in 0.0f64..1.0) {
+        let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+        let a = quantile(&xs, lo).unwrap();
+        let b = quantile(&xs, hi).unwrap();
+        prop_assert!(a <= b);
+    }
+
+    #[test]
+    fn quantile_stays_within_sample_range(xs in sample(100), q in 0.0f64..1.0) {
+        let v = quantile(&xs, q).unwrap();
+        let min = xs.iter().copied().fold(f32::INFINITY, f32::min);
+        let max = xs.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        prop_assert!(v >= min && v <= max);
+    }
+
+    #[test]
+    fn correlations_bounded(xs in sample(60), ys in sample(60)) {
+        let n = xs.len().min(ys.len());
+        let (xs, ys) = (&xs[..n], &ys[..n]);
+        if let Ok(r) = pearson(xs, ys) {
+            prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&r));
+        }
+        if let Ok(r) = spearman(xs, ys) {
+            prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&r));
+        }
+    }
+
+    #[test]
+    fn spearman_invariant_under_strictly_monotone_map(xs in sample(60)) {
+        let ys: Vec<f32> = xs.iter().map(|&v| v * 3.0 + 1.0).collect();
+        match spearman(&xs, &ys) {
+            Ok(r) => prop_assert!((r - 1.0).abs() < 1e-6),
+            Err(_) => prop_assert!(xs.iter().all(|&v| v == xs[0])), // constant input
+        }
+    }
+
+    #[test]
+    fn moments_merge_associative(xs in sample(120), split in 0usize..120) {
+        let k = split.min(xs.len());
+        let (a, b) = xs.split_at(k);
+        let mut m1: OnlineMoments = a.iter().copied().collect();
+        let m2: OnlineMoments = b.iter().copied().collect();
+        m1.merge(&m2);
+        let all: OnlineMoments = xs.iter().copied().collect();
+        prop_assert_eq!(m1.count(), all.count());
+        prop_assert!((m1.mean() - all.mean()).abs() < 1e-6);
+        prop_assert!((m1.variance() - all.variance()).abs() < 1e-4);
+    }
+}

@@ -1,0 +1,86 @@
+//! Error type for task generation, training and evaluation.
+
+use std::fmt;
+
+use gobo_model::ModelError;
+use gobo_stats::StatsError;
+use gobo_train::TrainError;
+
+/// Error returned by fallible task operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TaskError {
+    /// A generation parameter was outside its valid domain.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+    },
+    /// A dataset was empty where at least one example is required.
+    EmptyDataset,
+    /// An example's label kind did not match the task being evaluated.
+    LabelKindMismatch,
+    /// Training failed.
+    Train(TrainError),
+    /// Inference failed.
+    Model(ModelError),
+    /// Metric computation failed.
+    Stats(StatsError),
+}
+
+impl fmt::Display for TaskError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TaskError::InvalidParameter { name } => {
+                write!(f, "task parameter `{name}` outside valid domain")
+            }
+            TaskError::EmptyDataset => write!(f, "empty dataset"),
+            TaskError::LabelKindMismatch => write!(f, "example label does not match task kind"),
+            TaskError::Train(e) => write!(f, "training failure: {e}"),
+            TaskError::Model(e) => write!(f, "model failure: {e}"),
+            TaskError::Stats(e) => write!(f, "metric failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TaskError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TaskError::Train(e) => Some(e),
+            TaskError::Model(e) => Some(e),
+            TaskError::Stats(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TrainError> for TaskError {
+    fn from(e: TrainError) -> Self {
+        TaskError::Train(e)
+    }
+}
+
+impl From<ModelError> for TaskError {
+    fn from(e: ModelError) -> Self {
+        TaskError::Model(e)
+    }
+}
+
+impl From<StatsError> for TaskError {
+    fn from(e: StatsError) -> Self {
+        TaskError::Stats(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_sources() {
+        use std::error::Error;
+        assert!(TaskError::EmptyDataset.to_string().contains("empty"));
+        let e: TaskError = TrainError::NonScalarLoss { elements: 2 }.into();
+        assert!(e.source().is_some());
+        let e: TaskError = StatsError::EmptyInput.into();
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,130 @@
+//! Export: trained parameters → inference `TransformerModel`.
+//!
+//! The trained [`gobo_train::ParamSet`] uses the same layer names as
+//! `gobo-model`, so export is a name-for-name transfer. The resulting
+//! model is the FP32 baseline the quantization experiments start from,
+//! exactly like the fine-tuned checkpoints the paper downloads.
+
+use gobo_model::config::ModelConfig;
+use gobo_model::TransformerModel;
+use gobo_train::layers::EncoderDims;
+use gobo_train::ParamSet;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::error::TaskError;
+
+/// Builds a `ModelConfig` mirroring a trainable encoder's geometry.
+pub fn config_for_dims(name: &str, dims: &EncoderDims) -> ModelConfig {
+    ModelConfig {
+        name: name.into(),
+        encoder_layers: dims.layers,
+        hidden: dims.hidden,
+        intermediate: dims.intermediate,
+        heads: dims.heads,
+        vocab: dims.vocab,
+        max_position: dims.max_position,
+        type_vocab: dims.type_vocab,
+        has_pooler: true,
+    }
+}
+
+/// Transfers a trained parameter set into a fresh inference model.
+///
+/// Head parameters (`head.*`) are not part of the encoder and stay in
+/// the parameter set; everything else (FC weights, embeddings, biases,
+/// LayerNorms) is copied by name.
+///
+/// # Errors
+///
+/// Propagates model-construction and name/shape mismatches.
+pub fn to_transformer_model(
+    name: &str,
+    dims: &EncoderDims,
+    params: &ParamSet,
+) -> Result<TransformerModel, TaskError> {
+    let config = config_for_dims(name, dims);
+    // Seed is irrelevant: every parameter is overwritten below.
+    let mut model = TransformerModel::new(config, &mut StdRng::seed_from_u64(0))?;
+    for (pname, tensor) in params.iter() {
+        if pname.starts_with("head.") {
+            continue;
+        }
+        if pname.ends_with(".bias") || pname.contains(".ln.") {
+            model.set_aux(pname, tensor.clone())?;
+        } else {
+            model.set_weight(pname, tensor.clone())?;
+        }
+    }
+    Ok(model)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gobo_train::layers::init_encoder_params;
+
+    fn dims() -> EncoderDims {
+        EncoderDims {
+            layers: 1,
+            hidden: 16,
+            heads: 2,
+            intermediate: 32,
+            vocab: 30,
+            max_position: 8,
+            type_vocab: 2,
+        }
+    }
+
+    #[test]
+    fn exported_model_matches_trained_forward() {
+        // The tape forward and the inference forward must agree on the
+        // same parameters — this is the keystone of the whole pipeline.
+        let d = dims();
+        let mut rng = StdRng::seed_from_u64(5);
+        let params = init_encoder_params(&d, &mut rng).unwrap();
+        let model = to_transformer_model("Tiny", &d, &params).unwrap();
+
+        let ids = [1usize, 5, 9, 3];
+        let type_ids = [0usize, 0, 1, 1];
+
+        // Tape forward.
+        let mut graph = gobo_train::Graph::new();
+        let bound = gobo_train::params::BoundParams::bind(&mut graph, &params);
+        let out =
+            gobo_train::layers::encoder_forward(&mut graph, &bound, &d, &ids, &type_ids).unwrap();
+        let tape_hidden = graph.value(out.hidden).clone();
+        let tape_pooled = graph.value(out.pooled).clone();
+
+        // Inference forward.
+        let inf = model.encode(&ids, &type_ids).unwrap();
+
+        for (a, b) in tape_hidden.as_slice().iter().zip(inf.hidden.as_slice()) {
+            assert!((a - b).abs() < 1e-4, "hidden mismatch: {a} vs {b}");
+        }
+        let pooled = inf.pooled.unwrap();
+        for (a, b) in tape_pooled.as_slice().iter().zip(pooled.as_slice()) {
+            assert!((a - b).abs() < 1e-4, "pooled mismatch: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn head_params_are_skipped() {
+        let d = dims();
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut params = init_encoder_params(&d, &mut rng).unwrap();
+        crate::heads::init_head(crate::data::TaskKind::Nli, d.hidden, &mut params, &mut rng);
+        let model = to_transformer_model("Tiny", &d, &params).unwrap();
+        assert!(model.weight("head.classifier").is_err());
+    }
+
+    #[test]
+    fn config_mirrors_dims() {
+        let d = dims();
+        let c = config_for_dims("X", &d);
+        assert_eq!(c.encoder_layers, d.layers);
+        assert_eq!(c.hidden, d.hidden);
+        assert_eq!(c.vocab, d.vocab);
+        assert!(c.validate().is_ok());
+    }
+}

@@ -1,0 +1,139 @@
+//! Task heads: the small FP32 output layers on top of the encoder.
+//!
+//! Heads stay FP32 throughout — the paper quantizes transformer FC
+//! weights and embeddings, not the task-specific output layer.
+
+use gobo_tensor::Tensor;
+use gobo_train::ParamSet;
+use rand::Rng;
+
+use crate::data::TaskKind;
+use crate::error::TaskError;
+
+/// Number of NLI classes (entailment / contradiction / neutral).
+pub const NLI_CLASSES: usize = 3;
+
+/// Inserts randomly initialized head parameters for `kind` into a
+/// parameter set (names are prefixed `head.`).
+pub fn init_head(kind: TaskKind, hidden: usize, params: &mut ParamSet, rng: &mut impl Rng) {
+    match kind {
+        TaskKind::Nli => {
+            params.insert(
+                "head.classifier",
+                gobo_tensor::rng::xavier_uniform(rng, NLI_CLASSES, hidden),
+            );
+            params.insert("head.classifier.bias", Tensor::zeros(&[NLI_CLASSES]));
+        }
+        TaskKind::Sts => {
+            params.insert("head.regressor", gobo_tensor::rng::xavier_uniform(rng, 1, hidden));
+            params.insert("head.regressor.bias", Tensor::zeros(&[1]));
+        }
+        TaskKind::Span => {
+            params.insert("head.span_start", gobo_tensor::rng::xavier_uniform(rng, 1, hidden));
+            params.insert("head.span_start.bias", Tensor::zeros(&[1]));
+            params.insert("head.span_end", gobo_tensor::rng::xavier_uniform(rng, 1, hidden));
+            params.insert("head.span_end.bias", Tensor::zeros(&[1]));
+        }
+    }
+}
+
+/// FP32 head weights extracted from a trained parameter set, used by
+/// the inference-side evaluator.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HeadWeights {
+    /// 3-way classifier over the pooled output.
+    Classifier {
+        /// `(classes, hidden)` weight.
+        weight: Tensor,
+        /// `(classes,)` bias.
+        bias: Tensor,
+    },
+    /// Scalar regressor over the pooled output.
+    Regressor {
+        /// `(1, hidden)` weight.
+        weight: Tensor,
+        /// `(1,)` bias.
+        bias: Tensor,
+    },
+    /// Start/end span scorers over the hidden states.
+    Span {
+        /// `(1, hidden)` start scorer.
+        start_weight: Tensor,
+        /// `(1,)` start bias.
+        start_bias: Tensor,
+        /// `(1, hidden)` end scorer.
+        end_weight: Tensor,
+        /// `(1,)` end bias.
+        end_bias: Tensor,
+    },
+}
+
+impl HeadWeights {
+    /// Extracts the head for `kind` from a trained parameter set.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`gobo_train::TrainError::UnknownParameter`] (as
+    /// [`TaskError::Train`]) when the head was never initialized.
+    pub fn extract(kind: TaskKind, params: &ParamSet) -> Result<Self, TaskError> {
+        Ok(match kind {
+            TaskKind::Nli => HeadWeights::Classifier {
+                weight: params.get("head.classifier")?.clone(),
+                bias: params.get("head.classifier.bias")?.clone(),
+            },
+            TaskKind::Sts => HeadWeights::Regressor {
+                weight: params.get("head.regressor")?.clone(),
+                bias: params.get("head.regressor.bias")?.clone(),
+            },
+            TaskKind::Span => HeadWeights::Span {
+                start_weight: params.get("head.span_start")?.clone(),
+                start_bias: params.get("head.span_start.bias")?.clone(),
+                end_weight: params.get("head.span_end")?.clone(),
+                end_bias: params.get("head.span_end.bias")?.clone(),
+            },
+        })
+    }
+
+    /// The task kind this head belongs to.
+    pub fn kind(&self) -> TaskKind {
+        match self {
+            HeadWeights::Classifier { .. } => TaskKind::Nli,
+            HeadWeights::Regressor { .. } => TaskKind::Sts,
+            HeadWeights::Span { .. } => TaskKind::Span,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn init_and_extract_round_trip() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for kind in [TaskKind::Nli, TaskKind::Sts, TaskKind::Span] {
+            let mut p = ParamSet::new();
+            init_head(kind, 16, &mut p, &mut rng);
+            let head = HeadWeights::extract(kind, &p).unwrap();
+            assert_eq!(head.kind(), kind);
+        }
+    }
+
+    #[test]
+    fn classifier_shapes() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut p = ParamSet::new();
+        init_head(TaskKind::Nli, 8, &mut p, &mut rng);
+        assert_eq!(p.get("head.classifier").unwrap().dims(), &[NLI_CLASSES, 8]);
+        assert_eq!(p.get("head.classifier.bias").unwrap().dims(), &[NLI_CLASSES]);
+    }
+
+    #[test]
+    fn extract_missing_head_fails() {
+        let p = ParamSet::new();
+        assert!(HeadWeights::extract(TaskKind::Nli, &p).is_err());
+        assert!(HeadWeights::extract(TaskKind::Span, &p).is_err());
+    }
+}

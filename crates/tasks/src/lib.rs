@@ -1,0 +1,36 @@
+//! Synthetic evaluation tasks standing in for GLUE MNLI, GLUE STS-B and
+//! SQuAD v1.1.
+//!
+//! The paper measures quantization quality as the *accuracy drop* a
+//! quantized model suffers on downstream tasks. We cannot ship GLUE or
+//! SQuAD, so this crate generates synthetic datasets with the same
+//! output structure and a learnable latent rule:
+//!
+//! * [`data::nli`] — 3-way classification over premise/hypothesis token
+//!   pairs built from token "topic clusters" (entail = same cluster,
+//!   contradict = opposite cluster, neutral = unrelated cluster);
+//!   metric: accuracy, like MNLI-m.
+//! * [`data::sts`] — graded pair similarity equal to the cluster-overlap
+//!   ratio; metric: Spearman correlation, like STS-B.
+//! * [`data::span`] — find the contiguous run of the token named by the
+//!   leading "question" token; metric: token-overlap F1, like SQuAD.
+//!
+//! [`trainer`] fine-tunes tiny `gobo-train` encoders with task heads,
+//! [`export`] transfers trained parameters into an inference
+//! [`gobo_model::TransformerModel`] by name, and [`eval`] scores such a
+//! model (quantized or not) on a dataset — the full paper loop.
+
+#![deny(missing_docs)]
+
+pub mod data;
+pub mod error;
+pub mod eval;
+pub mod export;
+pub mod heads;
+pub mod metrics;
+pub mod trainer;
+
+pub use data::{Example, Label, TaskKind};
+pub use error::TaskError;
+pub use eval::{evaluate, TaskScore};
+pub use trainer::{train, TrainedModel, TrainerOptions};

@@ -1,0 +1,124 @@
+//! Embedding-table row gathering.
+
+use crate::error::TensorError;
+use crate::tensor::Tensor;
+
+/// Gathers rows of an embedding table by token id.
+///
+/// `table` must be rank 2 (`vocab × dim`); the result is
+/// `(ids.len(), dim)`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::RankMismatch`] unless the table is rank 2 and
+/// [`TensorError::IndexOutOfBounds`] when any id exceeds the vocabulary.
+///
+/// # Example
+///
+/// ```
+/// use gobo_tensor::{embed::gather_rows, Tensor};
+/// let table = Tensor::from_vec(vec![0.0, 0.0, 1.0, 1.0, 2.0, 2.0], &[3, 2])?;
+/// let looked_up = gather_rows(&table, &[2, 0])?;
+/// assert_eq!(looked_up.as_slice(), &[2.0, 2.0, 0.0, 0.0]);
+/// # Ok::<(), gobo_tensor::TensorError>(())
+/// ```
+pub fn gather_rows(table: &Tensor, ids: &[usize]) -> Result<Tensor, TensorError> {
+    if table.shape().rank() != 2 {
+        return Err(TensorError::RankMismatch {
+            op: "gather_rows",
+            expected: 2,
+            got: table.shape().rank(),
+        });
+    }
+    let (vocab, dim) = (table.dims()[0], table.dims()[1]);
+    let mut data = Vec::with_capacity(ids.len() * dim);
+    let src = table.as_slice();
+    for &id in ids {
+        if id >= vocab {
+            return Err(TensorError::IndexOutOfBounds { index: id, len: vocab });
+        }
+        data.extend_from_slice(&src[id * dim..(id + 1) * dim]);
+    }
+    Tensor::from_vec(data, &[ids.len(), dim])
+}
+
+/// Accumulates `grad`'s rows back into per-table-row gradients
+/// (the adjoint of [`gather_rows`]). Rows addressed multiple times sum.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] unless `grad` has one row per
+/// id, and [`TensorError::IndexOutOfBounds`] when any id exceeds `vocab`.
+pub fn scatter_add_rows(
+    grad: &Tensor,
+    ids: &[usize],
+    vocab: usize,
+) -> Result<Tensor, TensorError> {
+    let (rows, dim) = grad.shape().as_matrix()?;
+    if rows != ids.len() {
+        return Err(TensorError::ShapeMismatch {
+            op: "scatter_add_rows",
+            lhs: grad.dims().to_vec(),
+            rhs: vec![ids.len()],
+        });
+    }
+    let mut out = Tensor::zeros(&[vocab, dim]);
+    let dst = out.as_mut_slice();
+    let src = grad.as_slice();
+    for (r, &id) in ids.iter().enumerate() {
+        if id >= vocab {
+            return Err(TensorError::IndexOutOfBounds { index: id, len: vocab });
+        }
+        for c in 0..dim {
+            dst[id * dim + c] += src[r * dim + c];
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gather_selects_rows_in_order() {
+        let table = Tensor::from_vec((0..6).map(|v| v as f32).collect(), &[3, 2]).unwrap();
+        let out = gather_rows(&table, &[1, 1, 0]).unwrap();
+        assert_eq!(out.dims(), &[3, 2]);
+        assert_eq!(out.as_slice(), &[2.0, 3.0, 2.0, 3.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn gather_rejects_out_of_vocab() {
+        let table = Tensor::zeros(&[3, 2]);
+        assert!(gather_rows(&table, &[3]).is_err());
+    }
+
+    #[test]
+    fn gather_of_empty_ids_is_empty() {
+        let table = Tensor::zeros(&[3, 2]);
+        let out = gather_rows(&table, &[]).unwrap();
+        assert_eq!(out.dims(), &[0, 2]);
+    }
+
+    #[test]
+    fn scatter_add_sums_repeated_rows() {
+        let grad = Tensor::from_vec(vec![1.0, 1.0, 2.0, 2.0], &[2, 2]).unwrap();
+        let out = scatter_add_rows(&grad, &[1, 1], 3).unwrap();
+        assert_eq!(out.row(1).unwrap().as_slice(), &[3.0, 3.0]);
+        assert_eq!(out.row(0).unwrap().sum(), 0.0);
+    }
+
+    #[test]
+    fn scatter_is_adjoint_of_gather() {
+        // <gather(T, ids), G> == <T, scatter(G, ids)> for any G.
+        let table = Tensor::from_vec((0..8).map(|v| v as f32 * 0.3).collect(), &[4, 2]).unwrap();
+        let ids = [2usize, 0, 2];
+        let g = Tensor::from_vec((0..6).map(|v| v as f32 - 2.0).collect(), &[3, 2]).unwrap();
+        let gathered = gather_rows(&table, &ids).unwrap();
+        let scattered = scatter_add_rows(&g, &ids, 4).unwrap();
+        let lhs: f32 = gathered.as_slice().iter().zip(g.as_slice()).map(|(a, b)| a * b).sum();
+        let rhs: f32 = table.as_slice().iter().zip(scattered.as_slice()).map(|(a, b)| a * b).sum();
+        assert!((lhs - rhs).abs() < 1e-4);
+    }
+}

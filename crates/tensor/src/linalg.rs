@@ -1,0 +1,444 @@
+//! Matrix products.
+//!
+//! BERT inference is dominated by `activation × weightᵀ` products, so this
+//! module provides a cache-blocked 2-D matmul, a transposed variant that
+//! avoids materializing `Wᵀ`, and a batched form used by multi-head
+//! attention.
+
+use crate::error::TensorError;
+use crate::tensor::Tensor;
+
+/// Block edge used by the cache-blocked kernels, chosen so three blocks of
+/// `f32` fit comfortably in a typical 32 KiB L1 cache.
+const BLOCK: usize = 48;
+
+impl Tensor {
+    /// Matrix product `self × rhs` of two rank-2 tensors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] unless both operands are rank
+    /// 2, and [`TensorError::ShapeMismatch`] unless the inner dimensions
+    /// agree.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use gobo_tensor::Tensor;
+    /// let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2])?;
+    /// let b = Tensor::from_vec(vec![5.0, 6.0, 7.0, 8.0], &[2, 2])?;
+    /// assert_eq!(a.matmul(&b)?.as_slice(), &[19.0, 22.0, 43.0, 50.0]);
+    /// # Ok::<(), gobo_tensor::TensorError>(())
+    /// ```
+    pub fn matmul(&self, rhs: &Tensor) -> Result<Tensor, TensorError> {
+        let (m, k, n) = check_matmul_dims("matmul", self, rhs, false)?;
+        let mut out = vec![0.0f32; m * n];
+        matmul_blocked(self.as_slice(), rhs.as_slice(), &mut out, m, k, n);
+        Tensor::from_vec(out, &[m, n])
+    }
+
+    /// Matrix product `self × rhsᵀ` without materializing the transpose.
+    ///
+    /// `rhs` has shape `(n, k)`; the result has shape `(m, n)`. This is the
+    /// natural layout for FC layers whose weights are stored as
+    /// `(out_features, in_features)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] unless both operands are rank
+    /// 2, and [`TensorError::ShapeMismatch`] unless both operands share the
+    /// same number of columns.
+    pub fn matmul_nt(&self, rhs: &Tensor) -> Result<Tensor, TensorError> {
+        let (m, k, n) = check_matmul_dims("matmul_nt", self, rhs, true)?;
+        let a = self.as_slice();
+        let b = rhs.as_slice();
+        let mut out = vec![0.0f32; m * n];
+        // Row-times-row dot products are already cache friendly: both
+        // operands stream contiguously.
+        for i in 0..m {
+            let ar = &a[i * k..(i + 1) * k];
+            for j in 0..n {
+                let br = &b[j * k..(j + 1) * k];
+                let mut acc = 0.0f32;
+                for p in 0..k {
+                    acc += ar[p] * br[p];
+                }
+                out[i * n + j] = acc;
+            }
+        }
+        Tensor::from_vec(out, &[m, n])
+    }
+
+    /// Batched matrix product of two rank-3 tensors with equal batch size.
+    ///
+    /// `self` is `(b, m, k)`, `rhs` is `(b, k, n)`; the result is
+    /// `(b, m, n)`. Used for per-head attention score and context products.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] unless both operands are rank
+    /// 3, and [`TensorError::ShapeMismatch`] unless batch and inner
+    /// dimensions agree.
+    pub fn batch_matmul(&self, rhs: &Tensor) -> Result<Tensor, TensorError> {
+        if self.shape().rank() != 3 {
+            return Err(TensorError::RankMismatch {
+                op: "batch_matmul",
+                expected: 3,
+                got: self.shape().rank(),
+            });
+        }
+        if rhs.shape().rank() != 3 {
+            return Err(TensorError::RankMismatch {
+                op: "batch_matmul",
+                expected: 3,
+                got: rhs.shape().rank(),
+            });
+        }
+        let (b, m, k) = (self.dims()[0], self.dims()[1], self.dims()[2]);
+        let (b2, k2, n) = (rhs.dims()[0], rhs.dims()[1], rhs.dims()[2]);
+        if b != b2 || k != k2 {
+            return Err(TensorError::ShapeMismatch {
+                op: "batch_matmul",
+                lhs: self.dims().to_vec(),
+                rhs: rhs.dims().to_vec(),
+            });
+        }
+        let mut out = vec![0.0f32; b * m * n];
+        for batch in 0..b {
+            let a_off = batch * m * k;
+            let b_off = batch * k * n;
+            let o_off = batch * m * n;
+            matmul_blocked(
+                &self.as_slice()[a_off..a_off + m * k],
+                &rhs.as_slice()[b_off..b_off + k * n],
+                &mut out[o_off..o_off + m * n],
+                m,
+                k,
+                n,
+            );
+        }
+        Ok(Tensor::from_vec(out, &[b, m, n]).expect("sized above"))
+    }
+
+    /// Dot product of two rank-1 tensors of equal length.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when the lengths differ.
+    pub fn dot(&self, rhs: &Tensor) -> Result<f32, TensorError> {
+        if self.len() != rhs.len() {
+            return Err(TensorError::ShapeMismatch {
+                op: "dot",
+                lhs: self.dims().to_vec(),
+                rhs: rhs.dims().to_vec(),
+            });
+        }
+        Ok(self.as_slice().iter().zip(rhs.as_slice()).map(|(&a, &b)| a * b).sum())
+    }
+}
+
+fn check_matmul_dims(
+    op: &'static str,
+    lhs: &Tensor,
+    rhs: &Tensor,
+    transposed: bool,
+) -> Result<(usize, usize, usize), TensorError> {
+    if lhs.shape().rank() != 2 {
+        return Err(TensorError::RankMismatch { op, expected: 2, got: lhs.shape().rank() });
+    }
+    if rhs.shape().rank() != 2 {
+        return Err(TensorError::RankMismatch { op, expected: 2, got: rhs.shape().rank() });
+    }
+    let (m, k) = (lhs.dims()[0], lhs.dims()[1]);
+    let (n, inner_ok) = if transposed {
+        (rhs.dims()[0], rhs.dims()[1] == k)
+    } else {
+        (rhs.dims()[1], rhs.dims()[0] == k)
+    };
+    if !inner_ok {
+        return Err(TensorError::ShapeMismatch {
+            op,
+            lhs: lhs.dims().to_vec(),
+            rhs: rhs.dims().to_vec(),
+        });
+    }
+    Ok((m, k, n))
+}
+
+/// Cache-blocked `C += A × B` over contiguous row-major slices.
+///
+/// `out` must be zero-initialized by the caller (the public wrappers do
+/// this); blocking over `k` accumulates partial sums directly into `out`.
+fn matmul_blocked(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(out.len(), m * n);
+    for i0 in (0..m).step_by(BLOCK) {
+        let i1 = (i0 + BLOCK).min(m);
+        for p0 in (0..k).step_by(BLOCK) {
+            let p1 = (p0 + BLOCK).min(k);
+            for j0 in (0..n).step_by(BLOCK) {
+                let j1 = (j0 + BLOCK).min(n);
+                for i in i0..i1 {
+                    for p in p0..p1 {
+                        let av = a[i * k + p];
+                        if av == 0.0 {
+                            continue;
+                        }
+                        let brow = &b[p * n + j0..p * n + j1];
+                        let orow = &mut out[i * n + j0..i * n + j1];
+                        for (o, &bv) in orow.iter_mut().zip(brow) {
+                            *o += av * bv;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Stacks rank-1 tensors into a rank-2 matrix, one tensor per row.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] unless every row has the same
+/// length, and [`TensorError::EmptyDimension`] for an empty input.
+pub fn stack_rows(rows: &[Tensor]) -> Result<Tensor, TensorError> {
+    let first = rows.first().ok_or(TensorError::EmptyDimension { op: "stack_rows" })?;
+    let cols = first.len();
+    let mut data = Vec::with_capacity(rows.len() * cols);
+    for r in rows {
+        if r.len() != cols {
+            return Err(TensorError::ShapeMismatch {
+                op: "stack_rows",
+                lhs: first.dims().to_vec(),
+                rhs: r.dims().to_vec(),
+            });
+        }
+        data.extend_from_slice(r.as_slice());
+    }
+    Ok(Tensor::from_vec(data, &[rows.len(), cols]).expect("sized above"))
+}
+
+/// Splits the columns of a `(rows, heads·head_dim)` matrix into
+/// `(heads, rows, head_dim)`, the layout used by multi-head attention.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] unless the column count is
+/// divisible by `heads`, or a rank error when `x` is not rank 2.
+pub fn split_heads(x: &Tensor, heads: usize) -> Result<Tensor, TensorError> {
+    if x.shape().rank() != 2 {
+        return Err(TensorError::RankMismatch { op: "split_heads", expected: 2, got: x.shape().rank() });
+    }
+    let (rows, cols) = (x.dims()[0], x.dims()[1]);
+    if heads == 0 || cols % heads != 0 {
+        return Err(TensorError::ShapeMismatch {
+            op: "split_heads",
+            lhs: x.dims().to_vec(),
+            rhs: vec![heads],
+        });
+    }
+    let hd = cols / heads;
+    let mut data = vec![0.0f32; rows * cols];
+    let src = x.as_slice();
+    for h in 0..heads {
+        for r in 0..rows {
+            let dst = h * rows * hd + r * hd;
+            let from = r * cols + h * hd;
+            data[dst..dst + hd].copy_from_slice(&src[from..from + hd]);
+        }
+    }
+    Ok(Tensor::from_vec(data, &[heads, rows, hd]).expect("sized above"))
+}
+
+/// Inverse of [`split_heads`]: merges `(heads, rows, head_dim)` back into
+/// `(rows, heads·head_dim)`.
+///
+/// # Errors
+///
+/// Returns a rank error when `x` is not rank 3.
+pub fn merge_heads(x: &Tensor) -> Result<Tensor, TensorError> {
+    if x.shape().rank() != 3 {
+        return Err(TensorError::RankMismatch { op: "merge_heads", expected: 3, got: x.shape().rank() });
+    }
+    let (heads, rows, hd) = (x.dims()[0], x.dims()[1], x.dims()[2]);
+    let cols = heads * hd;
+    let mut data = vec![0.0f32; rows * cols];
+    let src = x.as_slice();
+    for h in 0..heads {
+        for r in 0..rows {
+            let from = h * rows * hd + r * hd;
+            let dst = r * cols + h * hd;
+            data[dst..dst + hd].copy_from_slice(&src[from..from + hd]);
+        }
+    }
+    Ok(Tensor::from_vec(data, &[rows, cols]).expect("sized above"))
+}
+
+/// Transposes the last two axes of a rank-3 tensor: `(b, m, n)` →
+/// `(b, n, m)`. Used to form `Kᵀ` per attention head.
+///
+/// # Errors
+///
+/// Returns a rank error when `x` is not rank 3.
+pub fn transpose_batched(x: &Tensor) -> Result<Tensor, TensorError> {
+    if x.shape().rank() != 3 {
+        return Err(TensorError::RankMismatch {
+            op: "transpose_batched",
+            expected: 3,
+            got: x.shape().rank(),
+        });
+    }
+    let (b, m, n) = (x.dims()[0], x.dims()[1], x.dims()[2]);
+    let mut data = vec![0.0f32; b * m * n];
+    let src = x.as_slice();
+    for batch in 0..b {
+        for i in 0..m {
+            for j in 0..n {
+                data[batch * m * n + j * m + i] = src[batch * m * n + i * n + j];
+            }
+        }
+    }
+    Ok(Tensor::from_vec(data, &[b, n, m]).expect("sized above"))
+}
+
+/// Frobenius (L2) norm of all elements.
+pub fn frobenius_norm(x: &Tensor) -> f32 {
+    x.as_slice().iter().map(|&v| v * v).sum::<f32>().sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(v: Vec<f32>, d: &[usize]) -> Tensor {
+        Tensor::from_vec(v, d).unwrap()
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let a = t(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        let i = Tensor::eye(3);
+        assert_eq!(a.matmul(&i).unwrap(), a);
+    }
+
+    #[test]
+    fn matmul_known_values() {
+        let a = t(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        let b = t(vec![5.0, 6.0, 7.0, 8.0], &[2, 2]);
+        assert_eq!(a.matmul(&b).unwrap().as_slice(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn matmul_rejects_mismatched_inner() {
+        let a = Tensor::zeros(&[2, 3]);
+        let b = Tensor::zeros(&[4, 2]);
+        assert!(a.matmul(&b).is_err());
+    }
+
+    #[test]
+    fn matmul_nt_matches_explicit_transpose() {
+        let a = t((0..12).map(|x| x as f32).collect(), &[3, 4]);
+        let w = t((0..8).map(|x| (x as f32) * 0.5 - 2.0).collect(), &[2, 4]);
+        let via_nt = a.matmul_nt(&w).unwrap();
+        let via_t = a.matmul(&w.transpose().unwrap()).unwrap();
+        assert_eq!(via_nt, via_t);
+    }
+
+    #[test]
+    fn blocked_matmul_matches_naive_on_large_sizes() {
+        // Cross the BLOCK boundary to exercise all block-edge paths.
+        let m = 53;
+        let k = 61;
+        let n = 50;
+        let a: Vec<f32> = (0..m * k).map(|i| ((i * 7919) % 13) as f32 - 6.0).collect();
+        let b: Vec<f32> = (0..k * n).map(|i| ((i * 104729) % 11) as f32 - 5.0).collect();
+        let ta = t(a.clone(), &[m, k]);
+        let tb = t(b.clone(), &[k, n]);
+        let fast = ta.matmul(&tb).unwrap();
+        // Naive reference.
+        let mut naive = vec![0.0f32; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0;
+                for p in 0..k {
+                    acc += a[i * k + p] * b[p * n + j];
+                }
+                naive[i * n + j] = acc;
+            }
+        }
+        for (x, y) in fast.as_slice().iter().zip(&naive) {
+            assert!((x - y).abs() < 1e-3, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn batch_matmul_per_batch() {
+        let a = t(vec![1.0, 0.0, 0.0, 1.0, 2.0, 0.0, 0.0, 2.0], &[2, 2, 2]);
+        let b = t(vec![1.0, 2.0, 3.0, 4.0, 1.0, 2.0, 3.0, 4.0], &[2, 2, 2]);
+        let c = a.batch_matmul(&b).unwrap();
+        assert_eq!(c.dims(), &[2, 2, 2]);
+        assert_eq!(&c.as_slice()[..4], &[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(&c.as_slice()[4..], &[2.0, 4.0, 6.0, 8.0]);
+    }
+
+    #[test]
+    fn batch_matmul_rejects_mismatched_batch() {
+        let a = Tensor::zeros(&[2, 2, 2]);
+        let b = Tensor::zeros(&[3, 2, 2]);
+        assert!(a.batch_matmul(&b).is_err());
+    }
+
+    #[test]
+    fn dot_product() {
+        let a = t(vec![1.0, 2.0, 3.0], &[3]);
+        let b = t(vec![4.0, 5.0, 6.0], &[3]);
+        assert_eq!(a.dot(&b).unwrap(), 32.0);
+        assert!(a.dot(&Tensor::zeros(&[2])).is_err());
+    }
+
+    #[test]
+    fn stack_rows_builds_matrix() {
+        let rows = vec![t(vec![1.0, 2.0], &[2]), t(vec![3.0, 4.0], &[2])];
+        let m = stack_rows(&rows).unwrap();
+        assert_eq!(m.dims(), &[2, 2]);
+        assert_eq!(m.as_slice(), &[1.0, 2.0, 3.0, 4.0]);
+        assert!(stack_rows(&[]).is_err());
+        let ragged = vec![t(vec![1.0], &[1]), t(vec![1.0, 2.0], &[2])];
+        assert!(stack_rows(&ragged).is_err());
+    }
+
+    #[test]
+    fn split_and_merge_heads_round_trip() {
+        let x = t((0..24).map(|v| v as f32).collect(), &[3, 8]);
+        let split = split_heads(&x, 2).unwrap();
+        assert_eq!(split.dims(), &[2, 3, 4]);
+        // Head 0 of row 0 is the first 4 columns.
+        assert_eq!(&split.as_slice()[..4], &[0.0, 1.0, 2.0, 3.0]);
+        let merged = merge_heads(&split).unwrap();
+        assert_eq!(merged, x);
+    }
+
+    #[test]
+    fn split_heads_rejects_indivisible() {
+        let x = Tensor::zeros(&[2, 7]);
+        assert!(split_heads(&x, 2).is_err());
+        assert!(split_heads(&x, 0).is_err());
+    }
+
+    #[test]
+    fn transpose_batched_swaps_last_axes() {
+        let x = t((0..12).map(|v| v as f32).collect(), &[2, 2, 3]);
+        let tx = transpose_batched(&x).unwrap();
+        assert_eq!(tx.dims(), &[2, 3, 2]);
+        assert_eq!(tx.get(&[0, 2, 1]).unwrap(), x.get(&[0, 1, 2]).unwrap());
+        assert_eq!(tx.get(&[1, 0, 1]).unwrap(), x.get(&[1, 1, 0]).unwrap());
+    }
+
+    #[test]
+    fn frobenius_norm_known() {
+        let x = t(vec![3.0, 4.0], &[2]);
+        assert!((frobenius_norm(&x) - 5.0).abs() < 1e-6);
+    }
+}

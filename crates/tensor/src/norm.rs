@@ -1,0 +1,145 @@
+//! Layer normalization.
+//!
+//! Every BERT sub-block ends in a LayerNorm; GOBO leaves these FP32 (as do
+//! Q8BERT and Q-BERT), but the forward pass still needs them.
+
+use crate::error::TensorError;
+use crate::tensor::Tensor;
+
+/// Default epsilon used by the BERT reference implementation.
+pub const LAYER_NORM_EPS: f32 = 1e-12;
+
+impl Tensor {
+    /// Layer normalization along the last axis with learned `gamma`
+    /// (scale) and `beta` (shift).
+    ///
+    /// Each row is normalized to zero mean and unit variance, then scaled
+    /// and shifted: `y = gamma · (x - mean) / sqrt(var + eps) + beta`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] unless `gamma` and `beta`
+    /// both have as many elements as the last axis, and
+    /// [`TensorError::EmptyDimension`] for empty rows.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use gobo_tensor::Tensor;
+    /// let x = Tensor::from_vec(vec![1.0, 3.0], &[1, 2])?;
+    /// let gamma = Tensor::ones(&[2]);
+    /// let beta = Tensor::zeros(&[2]);
+    /// let y = x.layer_norm(&gamma, &beta, 1e-12)?;
+    /// assert!((y.as_slice()[0] + 1.0).abs() < 1e-3);
+    /// assert!((y.as_slice()[1] - 1.0).abs() < 1e-3);
+    /// # Ok::<(), gobo_tensor::TensorError>(())
+    /// ```
+    pub fn layer_norm(&self, gamma: &Tensor, beta: &Tensor, eps: f32) -> Result<Tensor, TensorError> {
+        let (rows, cols) = self.shape().as_matrix()?;
+        if cols == 0 {
+            return Err(TensorError::EmptyDimension { op: "layer_norm" });
+        }
+        if gamma.len() != cols || beta.len() != cols {
+            return Err(TensorError::ShapeMismatch {
+                op: "layer_norm",
+                lhs: self.dims().to_vec(),
+                rhs: vec![gamma.len(), beta.len()],
+            });
+        }
+        let mut out = self.clone();
+        let data = out.as_mut_slice();
+        let g = gamma.as_slice();
+        let b = beta.as_slice();
+        for r in 0..rows {
+            let row = &mut data[r * cols..(r + 1) * cols];
+            let mean = row.iter().sum::<f32>() / cols as f32;
+            let var = row.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / cols as f32;
+            let inv = 1.0 / (var + eps).sqrt();
+            for (c, v) in row.iter_mut().enumerate() {
+                *v = g[c] * (*v - mean) * inv + b[c];
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Statistics of one layer-norm row, exposed for backpropagation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RowMoments {
+    /// Row mean.
+    pub mean: f32,
+    /// Row variance (population, i.e. divided by `n`).
+    pub var: f32,
+}
+
+/// Computes per-row mean and variance of a matrix-like tensor.
+///
+/// # Errors
+///
+/// Returns [`TensorError::EmptyDimension`] for empty rows, or a rank error
+/// for rank-0 tensors.
+pub fn row_moments(x: &Tensor) -> Result<Vec<RowMoments>, TensorError> {
+    let (rows, cols) = x.shape().as_matrix()?;
+    if cols == 0 {
+        return Err(TensorError::EmptyDimension { op: "row_moments" });
+    }
+    let data = x.as_slice();
+    let mut out = Vec::with_capacity(rows);
+    for r in 0..rows {
+        let row = &data[r * cols..(r + 1) * cols];
+        let mean = row.iter().sum::<f32>() / cols as f32;
+        let var = row.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / cols as f32;
+        out.push(RowMoments { mean, var });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalized_rows_have_zero_mean_unit_var() {
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 10.0, 20.0, 30.0, 40.0], &[2, 4]).unwrap();
+        let y = x
+            .layer_norm(&Tensor::ones(&[4]), &Tensor::zeros(&[4]), LAYER_NORM_EPS)
+            .unwrap();
+        for m in row_moments(&y).unwrap() {
+            assert!(m.mean.abs() < 1e-5);
+            assert!((m.var - 1.0).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn gamma_beta_scale_and_shift() {
+        let x = Tensor::from_vec(vec![1.0, 3.0], &[1, 2]).unwrap();
+        let gamma = Tensor::full(&[2], 2.0);
+        let beta = Tensor::full(&[2], 1.0);
+        let y = x.layer_norm(&gamma, &beta, LAYER_NORM_EPS).unwrap();
+        // Normalized values are [-1, 1]; scaled/shifted: [-1, 3].
+        assert!((y.as_slice()[0] + 1.0).abs() < 1e-3);
+        assert!((y.as_slice()[1] - 3.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn constant_rows_stay_finite() {
+        let x = Tensor::full(&[1, 8], 7.0);
+        let y = x.layer_norm(&Tensor::ones(&[8]), &Tensor::zeros(&[8]), LAYER_NORM_EPS).unwrap();
+        assert!(y.all_finite());
+        assert!(y.as_slice().iter().all(|v| v.abs() < 1e-3));
+    }
+
+    #[test]
+    fn mismatched_gamma_rejected() {
+        let x = Tensor::zeros(&[2, 4]);
+        assert!(x.layer_norm(&Tensor::ones(&[3]), &Tensor::zeros(&[4]), 1e-12).is_err());
+    }
+
+    #[test]
+    fn row_moments_known_values() {
+        let x = Tensor::from_vec(vec![1.0, 3.0], &[1, 2]).unwrap();
+        let m = row_moments(&x).unwrap();
+        assert_eq!(m[0].mean, 2.0);
+        assert_eq!(m[0].var, 1.0);
+    }
+}

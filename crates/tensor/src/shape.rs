@@ -1,0 +1,204 @@
+//! Shape bookkeeping for row-major tensors.
+
+use crate::error::TensorError;
+
+/// The extents of a row-major tensor.
+///
+/// A `Shape` is an ordered list of dimension sizes. The last dimension is
+/// contiguous in memory. Rank-0 (scalar) shapes are permitted and have one
+/// element.
+///
+/// # Example
+///
+/// ```
+/// use gobo_tensor::Shape;
+///
+/// let s = Shape::new(&[2, 3, 4]);
+/// assert_eq!(s.len(), 24);
+/// assert_eq!(s.rank(), 3);
+/// assert_eq!(s.strides(), vec![12, 4, 1]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct Shape {
+    dims: Vec<usize>,
+}
+
+impl Shape {
+    /// Creates a shape from a slice of dimension sizes.
+    pub fn new(dims: &[usize]) -> Self {
+        Shape { dims: dims.to_vec() }
+    }
+
+    /// Creates the rank-0 (scalar) shape.
+    pub fn scalar() -> Self {
+        Shape { dims: Vec::new() }
+    }
+
+    /// The dimension sizes.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Number of dimensions.
+    pub fn rank(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Total number of elements (product of all dimensions; 1 for scalars).
+    pub fn len(&self) -> usize {
+        self.dims.iter().product()
+    }
+
+    /// Returns `true` when the shape holds zero elements.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Size of dimension `axis`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::IndexOutOfBounds`] when `axis >= rank`.
+    pub fn dim(&self, axis: usize) -> Result<usize, TensorError> {
+        self.dims
+            .get(axis)
+            .copied()
+            .ok_or(TensorError::IndexOutOfBounds { index: axis, len: self.dims.len() })
+    }
+
+    /// Row-major strides, in elements.
+    pub fn strides(&self) -> Vec<usize> {
+        let mut strides = vec![1usize; self.dims.len()];
+        for i in (0..self.dims.len().saturating_sub(1)).rev() {
+            strides[i] = strides[i + 1] * self.dims[i + 1];
+        }
+        strides
+    }
+
+    /// Linear offset of a multi-dimensional index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] if `index.len() != rank` and
+    /// [`TensorError::IndexOutOfBounds`] if any coordinate exceeds its
+    /// dimension.
+    pub fn offset(&self, index: &[usize]) -> Result<usize, TensorError> {
+        if index.len() != self.dims.len() {
+            return Err(TensorError::RankMismatch {
+                op: "offset",
+                expected: self.dims.len(),
+                got: index.len(),
+            });
+        }
+        let mut off = 0usize;
+        let strides = self.strides();
+        for (axis, (&i, &d)) in index.iter().zip(&self.dims).enumerate() {
+            if i >= d {
+                return Err(TensorError::IndexOutOfBounds { index: i, len: d });
+            }
+            off += i * strides[axis];
+        }
+        Ok(off)
+    }
+
+    /// Interprets the shape as a 2-D `(rows, cols)` matrix.
+    ///
+    /// Rank-1 shapes are treated as a single row; higher ranks collapse all
+    /// leading dimensions into rows and keep the last dimension as columns.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] for rank-0 shapes.
+    pub fn as_matrix(&self) -> Result<(usize, usize), TensorError> {
+        match self.dims.len() {
+            0 => Err(TensorError::RankMismatch { op: "as_matrix", expected: 2, got: 0 }),
+            1 => Ok((1, self.dims[0])),
+            _ => {
+                let cols = *self.dims.last().expect("non-empty dims");
+                let rows = self.dims[..self.dims.len() - 1].iter().product();
+                Ok((rows, cols))
+            }
+        }
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(dims: &[usize]) -> Self {
+        Shape::new(dims)
+    }
+}
+
+impl From<Vec<usize>> for Shape {
+    fn from(dims: Vec<usize>) -> Self {
+        Shape { dims }
+    }
+}
+
+impl std::fmt::Display for Shape {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:?}", self.dims)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_has_one_element() {
+        let s = Shape::scalar();
+        assert_eq!(s.rank(), 0);
+        assert_eq!(s.len(), 1);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn strides_are_row_major() {
+        let s = Shape::new(&[2, 3, 4]);
+        assert_eq!(s.strides(), vec![12, 4, 1]);
+    }
+
+    #[test]
+    fn offset_walks_row_major_order() {
+        let s = Shape::new(&[2, 3]);
+        let mut seen = Vec::new();
+        for r in 0..2 {
+            for c in 0..3 {
+                seen.push(s.offset(&[r, c]).unwrap());
+            }
+        }
+        assert_eq!(seen, (0..6).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn offset_rejects_bad_rank_and_bounds() {
+        let s = Shape::new(&[2, 3]);
+        assert!(matches!(s.offset(&[1]), Err(TensorError::RankMismatch { .. })));
+        assert!(matches!(
+            s.offset(&[2, 0]),
+            Err(TensorError::IndexOutOfBounds { index: 2, len: 2 })
+        ));
+    }
+
+    #[test]
+    fn as_matrix_collapses_leading_dims() {
+        assert_eq!(Shape::new(&[5]).as_matrix().unwrap(), (1, 5));
+        assert_eq!(Shape::new(&[2, 5]).as_matrix().unwrap(), (2, 5));
+        assert_eq!(Shape::new(&[2, 3, 5]).as_matrix().unwrap(), (6, 5));
+        assert!(Shape::scalar().as_matrix().is_err());
+    }
+
+    #[test]
+    fn zero_extent_dimension_is_empty() {
+        let s = Shape::new(&[2, 0, 3]);
+        assert_eq!(s.len(), 0);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn dim_accessor_checks_bounds() {
+        let s = Shape::new(&[7, 9]);
+        assert_eq!(s.dim(1).unwrap(), 9);
+        assert!(s.dim(2).is_err());
+    }
+}

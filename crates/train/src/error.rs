@@ -1,0 +1,102 @@
+//! Error type for the training substrate.
+
+use std::fmt;
+
+use gobo_tensor::TensorError;
+
+/// Error returned by fallible training operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TrainError {
+    /// A tensor operation failed (shape mismatch etc.).
+    Tensor(TensorError),
+    /// A variable id did not belong to this graph.
+    UnknownVar {
+        /// The offending id's index.
+        index: usize,
+    },
+    /// Backward was asked to start from a non-scalar variable.
+    NonScalarLoss {
+        /// The loss variable's element count.
+        elements: usize,
+    },
+    /// Class/target indices disagreed with the logits' shape.
+    TargetMismatch {
+        /// Number of logit rows.
+        rows: usize,
+        /// Number of targets supplied.
+        targets: usize,
+    },
+    /// A class index was out of range for the logits' width.
+    ClassOutOfRange {
+        /// The offending class index.
+        class: usize,
+        /// Number of classes.
+        classes: usize,
+    },
+    /// A hyper-parameter was outside its valid domain.
+    InvalidHyperparameter {
+        /// The offending parameter's name.
+        name: &'static str,
+    },
+    /// A named parameter was missing from a [`crate::ParamSet`].
+    UnknownParameter {
+        /// The requested name.
+        name: String,
+    },
+}
+
+impl fmt::Display for TrainError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrainError::Tensor(e) => write!(f, "tensor failure: {e}"),
+            TrainError::UnknownVar { index } => write!(f, "unknown variable id {index}"),
+            TrainError::NonScalarLoss { elements } => {
+                write!(f, "backward requires a scalar loss, got {elements} elements")
+            }
+            TrainError::TargetMismatch { rows, targets } => {
+                write!(f, "{targets} targets for {rows} logit rows")
+            }
+            TrainError::ClassOutOfRange { class, classes } => {
+                write!(f, "class {class} out of range for {classes} classes")
+            }
+            TrainError::InvalidHyperparameter { name } => {
+                write!(f, "hyper-parameter `{name}` outside valid domain")
+            }
+            TrainError::UnknownParameter { name } => write!(f, "unknown parameter `{name}`"),
+        }
+    }
+}
+
+impl std::error::Error for TrainError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TrainError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TensorError> for TrainError {
+    fn from(e: TensorError) -> Self {
+        TrainError::Tensor(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(TrainError::NonScalarLoss { elements: 4 }.to_string().contains('4'));
+        assert!(TrainError::UnknownParameter { name: "w".into() }.to_string().contains('w'));
+        assert!(TrainError::ClassOutOfRange { class: 5, classes: 3 }.to_string().contains('5'));
+    }
+
+    #[test]
+    fn tensor_error_converts() {
+        use std::error::Error;
+        let e: TrainError = TensorError::EmptyDimension { op: "softmax" }.into();
+        assert!(e.source().is_some());
+    }
+}

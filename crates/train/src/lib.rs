@@ -1,0 +1,46 @@
+//! Minimal training substrate: tape-based reverse-mode autograd plus
+//! Adam, sufficient to train the tiny BERT-style encoders used by the
+//! accuracy experiments.
+//!
+//! GOBO itself never trains — its whole point is post-training
+//! quantization. Training only exists in this reproduction because we
+//! cannot ship the fine-tuned checkpoints the paper starts from, so we
+//! produce task-performing models in-repo (see `gobo-tasks`) and then
+//! quantize them.
+//!
+//! The engine is a classic tape: [`tape::Graph`] records every forward
+//! op on append-only nodes, and [`tape::Graph::backward`] walks the
+//! tape in reverse accumulating gradients. Supported ops are exactly
+//! what a BERT encoder needs (matmul against transposed weights, bias
+//! add, LayerNorm, softmax, GELU/tanh, embedding gather, residual add,
+//! head split/merge, batched matmul) plus cross-entropy and MSE losses.
+//!
+//! # Example
+//!
+//! ```
+//! use gobo_tensor::Tensor;
+//! use gobo_train::tape::Graph;
+//!
+//! let mut g = Graph::new();
+//! let w = g.parameter(Tensor::from_vec(vec![1.0, -1.0], &[1, 2])?);
+//! let x = g.constant(Tensor::from_vec(vec![3.0, 4.0], &[1, 2])?);
+//! let y = g.matmul_nt(x, w)?; // (1,1): 3·1 + 4·(−1) = −1
+//! let loss = g.mean(y)?;
+//! let grads = g.backward(loss)?;
+//! let gw = grads.get(w).expect("parameter gradient");
+//! assert_eq!(gw.as_slice(), &[3.0, 4.0]);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod error;
+pub mod layers;
+pub mod optim;
+pub mod params;
+pub mod tape;
+
+pub use error::TrainError;
+pub use optim::Adam;
+pub use params::ParamSet;
+pub use tape::{Graph, VarId};

@@ -1,0 +1,119 @@
+//! Property tests for the autograd engine: linearity, determinism, and
+//! optimizer invariants that hold for arbitrary small graphs.
+
+use gobo_tensor::Tensor;
+use gobo_train::{Adam, Graph, ParamSet};
+use proptest::prelude::*;
+
+fn small_tensor(len: usize) -> impl Strategy<Value = Vec<f32>> {
+    proptest::collection::vec((-2.0f32..2.0).prop_map(|v| (v * 128.0).round() / 128.0), len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn gradient_of_scaled_loss_scales(vals in small_tensor(6), s in 0.25f32..4.0) {
+        // d(s·f)/dw = s · df/dw.
+        let grad_of = |scale: f32| -> Vec<f32> {
+            let mut g = Graph::new();
+            let w = g.parameter(Tensor::from_vec(vals.clone(), &[2, 3]).unwrap());
+            let y = g.gelu(w);
+            let y = g.scale(y, scale);
+            let loss = g.mean(y).unwrap();
+            let grads = g.backward(loss).unwrap();
+            grads.get(w).unwrap().as_slice().to_vec()
+        };
+        let base = grad_of(1.0);
+        let scaled = grad_of(s);
+        for (a, b) in base.iter().zip(&scaled) {
+            prop_assert!((a * s - b).abs() < 1e-4 + b.abs() * 1e-4, "{a}*{s} vs {b}");
+        }
+    }
+
+    #[test]
+    fn gradients_are_deterministic(vals in small_tensor(8)) {
+        let run = || -> Vec<f32> {
+            let mut g = Graph::new();
+            let w = g.parameter(Tensor::from_vec(vals.clone(), &[2, 4]).unwrap());
+            let t = g.tanh(w);
+            let sq = g.mul(t, t).unwrap();
+            let loss = g.mean(sq).unwrap();
+            let grads = g.backward(loss).unwrap();
+            grads.get(w).unwrap().as_slice().to_vec()
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn sum_rule_holds(vals in small_tensor(4)) {
+        // grad(mean(f) + mean(g)) == grad(mean(f)) + grad(mean(g)).
+        let tensor = Tensor::from_vec(vals.clone(), &[4]).unwrap();
+        let separate = {
+            let mut g = Graph::new();
+            let w = g.parameter(tensor.clone());
+            let a = g.gelu(w);
+            let la = g.mean(a).unwrap();
+            let grads_a = g.backward(la).unwrap();
+            let ga = grads_a.get(w).unwrap().clone();
+            let mut g2 = Graph::new();
+            let w2 = g2.parameter(tensor.clone());
+            let b = g2.tanh(w2);
+            let lb = g2.mean(b).unwrap();
+            let grads_b = g2.backward(lb).unwrap();
+            ga.add(grads_b.get(w2).unwrap()).unwrap()
+        };
+        let joint = {
+            let mut g = Graph::new();
+            let w = g.parameter(tensor);
+            let a = g.gelu(w);
+            let b = g.tanh(w);
+            let la = g.mean(a).unwrap();
+            let lb = g.mean(b).unwrap();
+            let sum = g.add(la, lb).unwrap();
+            let grads = g.backward(sum).unwrap();
+            grads.get(w).unwrap().clone()
+        };
+        for (a, b) in separate.as_slice().iter().zip(joint.as_slice()) {
+            prop_assert!((a - b).abs() < 1e-5, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn adam_steps_shrink_quadratic_loss(start in small_tensor(3), lr_mul in 1u32..5) {
+        let lr = 0.01 * lr_mul as f32;
+        let mut params = ParamSet::new();
+        params.insert("w", Tensor::from_vec(start.clone(), &[3]).unwrap());
+        let mut adam = Adam::new(lr).unwrap();
+        let loss_of = |p: &ParamSet| -> f32 {
+            p.get("w").unwrap().as_slice().iter().map(|v| v * v).sum()
+        };
+        let initial = loss_of(&params);
+        for _ in 0..200 {
+            let w = params.get("w").unwrap().clone();
+            let grad = w.scale(2.0);
+            adam.step(&mut params, [("w", &grad)].into_iter()).unwrap();
+        }
+        let final_loss = loss_of(&params);
+        prop_assert!(final_loss <= initial + 1e-6, "{initial} -> {final_loss}");
+        // With 200 steps the quadratic must be substantially reduced
+        // unless it started at ~0.
+        if initial > 0.1 {
+            prop_assert!(final_loss < initial * 0.5, "{initial} -> {final_loss}");
+        }
+    }
+
+    #[test]
+    fn cross_entropy_gradient_rows_sum_to_zero(logits in small_tensor(6)) {
+        // Softmax-minus-onehot rows each sum to zero.
+        let mut g = Graph::new();
+        let w = g.parameter(Tensor::from_vec(logits, &[2, 3]).unwrap());
+        let loss = g.cross_entropy(w, &[0, 2]).unwrap();
+        let grads = g.backward(loss).unwrap();
+        let dw = grads.get(w).unwrap();
+        for r in 0..2 {
+            let s: f32 = dw.as_slice()[r * 3..(r + 1) * 3].iter().sum();
+            prop_assert!(s.abs() < 1e-5, "row {r} sums to {s}");
+        }
+    }
+}

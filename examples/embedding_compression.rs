@@ -1,0 +1,58 @@
+//! Table VII + Figure 4 in miniature: quantize embedding tables and
+//! watch size and accuracy.
+//!
+//! Run with
+//! `cargo run --release -p gobo-examples --bin embedding_compression`
+//! (add `-- --full` for full-scale geometry, which quantizes the real
+//! 30k×768 word table and takes a minute).
+
+use gobo::analytic::{embedding_compression, scaled_config};
+use gobo::experiments::ExperimentOptions;
+use gobo::pipeline::QuantizeOptions;
+use gobo::zoo::{train_zoo_model, PaperModel, ZooScale};
+use gobo_tasks::TaskKind;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let full = std::env::args().any(|a| a == "--full");
+    let options = if full { ExperimentOptions::full() } else { ExperimentOptions::smoke() };
+
+    // --- Size side (Table VII) -------------------------------------------
+    println!("embedding-table compression (synthetic, {} geometry):",
+        if full { "full-scale" } else { "1/16-scale" });
+    println!("{:<16} {:>12} {:>12} {:>7} {:>12} {:>7}", "Model", "FP32 KB", "3-bit KB", "CR", "4-bit KB", "CR");
+    for model in PaperModel::all() {
+        let config = scaled_config(&model.config(), options.geometry_divisor)?;
+        let r3 = embedding_compression(&config, 3, options.seed)?;
+        let r4 = embedding_compression(&config, 4, options.seed)?;
+        println!(
+            "{:<16} {:>12.1} {:>12.1} {:>6.2}x {:>12.1} {:>6.2}x",
+            model.name(),
+            r3.original_bytes() as f64 / 1024.0,
+            r3.compressed_bytes() as f64 / 1024.0,
+            r3.compression_ratio(),
+            r4.compressed_bytes() as f64 / 1024.0,
+            r4.compression_ratio(),
+        );
+    }
+
+    // --- Accuracy side (Figure 4, one model) ------------------------------
+    let scale = if full { ZooScale::Full } else { ZooScale::Smoke };
+    println!("\ntraining BERT-Base stand-in for the accuracy side ({scale:?})...");
+    let zoo = train_zoo_model(PaperModel::BertBase, TaskKind::Nli, scale)?;
+    println!("baseline accuracy: {:.2}%", zoo.baseline.value * 100.0);
+    for (label, opts) in [
+        ("FP32 weights + 3-bit embeddings", QuantizeOptions::gobo(3)?.with_embedding_bits(3)?.embeddings_only()),
+        ("FP32 weights + 4-bit embeddings", QuantizeOptions::gobo(3)?.with_embedding_bits(4)?.embeddings_only()),
+        ("3-bit GOBO + 3-bit embeddings ", QuantizeOptions::gobo(3)?.with_embedding_bits(3)?),
+        ("3-bit GOBO + 4-bit embeddings ", QuantizeOptions::gobo(3)?.with_embedding_bits(4)?),
+    ] {
+        let (score, report) = zoo.quantized_score(&opts)?;
+        println!(
+            "{label}: {:.2}% (Δ {:+.2}), compressed part ratio {:.2}x",
+            score.value * 100.0,
+            (score.value - zoo.baseline.value) * 100.0,
+            report.compression_ratio(),
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,49 @@
+//! The title claims, quantified: off-chip traffic, energy, and
+//! bandwidth-bound latency per inference before and after GOBO.
+//!
+//! Run with `cargo run --release -p gobo-examples --bin memory_traffic`.
+
+use gobo_memsim::{EnergyModel, InferenceTraffic};
+use gobo_model::config::ModelConfig;
+use gobo_model::footprint::Footprint;
+
+fn main() {
+    let energy = EnergyModel::default();
+    println!(
+        "technology: DRAM {} pJ/B, SRAM {} pJ/B ({}x cheaper on-chip), {} GB/s",
+        energy.dram_pj_per_byte,
+        energy.sram_pj_per_byte,
+        energy.offchip_cost_ratio(),
+        energy.dram_bytes_per_sec / 1e9,
+    );
+    println!(
+        "\n{:<14} {:>9} {:>11} {:>11} {:>10} {:>10} {:>9} {:>9}",
+        "Model", "CR", "FP32 MB", "GOBO MB", "FP32 ms", "GOBO ms", "FP32 mJ", "GOBO mJ"
+    );
+    // 9.8x is the measured whole-weight GOBO 3-bit ratio (see
+    // EXPERIMENTS.md); rerun `regen-tables --table energy` to derive it
+    // from synthetic weights instead of using the constant.
+    let ratio = 9.8;
+    for config in [
+        ModelConfig::distilbert(),
+        ModelConfig::bert_base(),
+        ModelConfig::roberta_base(),
+        ModelConfig::bert_large(),
+        ModelConfig::roberta_large(),
+    ] {
+        let fp32 = InferenceTraffic::fp32(&Footprint::of(&config, 128));
+        let gobo = fp32.with_weight_compression(ratio);
+        println!(
+            "{:<14} {:>8.2}x {:>11.1} {:>11.1} {:>10.2} {:>10.2} {:>9.2} {:>9.2}",
+            config.name,
+            ratio,
+            fp32.total_bytes() / 1e6,
+            gobo.total_bytes() / 1e6,
+            energy.latency_ms(&fp32),
+            energy.latency_ms(&gobo),
+            energy.energy(&fp32) / 1e3,
+            energy.energy(&gobo) / 1e3,
+        );
+    }
+    println!("\nweights dominate FP32 traffic; compressing them ~10x cuts both columns ~7-9x.");
+}

@@ -1,0 +1,35 @@
+//! The paper's full loop on the MNLI-like task: fine-tune a tiny BERT
+//! stand-in, then quantize it post-training with GOBO, K-Means, and
+//! linear quantization at several bit widths, and report the accuracy
+//! deltas (a miniature of the paper's Table IV).
+//!
+//! Run with `cargo run --release -p gobo-examples --bin mnli_pipeline`
+//! (add `-- --full` for the reference training budget).
+
+use gobo::experiments::table4::sweep_one;
+use gobo::zoo::{train_zoo_model, PaperModel, ZooScale};
+use gobo_tasks::TaskKind;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let full = std::env::args().any(|a| a == "--full");
+    let scale = if full { ZooScale::Full } else { ZooScale::Smoke };
+    println!("training BERT-Base stand-in on the MNLI-like task ({scale:?})...");
+    let zoo = train_zoo_model(PaperModel::BertBase, TaskKind::Nli, scale)?;
+    println!(
+        "baseline {}: {:.2}%",
+        zoo.baseline.metric,
+        zoo.baseline.value * 100.0
+    );
+
+    let sweep = sweep_one(&zoo)?;
+    println!("\n{:>4} {:>18} {:>18} {:>18} {:>9}", "Bits", "Linear", "K-Means", "GOBO", "Pot. CR");
+    for row in &sweep.rows {
+        print!("{:>4}", row.bits);
+        for cell in &row.cells {
+            print!(" {:>10.2}% ({:+.2})", cell.score * 100.0, -cell.error * 100.0);
+        }
+        println!(" {:>8.2}x", row.potential_ratio);
+    }
+    println!("\n(parenthesized values are accuracy deltas vs the FP32 baseline)");
+    Ok(())
+}

@@ -1,0 +1,61 @@
+//! Quickstart: quantize a transformer with GOBO in a dozen lines.
+//!
+//! Run with `cargo run -p gobo-examples --bin quickstart`.
+
+use gobo::pipeline::{quantize_model, QuantizeOptions};
+use gobo_model::config::ModelConfig;
+use gobo_model::TransformerModel;
+use gobo_quant::{QuantConfig, QuantMethod, QuantizedLayer};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // --- Single layer -----------------------------------------------------
+    // GOBO works on any FP32 weight slice: here, 64k Gaussian-ish weights
+    // with a few strong outliers.
+    let mut weights: Vec<f32> =
+        (0..65_536).map(|i| ((i as f32) * 0.1).sin() * 0.05 + ((i as f32) * 0.013).cos() * 0.01).collect();
+    weights[123] = 1.5;
+    weights[40_000] = -1.2;
+
+    let layer = QuantizedLayer::encode(&weights, &QuantConfig::new(QuantMethod::Gobo, 3)?)?;
+    println!(
+        "single layer: {} weights -> {} bytes ({:.2}x), {} outliers ({:.3}%), {} iterations",
+        layer.total(),
+        layer.compressed_bytes(),
+        layer.compression_ratio(),
+        layer.outlier_count(),
+        layer.outlier_fraction() * 100.0,
+        layer.trace().iterations(),
+    );
+    let decoded = layer.decode();
+    assert_eq!(decoded[123], 1.5, "outliers survive bit-exactly");
+
+    // --- Whole model --------------------------------------------------------
+    // A small random BERT-style encoder (real use starts from a trained
+    // model; see the mnli_pipeline example).
+    let config = ModelConfig::tiny("Quickstart", 2, 64, 4, 128, 32)?;
+    let model = TransformerModel::new(config, &mut StdRng::seed_from_u64(1))?;
+
+    let options = QuantizeOptions::gobo(3)?.with_embedding_bits(4)?;
+    let outcome = quantize_model(&model, &options)?;
+
+    println!(
+        "whole model: {} layers, {:.2} KB -> {:.2} KB ({:.2}x), outlier fraction {:.3}%",
+        outcome.report.layers.len(),
+        outcome.report.original_bytes() as f64 / 1024.0,
+        outcome.report.compressed_bytes() as f64 / 1024.0,
+        outcome.report.compression_ratio(),
+        outcome.report.outlier_fraction() * 100.0,
+    );
+
+    // The decoded model is plug-in compatible: same architecture, FP32
+    // weights, runs through the unmodified engine.
+    let out = outcome.model.encode(&[5, 9, 2, 2, 7], &[])?;
+    println!(
+        "decoded model forward pass: hidden {:?}, pooled[0..4] = {:?}",
+        out.hidden.dims(),
+        &out.pooled.expect("pooler").as_slice()[..4]
+    );
+    Ok(())
+}

@@ -1,0 +1,1 @@
+//! Integration-test host package. All substance lives in `tests/tests/*.rs`.

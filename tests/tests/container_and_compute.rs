@@ -1,0 +1,92 @@
+//! Integration: serialized archives and compressed-domain compute
+//! against the training/evaluation pipeline.
+
+use gobo::pipeline::{quantize_model, QuantizeOptions};
+use gobo::zoo::{train_zoo_model, PaperModel, ZooScale};
+use gobo_quant::compute::QuantizedMatrix;
+use gobo_quant::container::ModelArchive;
+use gobo_tasks::TaskKind;
+use gobo_tensor::Tensor;
+
+#[test]
+fn archive_round_trip_preserves_task_accuracy() {
+    let zoo = train_zoo_model(PaperModel::DistilBert, TaskKind::Nli, ZooScale::Smoke)
+        .expect("training");
+    let outcome =
+        quantize_model(&zoo.model, &QuantizeOptions::gobo(3).expect("opts")).expect("quantize");
+
+    // Ship the archive through bytes (the off-chip path) and rebuild the
+    // model from it.
+    let bytes = outcome.archive.to_bytes();
+    let restored = ModelArchive::from_bytes(&bytes).expect("deserialize");
+    let mut rebuilt = zoo.model.clone();
+    for (name, layer) in restored.iter() {
+        let dims = rebuilt.weight(name).expect("layer").dims().to_vec();
+        rebuilt
+            .set_weight(name, Tensor::from_vec(layer.decode(), &dims).expect("shape"))
+            .expect("set");
+    }
+
+    // Bit-identical to the pipeline's decoded model → identical score.
+    let direct = gobo_tasks::evaluate(&outcome.model, &zoo.head, &zoo.test_data).expect("eval");
+    let shipped = gobo_tasks::evaluate(&rebuilt, &zoo.head, &zoo.test_data).expect("eval");
+    assert_eq!(direct.value, shipped.value);
+}
+
+#[test]
+fn compressed_domain_fc_matches_decoded_model_layer() {
+    let zoo = train_zoo_model(PaperModel::DistilBert, TaskKind::Nli, ZooScale::Smoke)
+        .expect("training");
+    let outcome =
+        quantize_model(&zoo.model, &QuantizeOptions::gobo(3).expect("opts")).expect("quantize");
+
+    // Pick the intermediate FC of encoder 0 and compare compressed-domain
+    // matvec against the decoded weight matrix.
+    let name = "encoder.0.intermediate";
+    let spec = zoo
+        .model
+        .fc_layers()
+        .into_iter()
+        .find(|s| s.name == name)
+        .expect("layer spec");
+    let layer = outcome.archive.get(name).expect("archived layer").clone();
+    let qm = QuantizedMatrix::new(layer, spec.rows, spec.cols).expect("matrix");
+
+    let x: Vec<f32> = (0..spec.cols).map(|i| (i as f32 * 0.21).sin()).collect();
+    let compressed = qm.matvec(&x).expect("matvec");
+
+    let decoded = outcome.model.weight(name).expect("decoded");
+    let w = decoded.as_slice();
+    for (r, &got) in compressed.iter().enumerate() {
+        let expect: f32 = (0..spec.cols).map(|c| w[r * spec.cols + c] * x[c]).sum();
+        assert!((got - expect).abs() < 1e-3, "row {r}: {got} vs {expect}");
+    }
+}
+
+#[test]
+fn cli_formats_interoperate_with_pipeline() {
+    // The CLI's compressed format must round-trip a *trained* model, not
+    // just random weights, and reproduce the pipeline's decode.
+    let zoo = train_zoo_model(PaperModel::DistilBert, TaskKind::Sts, ZooScale::Smoke)
+        .expect("training");
+    let options = QuantizeOptions::gobo(4).expect("opts").with_embedding_bits(4).expect("emb");
+    let outcome = quantize_model(&zoo.model, &options).expect("quantize");
+
+    let compressed = gobo_cli::format::CompressedModel::new(&zoo.model, outcome.archive.clone());
+    let bytes = compressed.to_bytes();
+    let restored = gobo_cli::format::CompressedModel::from_bytes(&bytes).expect("read");
+    let decoded = restored.decode().expect("decode");
+
+    for spec in zoo.model.fc_layers() {
+        assert_eq!(
+            decoded.weight(&spec.name).expect("w"),
+            outcome.model.weight(&spec.name).expect("w"),
+            "{}",
+            spec.name
+        );
+    }
+    // Scores agree exactly.
+    let a = gobo_tasks::evaluate(&outcome.model, &zoo.head, &zoo.test_data).expect("eval");
+    let b = gobo_tasks::evaluate(&decoded, &zoo.head, &zoo.test_data).expect("eval");
+    assert_eq!(a.value, b.value);
+}

@@ -1,0 +1,104 @@
+//! Cross-crate storage-format and mixed-precision integration.
+
+use gobo::pipeline::{quantize_model, QuantizeOptions};
+use gobo_model::config::ModelConfig;
+use gobo_model::TransformerModel;
+use gobo_quant::mixed::{LayerRule, MixedPrecisionPlan};
+use gobo_quant::{QuantConfig, QuantMethod, QuantizedLayer};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn model() -> TransformerModel {
+    let config = ModelConfig::tiny("Fmt", 3, 32, 4, 64, 16).expect("config");
+    TransformerModel::new(config, &mut StdRng::seed_from_u64(9)).expect("model")
+}
+
+#[test]
+fn per_layer_sizes_sum_to_report_totals() {
+    let model = model();
+    let outcome = quantize_model(&model, &QuantizeOptions::gobo(3).expect("opts")).expect("q");
+    let layer_sum: usize = outcome.report.layers.iter().map(|l| l.size.total()).sum();
+    assert_eq!(layer_sum, outcome.report.compressed_bytes());
+    let orig_sum: usize = outcome.report.layers.iter().map(|l| l.original_bytes).sum();
+    assert_eq!(orig_sum, outcome.report.original_bytes());
+    // Original bytes equal the model's FC weight bytes.
+    let fc_bytes: usize = model.fc_layers().iter().map(|s| s.params() * 4).sum();
+    assert_eq!(orig_sum, fc_bytes);
+}
+
+#[test]
+fn report_sizes_match_standalone_encoding() {
+    // Quantizing a layer through the pipeline must produce exactly the
+    // same compressed size as encoding the same weights directly.
+    let model = model();
+    let outcome = quantize_model(&model, &QuantizeOptions::gobo(3).expect("opts")).expect("q");
+    let name = "encoder.1.intermediate";
+    let direct = QuantizedLayer::encode(
+        model.weight(name).expect("layer").as_slice(),
+        &QuantConfig::new(QuantMethod::Gobo, 3).expect("cfg"),
+    )
+    .expect("encode");
+    let row = outcome.report.layers.iter().find(|l| l.name == name).expect("row");
+    assert_eq!(row.size.total(), direct.compressed_bytes());
+    assert_eq!(row.outliers, direct.outlier_count());
+}
+
+#[test]
+fn mixed_precision_plan_controls_every_encoder() {
+    let model = model();
+    let plan = MixedPrecisionPlan::uniform(3)
+        .expect("plan")
+        .with_rule(LayerRule {
+            component: "attention.key".into(),
+            min_encoder: Some(1),
+            max_encoder: Some(2),
+            bits: 5,
+        })
+        .expect("rule");
+    let opts = QuantizeOptions::gobo(3).expect("opts").with_weight_plan(plan);
+    let outcome = quantize_model(&model, &opts).expect("q");
+    let bits_of = |name: &str| {
+        outcome.report.layers.iter().find(|l| l.name == name).expect("row").bits
+    };
+    assert_eq!(bits_of("encoder.0.attention.key"), 3);
+    assert_eq!(bits_of("encoder.1.attention.key"), 5);
+    assert_eq!(bits_of("encoder.2.attention.key"), 5);
+    assert_eq!(bits_of("encoder.1.attention.query"), 3);
+}
+
+#[test]
+fn decoded_weights_use_at_most_2_pow_bits_values_plus_outliers() {
+    let model = model();
+    let outcome = quantize_model(&model, &QuantizeOptions::gobo(3).expect("opts")).expect("q");
+    for spec in model.fc_layers() {
+        let decoded = outcome.model.weight(&spec.name).expect("layer");
+        let row = outcome.report.layers.iter().find(|l| l.name == spec.name).expect("row");
+        let distinct: std::collections::BTreeSet<u32> =
+            decoded.as_slice().iter().map(|v| v.to_bits()).collect();
+        assert!(
+            distinct.len() <= 8 + row.outliers,
+            "{}: {} distinct values for {} outliers",
+            spec.name,
+            distinct.len(),
+            row.outliers
+        );
+    }
+}
+
+#[test]
+fn outlier_values_survive_pipeline_bit_exactly() {
+    let mut model = model();
+    // Plant recognizable outliers in one layer.
+    let name = "encoder.0.attention.value";
+    let mut w = model.weight(name).expect("layer").clone();
+    let dims = w.dims().to_vec();
+    w.as_mut_slice()[7] = 2.5;
+    w.as_mut_slice()[100] = -3.0;
+    model
+        .set_weight(name, w.reshape(&dims).expect("reshape"))
+        .expect("set");
+    let outcome = quantize_model(&model, &QuantizeOptions::gobo(3).expect("opts")).expect("q");
+    let decoded = outcome.model.weight(name).expect("layer");
+    assert_eq!(decoded.as_slice()[7], 2.5);
+    assert_eq!(decoded.as_slice()[100], -3.0);
+}

@@ -1,0 +1,105 @@
+//! The paper's headline claims, checked end-to-end at reduced scale.
+
+use gobo::analytic::{
+    convergence_comparison, embedding_compression, outlier_profile, scaled_config,
+    weight_compression,
+};
+use gobo::experiments::{table1, table2};
+use gobo_model::config::ModelConfig;
+use gobo_quant::mixed::MixedPrecisionPlan;
+use gobo_quant::QuantMethod;
+
+fn small_base() -> ModelConfig {
+    scaled_config(&ModelConfig::bert_base(), 16).expect("scale")
+}
+
+#[test]
+fn claim_999_percent_of_weights_are_3bit() {
+    // "GOBO maintains accuracy while quantizing 99.9% of the weights to
+    // 3 bits" — i.e. outliers are ≈0.1% of weights.
+    let report = weight_compression(
+        &small_base(),
+        &MixedPrecisionPlan::uniform(3).expect("plan"),
+        QuantMethod::Gobo,
+        7,
+    )
+    .expect("compression");
+    let g_fraction = 1.0 - report.outlier_fraction();
+    assert!(g_fraction > 0.99, "G-group fraction {g_fraction}");
+}
+
+#[test]
+fn claim_10x_footprint_reduction() {
+    // "GOBO can reduce model footprint by 10×" — 3-bit weights plus
+    // 3-bit embeddings land near 10x.
+    let config = small_base();
+    let mut report = weight_compression(
+        &config,
+        &MixedPrecisionPlan::uniform(3).expect("plan"),
+        QuantMethod::Gobo,
+        7,
+    )
+    .expect("weights");
+    report.merge(embedding_compression(&config, 3, 7).expect("embeddings"));
+    let ratio = report.compression_ratio();
+    assert!(ratio > 9.0 && ratio < 10.67, "whole-model CR {ratio}");
+}
+
+#[test]
+fn claim_convergence_speedup() {
+    // "Our centroid selection algorithm converges 9× faster than
+    // K-Means". At full scale we measure ~14× (see EXPERIMENTS.md); at
+    // this test's 1/16 geometry both sides converge faster and GOBO's
+    // fixed patience window weighs heavier, so require a 2× floor.
+    let cmp = convergence_comparison(&small_base(), 3, 7).expect("comparison");
+    assert!(cmp.iteration_speedup() > 2.0, "speedup {}", cmp.iteration_speedup());
+    // And GOBO's L1 is at least as good.
+    let g_l1 = cmp.gobo.l1[cmp.gobo.selected_iteration];
+    let k_l1 = *cmp.kmeans.l1.last().expect("non-empty");
+    assert!(g_l1 <= k_l1 + 1e-9);
+}
+
+#[test]
+fn claim_outlier_profile_shape() {
+    // Figure 3: <0.4% outliers for all but the last layer; <1% for the
+    // last; ≈0.1% average. At 1/16 scale the bands relax slightly, but
+    // the shape must hold.
+    let profile = outlier_profile(&small_base(), -4.0, 7).expect("profile");
+    assert_eq!(profile.len(), 73);
+    let avg = profile.iter().map(|p| p.fraction).sum::<f64>() / 73.0;
+    assert!(avg < 0.005, "average {avg}");
+    let last = profile.last().expect("73 layers").fraction;
+    assert!(last < 0.02, "last layer {last}");
+    assert!(last > avg, "outliers concentrate at the end of the stack");
+}
+
+#[test]
+fn claim_architecture_tables_match_paper_exactly() {
+    // Tables I and II are pure geometry and must match to the digit.
+    let t1 = table1::run();
+    assert_eq!(t1.rows[0].layers, 12);
+    assert_eq!(t1.rows[1].layers, 24);
+    let t2 = table2::run();
+    assert!((t2.rows[0].embedding_mib() - 89.42).abs() < 0.01);
+    assert!((t2.rows[1].embedding_mib() - 119.22).abs() < 0.01);
+    assert!((t2.rows[0].weight_mib() - 326.26).abs() < 0.5);
+}
+
+#[test]
+fn claim_q8bert_and_qbert_ratios() {
+    // Table III's comparison columns: Q8BERT ≈ 4×, Q-BERT 3-bit ≈ 7.8×,
+    // GOBO 3-bit (w/ 4-bit embeddings) ≈ 9.8× — GOBO compresses hardest.
+    let config = small_base();
+    let gobo3 = {
+        let mut r = weight_compression(
+            &config,
+            &MixedPrecisionPlan::uniform(3).expect("plan"),
+            QuantMethod::Gobo,
+            7,
+        )
+        .expect("weights");
+        r.merge(embedding_compression(&config, 4, 7).expect("embeddings"));
+        r.compression_ratio()
+    };
+    assert!(gobo3 > 8.8, "GOBO whole-model CR {gobo3}");
+}

@@ -1,0 +1,113 @@
+//! End-to-end integration: train → export → quantize → decode →
+//! re-evaluate, across crate boundaries.
+
+use gobo::pipeline::{quantize_model, transform_weights, QuantizeOptions};
+use gobo::zoo::{train_zoo_model, PaperModel, ZooScale};
+use gobo_quant::QuantMethod;
+use gobo_tasks::eval::evaluate;
+use gobo_tasks::TaskKind;
+
+#[test]
+fn full_paper_loop_nli() {
+    let zoo = train_zoo_model(PaperModel::DistilBert, TaskKind::Nli, ZooScale::Smoke)
+        .expect("training succeeds");
+    // FP32 baseline is a valid score.
+    assert!(zoo.baseline.value >= 0.0 && zoo.baseline.value <= 1.0);
+
+    // Quantize post-training at 4 bits with each policy; the decoded
+    // model must evaluate without error and stay within a plausible
+    // band of the baseline.
+    for method in [QuantMethod::Gobo, QuantMethod::KMeans, QuantMethod::Linear] {
+        let opts = QuantizeOptions::with_method(method, 4).expect("options");
+        let (score, report) = zoo.quantized_score(&opts).expect("quantized evaluation");
+        assert!(score.value >= 0.0 && score.value <= 1.0, "{method}: {}", score.value);
+        // 4-bit quantization of a working model must not destroy it
+        // beyond recognition (chance is 1/3).
+        assert!(
+            score.value > zoo.baseline.value - 0.45,
+            "{method} collapsed: {} vs baseline {}",
+            score.value,
+            zoo.baseline.value
+        );
+        assert!(report.compression_ratio() > 6.0, "{method} CR {}", report.compression_ratio());
+        assert_eq!(report.layers.len(), zoo.model.fc_layers().len());
+    }
+}
+
+#[test]
+fn quantized_model_is_plugin_compatible() {
+    let zoo = train_zoo_model(PaperModel::DistilBert, TaskKind::Sts, ZooScale::Smoke)
+        .expect("training succeeds");
+    let outcome =
+        quantize_model(&zoo.model, &QuantizeOptions::gobo(3).expect("options")).expect("quantize");
+    // Same architecture: every layer spec identical.
+    assert_eq!(zoo.model.fc_layers(), outcome.model.fc_layers());
+    assert_eq!(zoo.model.config(), outcome.model.config());
+    // Every decoded weight tensor has the original shape and is finite.
+    for spec in outcome.model.fc_layers() {
+        let w = outcome.model.weight(&spec.name).expect("layer exists");
+        assert_eq!(w.dims(), &[spec.rows, spec.cols]);
+        assert!(w.all_finite(), "{} has non-finite weights", spec.name);
+    }
+    // And the task head still runs on it.
+    let score = evaluate(&outcome.model, &zoo.head, &zoo.test_data).expect("evaluate");
+    assert!(score.value.is_finite());
+}
+
+#[test]
+fn more_bits_never_catastrophically_worse() {
+    // Coarse monotonicity: 2-bit error should exceed 6-bit error for the
+    // same model/policy (allowing small-sample noise at equal levels).
+    let zoo = train_zoo_model(PaperModel::DistilBert, TaskKind::Nli, ZooScale::Smoke)
+        .expect("training succeeds");
+    let score_at = |bits: u8| {
+        let opts = QuantizeOptions::gobo(bits).expect("options");
+        zoo.quantized_score(&opts).expect("score").0.value
+    };
+    let coarse = score_at(2);
+    let fine = score_at(6);
+    assert!(
+        fine >= coarse - 0.1,
+        "6-bit ({fine}) should not be much worse than 2-bit ({coarse})"
+    );
+}
+
+#[test]
+fn reference_quantizers_compose_with_models() {
+    let zoo = train_zoo_model(PaperModel::DistilBert, TaskKind::Nli, ZooScale::Smoke)
+        .expect("training succeeds");
+    // Q8BERT-style 8-bit symmetric quantization of everything barely
+    // moves accuracy.
+    let q8 = transform_weights(&zoo.model, true, |_n, w| {
+        Ok(gobo_quant::reference::SymmetricQuantizedLayer::encode(w)
+            .expect("encode")
+            .decode())
+    })
+    .expect("transform");
+    let score = evaluate(&q8, &zoo.head, &zoo.test_data).expect("evaluate");
+    assert!(
+        (score.value - zoo.baseline.value).abs() < 0.1,
+        "8-bit should be nearly lossless: {} vs {}",
+        score.value,
+        zoo.baseline.value
+    );
+}
+
+#[test]
+fn embedding_quantization_composes_with_weight_quantization() {
+    let zoo = train_zoo_model(PaperModel::DistilBert, TaskKind::Nli, ZooScale::Smoke)
+        .expect("training succeeds");
+    let opts = QuantizeOptions::gobo(3)
+        .expect("options")
+        .with_embedding_bits(4)
+        .expect("embedding bits");
+    let (score, report) = zoo.quantized_score(&opts).expect("quantized evaluation");
+    assert!(score.value.is_finite());
+    // Report covers FC layers + embedding tables.
+    assert_eq!(
+        report.layers.len(),
+        zoo.model.fc_layers().len() + zoo.model.embedding_tables().len()
+    );
+    // Whole-model CR close to the 3-bit ideal, above the 4-bit ideal.
+    assert!(report.compression_ratio() > 8.0, "CR {}", report.compression_ratio());
+}

@@ -1,0 +1,81 @@
+//! Cross-crate property tests: the whole-model pipeline preserves the
+//! per-layer guarantees of the quantization core.
+
+use gobo::pipeline::{quantize_model, QuantizeOptions};
+use gobo_model::config::ModelConfig;
+use gobo_model::TransformerModel;
+use gobo_quant::QuantMethod;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn small_model(seed: u64, layers: usize, hidden_mul: usize) -> TransformerModel {
+    let hidden = 8 * hidden_mul;
+    let config = ModelConfig::tiny("Prop", layers, hidden, 2, 40, 12).expect("config");
+    TransformerModel::new(config, &mut StdRng::seed_from_u64(seed)).expect("model")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn pipeline_preserves_shapes_and_finiteness(
+        seed in 0u64..500,
+        layers in 1usize..3,
+        hidden_mul in 2usize..5,
+        bits in 2u8..6,
+        method_ix in 0usize..3,
+    ) {
+        let method = [QuantMethod::Gobo, QuantMethod::KMeans, QuantMethod::Linear][method_ix];
+        let model = small_model(seed, layers, hidden_mul);
+        let opts = QuantizeOptions::with_method(method, bits).expect("opts");
+        let outcome = quantize_model(&model, &opts).expect("quantize");
+        for spec in model.fc_layers() {
+            let before = model.weight(&spec.name).expect("before");
+            let after = outcome.model.weight(&spec.name).expect("after");
+            prop_assert_eq!(before.dims(), after.dims());
+            prop_assert!(after.all_finite());
+            // Reconstruction stays inside the original value hull.
+            let lo = before.min().expect("nonempty") - 1e-6;
+            let hi = before.max().expect("nonempty") + 1e-6;
+            for &v in after.as_slice() {
+                prop_assert!(v >= lo && v <= hi);
+            }
+        }
+        // Compression ratio below the bit-width ideal, above half of it.
+        let ideal = 32.0 / f64::from(bits);
+        let cr = outcome.report.compression_ratio();
+        prop_assert!(cr <= ideal + 1e-9, "cr {cr} ideal {ideal}");
+        prop_assert!(cr > ideal * 0.33, "cr {cr} ideal {ideal}");
+        // The decoded model still encodes.
+        let out = outcome.model.encode(&[1, 2, 3], &[]).expect("encode");
+        prop_assert!(out.hidden.all_finite());
+    }
+
+    #[test]
+    fn reconstruction_error_monotone_in_bits(seed in 0u64..200) {
+        let model = small_model(seed, 1, 3);
+        let err_at = |bits: u8| -> f64 {
+            let opts = QuantizeOptions::gobo(bits).expect("opts");
+            let outcome = quantize_model(&model, &opts).expect("quantize");
+            model
+                .fc_layers()
+                .iter()
+                .map(|spec| {
+                    let a = model.weight(&spec.name).expect("a");
+                    let b = outcome.model.weight(&spec.name).expect("b");
+                    a.as_slice()
+                        .iter()
+                        .zip(b.as_slice())
+                        .map(|(&x, &y)| f64::from((x - y).abs()))
+                        .sum::<f64>()
+                })
+                .sum()
+        };
+        let e2 = err_at(2);
+        let e4 = err_at(4);
+        let e6 = err_at(6);
+        prop_assert!(e4 <= e2 + 1e-6);
+        prop_assert!(e6 <= e4 + 1e-6);
+    }
+}
