@@ -31,29 +31,23 @@ fn ablation_outliers(c: &mut Criterion) {
             .with_outlier_threshold(thr)
             .expect("thr");
         let layer = QuantizedLayer::encode(&weights, &config).expect("encode");
-        let max_err = layer
-            .decode()
-            .iter()
-            .zip(&weights)
-            .map(|(d, o)| (d - o).abs())
-            .fold(0.0f32, f32::max);
+        let max_err =
+            layer.decode().iter().zip(&weights).map(|(d, o)| (d - o).abs()).fold(0.0f32, f32::max);
         println!(
             "[info] threshold {thr}: outliers {:.4}%, CR {:.2}x, max err {max_err:.4}",
             layer.outlier_fraction() * 100.0,
             layer.compression_ratio()
         );
-        group.bench_with_input(BenchmarkId::new("threshold", format!("{thr}")), &weights, |b, w| {
-            b.iter(|| QuantizedLayer::encode(w, &config).expect("encode"))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("threshold", format!("{thr}")),
+            &weights,
+            |b, w| b.iter(|| QuantizedLayer::encode(w, &config).expect("encode")),
+        );
     }
     let no_outliers = QuantConfig::new(QuantMethod::Gobo, 3).expect("bits").without_outliers();
     let layer = QuantizedLayer::encode(&weights, &no_outliers).expect("encode");
-    let max_err = layer
-        .decode()
-        .iter()
-        .zip(&weights)
-        .map(|(d, o)| (d - o).abs())
-        .fold(0.0f32, f32::max);
+    let max_err =
+        layer.decode().iter().zip(&weights).map(|(d, o)| (d - o).abs()).fold(0.0f32, f32::max);
     println!(
         "[info] no outliers: CR {:.2}x, max err {max_err:.4} (outliers are essential)",
         layer.compression_ratio()

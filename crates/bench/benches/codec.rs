@@ -27,8 +27,9 @@ fn bench_packing(c: &mut Criterion) {
 
 fn bench_round_trip(c: &mut Criterion) {
     let n = 262_144usize; // one 512×512 layer
-    let mut weights: Vec<f32> =
-        (0..n).map(|i| ((i as f32) * 0.07).sin() * 0.04 + ((i as f32) * 0.003).cos() * 0.01).collect();
+    let mut weights: Vec<f32> = (0..n)
+        .map(|i| ((i as f32) * 0.07).sin() * 0.04 + ((i as f32) * 0.003).cos() * 0.01)
+        .collect();
     weights[100] = 1.0;
     weights[200_000] = -0.9;
     let mut group = c.benchmark_group("codec_round_trip");

@@ -1,0 +1,118 @@
+//! Before/after benchmarks for the fused kernels: every pair times the
+//! current implementation against the preserved scalar reference from
+//! `gobo_quant::reference` on identical inputs. The medians recorded
+//! here (via the criterion JSONL sink) are the source of the numbers in
+//! `BENCH_quant.json` and the DESIGN.md performance section.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gobo_model::config::ModelConfig;
+use gobo_model::spec::enumerate_fc_layers;
+use gobo_model::synth::{layer_distribution, synthesize_layer};
+use gobo_quant::outlier::OutlierSplit;
+use gobo_quant::{gobo, kmeans, packing, reference, QuantConfig, QuantMethod, QuantizedLayer};
+
+/// All FC layers of a BERT-base-sized model, synthesized with the same
+/// per-layer weight distributions the analytic experiments use
+/// (~85M parameters total).
+fn synth_bert_base_fc() -> Vec<Vec<f32>> {
+    let config = ModelConfig::bert_base();
+    let specs = enumerate_fc_layers(&config);
+    specs
+        .iter()
+        .enumerate()
+        .map(|(i, spec)| {
+            let dist = layer_distribution(&config, i, specs.len());
+            synthesize_layer(spec, &dist, 7 + i as u64)
+        })
+        .collect()
+}
+
+/// The pre-kernel 3-bit GOBO layer pipeline: outlier split, scalar
+/// separate-pass clustering, bytewise index packing. This is what
+/// `QuantizedLayer::encode` did before the fused kernels.
+fn scalar_encode_gobo3(weights: &[f32]) -> usize {
+    let split =
+        OutlierSplit::detect(weights, gobo_quant::DEFAULT_LOG_PDF_THRESHOLD).expect("split");
+    let clustering = reference::scalar_gobo_quantize_g(split.g_values(), 8, 100).expect("cluster");
+    let packed = reference::pack_bytewise(&clustering.assignments, 3).expect("pack");
+    packed.len()
+}
+
+fn bench_clustering(c: &mut Criterion) {
+    // One attention-sized (768×768) synthetic layer, 3-bit codebooks.
+    let config = ModelConfig::bert_base();
+    let specs = enumerate_fc_layers(&config);
+    let dist = layer_distribution(&config, 0, specs.len());
+    let weights = synthesize_layer(&specs[0], &dist, 7);
+    let split = OutlierSplit::detect(&weights, -4.0).expect("split");
+    let g = split.g_values();
+
+    let mut group = c.benchmark_group("clustering_768x768_3bit");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(g.len() as u64));
+    group.bench_function("gobo_fused", |b| {
+        b.iter(|| gobo::quantize_g(black_box(g), 8, 100).expect("gobo"))
+    });
+    group.bench_function("gobo_scalar", |b| {
+        b.iter(|| reference::scalar_gobo_quantize_g(black_box(g), 8, 100).expect("gobo"))
+    });
+    group.bench_function("kmeans_fused", |b| {
+        b.iter(|| kmeans::quantize_g(black_box(g), 8, 300).expect("kmeans"))
+    });
+    group.bench_function("kmeans_scalar", |b| {
+        b.iter(|| reference::scalar_kmeans_quantize_g(black_box(g), 8, 300).expect("kmeans"))
+    });
+    group.finish();
+}
+
+fn bench_packing(c: &mut Criterion) {
+    let n = 1_000_000usize;
+    let mut group = c.benchmark_group("packing_word_vs_bytewise");
+    group.throughput(Throughput::Elements(n as u64));
+    for bits in [3u8, 8] {
+        let mask = if bits == 8 { 0xFF } else { (1u8 << bits) - 1 };
+        let values: Vec<u8> = (0..n).map(|i| (i % 251) as u8 & mask).collect();
+        group.bench_with_input(BenchmarkId::new("pack_word", bits), &values, |b, v| {
+            b.iter(|| packing::pack(v, bits).expect("pack"))
+        });
+        group.bench_with_input(BenchmarkId::new("pack_bytewise", bits), &values, |b, v| {
+            b.iter(|| reference::pack_bytewise(v, bits).expect("pack"))
+        });
+        let packed = packing::pack(&values, bits).expect("pack");
+        group.bench_with_input(BenchmarkId::new("unpack_word", bits), &packed, |b, p| {
+            b.iter(|| packing::unpack(p, bits, n).expect("unpack"))
+        });
+        group.bench_with_input(BenchmarkId::new("unpack_bytewise", bits), &packed, |b, p| {
+            b.iter(|| reference::unpack_bytewise(p, bits, n).expect("unpack"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_quantize_model(c: &mut Criterion) {
+    // The acceptance benchmark: quantize every FC layer of a
+    // BERT-base-sized synthetic model to 3-bit GOBO, fused pipeline vs
+    // the preserved scalar pipeline.
+    let layers = synth_bert_base_fc();
+    let total: usize = layers.iter().map(Vec::len).sum();
+    let config = QuantConfig::new(QuantMethod::Gobo, 3).expect("config");
+
+    let mut group = c.benchmark_group("quantize_model_bert_base_fc_gobo3");
+    group.sample_size(3);
+    group.throughput(Throughput::Elements(total as u64));
+    group.bench_function("fused", |b| {
+        b.iter(|| {
+            layers
+                .iter()
+                .map(|w| QuantizedLayer::encode(w, &config).expect("encode").compressed_bytes())
+                .sum::<usize>()
+        })
+    });
+    group.bench_function("scalar", |b| {
+        b.iter(|| layers.iter().map(|w| scalar_encode_gobo3(w)).sum::<usize>())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_clustering, bench_packing, bench_quantize_model);
+criterion_main!(benches);

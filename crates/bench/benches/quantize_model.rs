@@ -23,9 +23,11 @@ fn bench_single_layers(c: &mut Criterion) {
         let dist = layer_distribution(&config, idx, specs.len());
         let weights = synthesize_layer(spec, &dist, 7);
         group.throughput(Throughput::Elements(weights.len() as u64));
-        for (name, method) in
-            [("gobo", QuantMethod::Gobo), ("kmeans", QuantMethod::KMeans), ("linear", QuantMethod::Linear)]
-        {
+        for (name, method) in [
+            ("gobo", QuantMethod::Gobo),
+            ("kmeans", QuantMethod::KMeans),
+            ("linear", QuantMethod::Linear),
+        ] {
             let quant_config = QuantConfig::new(method, 3).expect("3 bits");
             group.bench_with_input(
                 BenchmarkId::new(name, format!("{}x{}", spec.rows, spec.cols)),

@@ -42,7 +42,10 @@ fn main() {
         match figures::figure2(&options) {
             Ok(cmp) => {
                 println!("Figure 2: GOBO vs K-Means convergence on {}", cmp.layer_name);
-                println!("{:>5} {:>14} {:>14} {:>14} {:>14}", "iter", "GOBO L1", "GOBO L2", "KM L1", "KM L2");
+                println!(
+                    "{:>5} {:>14} {:>14} {:>14} {:>14}",
+                    "iter", "GOBO L1", "GOBO L2", "KM L1", "KM L2"
+                );
                 let rows = cmp.gobo.iterations().max(cmp.kmeans.iterations());
                 for i in 0..rows {
                     let cell = |v: Option<&f64>| v.map_or("-".into(), |x: &f64| format!("{x:.1}"));

@@ -7,7 +7,10 @@
 //! reproduces the reference numbers recorded in EXPERIMENTS.md and
 //! wants a release build.
 
-use gobo::experiments::{ablation, energy, headline, table1, table2, table3, table4, table5, table6, table7, ExperimentOptions};
+use gobo::experiments::{
+    ablation, energy, headline, table1, table2, table3, table4, table5, table6, table7,
+    ExperimentOptions,
+};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();

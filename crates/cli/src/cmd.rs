@@ -91,9 +91,9 @@ impl Args {
     fn parse_num<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, CliError> {
         match self.get(name) {
             None => Ok(default),
-            Some(v) => v
-                .parse()
-                .map_err(|_| CliError::Usage(format!("flag --{name}: cannot parse `{v}`"))),
+            Some(v) => {
+                v.parse().map_err(|_| CliError::Usage(format!("flag --{name}: cannot parse `{v}`")))
+            }
         }
     }
 }
@@ -105,9 +105,8 @@ impl Args {
 /// Returns [`CliError`] for bad usage, I/O failures, or pipeline
 /// failures.
 pub fn run(args: &[String]) -> Result<String, CliError> {
-    let (command, rest) = args
-        .split_first()
-        .ok_or_else(|| CliError::Usage("no command given".into()))?;
+    let (command, rest) =
+        args.split_first().ok_or_else(|| CliError::Usage("no command given".into()))?;
     let args = Args::parse(rest)?;
     match command.as_str() {
         "demo" => demo(&args),
@@ -130,11 +129,7 @@ fn demo(args: &Args) -> Result<String, CliError> {
         .map_err(|e| CliError::Failed(e.to_string()))?;
     let bytes = save_model(&model);
     std::fs::write(output, &bytes)?;
-    Ok(format!(
-        "wrote demo model `{output}`: {} ({} bytes)",
-        model.config(),
-        bytes.len()
-    ))
+    Ok(format!("wrote demo model `{output}`: {} ({} bytes)", model.config(), bytes.len()))
 }
 
 fn read_raw(path: &str) -> Result<TransformerModel, CliError> {
@@ -162,11 +157,9 @@ fn quantize(args: &Args) -> Result<String, CliError> {
         let eb: u8 = embedding_bits
             .parse()
             .map_err(|_| CliError::Usage("flag --embedding-bits: not a number".into()))?;
-        options =
-            options.with_embedding_bits(eb).map_err(|e| CliError::Failed(e.to_string()))?;
+        options = options.with_embedding_bits(eb).map_err(|e| CliError::Failed(e.to_string()))?;
     }
-    let outcome =
-        quantize_model(&model, &options).map_err(|e| CliError::Failed(e.to_string()))?;
+    let outcome = quantize_model(&model, &options).map_err(|e| CliError::Failed(e.to_string()))?;
     let compressed = CompressedModel::new(&model, outcome.archive);
     let bytes = compressed.to_bytes();
     std::fs::write(output, &bytes)?;
@@ -314,14 +307,8 @@ mod tests {
         assert!(matches!(run_str(&[]), Err(CliError::Usage(_))));
         assert!(matches!(run_str(&["frobnicate"]), Err(CliError::Usage(_))));
         assert!(matches!(run_str(&["quantize"]), Err(CliError::Usage(_))));
-        assert!(matches!(
-            run_str(&["quantize", "--input"]),
-            Err(CliError::Usage(_))
-        ));
-        assert!(matches!(
-            run_str(&["demo", "positional"]),
-            Err(CliError::Usage(_))
-        ));
+        assert!(matches!(run_str(&["quantize", "--input"]), Err(CliError::Usage(_))));
+        assert!(matches!(run_str(&["demo", "positional"]), Err(CliError::Usage(_))));
         let msg = run_str(&["help"]).unwrap();
         assert!(msg.contains("USAGE"));
     }
@@ -335,10 +322,7 @@ mod tests {
             run_str(&["quantize", "--input", &raw, "--output", &out, "--method", "magic"]),
             Err(CliError::Usage(_))
         ));
-        assert!(run_str(&[
-            "quantize", "--input", &raw, "--output", &out, "--bits", "9"
-        ])
-        .is_err());
+        assert!(run_str(&["quantize", "--input", &raw, "--output", &out, "--bits", "9"]).is_err());
     }
 
     #[test]
@@ -355,8 +339,15 @@ mod tests {
         let packed = tmp("emb.gobom");
         run_str(&["demo", "--output", &raw, "--layers", "1", "--hidden", "16"]).unwrap();
         run_str(&[
-            "quantize", "--input", &raw, "--output", &packed, "--bits", "3",
-            "--embedding-bits", "4",
+            "quantize",
+            "--input",
+            &raw,
+            "--output",
+            &packed,
+            "--bits",
+            "3",
+            "--embedding-bits",
+            "4",
         ])
         .unwrap();
         let msg = run_str(&["inspect", "--input", &packed]).unwrap();

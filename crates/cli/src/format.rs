@@ -101,8 +101,7 @@ impl CompressedModel {
         let mut model = self.skeleton.clone();
         for (name, layer) in self.archive.iter() {
             let dims = model.weight(name)?.dims().to_vec();
-            let tensor =
-                Tensor::from_vec(layer.decode(), &dims).map_err(ModelError::from)?;
+            let tensor = Tensor::from_vec(layer.decode(), &dims).map_err(ModelError::from)?;
             model.set_weight(name, tensor)?;
         }
         Ok(model)
@@ -149,8 +148,7 @@ impl CompressedModel {
             return Err(FormatError::Corrupt("unsupported version"));
         }
         let _pad = take(&mut pos, 3)?;
-        let raw_len =
-            u32::from_le_bytes(take(&mut pos, 4)?.try_into().expect("4 bytes")) as usize;
+        let raw_len = u32::from_le_bytes(take(&mut pos, 4)?.try_into().expect("4 bytes")) as usize;
         let (skeleton, provided) = load_model_partial(take(&mut pos, raw_len)?)?;
         let archive_len =
             u32::from_le_bytes(take(&mut pos, 4)?.try_into().expect("4 bytes")) as usize;

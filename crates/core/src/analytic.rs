@@ -97,23 +97,18 @@ pub fn weight_compression(
 ) -> Result<CompressionReport, GoboError> {
     let specs = enumerate_fc_layers(config);
     let count = specs.len();
-    let results: Vec<Result<LayerReport, GoboError>> = crossbeam::thread::scope(|scope| {
-        let handles: Vec<_> = specs
-            .iter()
-            .enumerate()
-            .map(|(i, spec)| {
-                scope.spawn(move |_| -> Result<LayerReport, GoboError> {
-                    let dist = layer_distribution(config, i, count);
-                    let weights = synthesize_layer(spec, &dist, seed);
-                    let quant_config = QuantConfig::new(method, plan.bits_for(&spec.name))?;
-                    let layer = QuantizedLayer::encode(&weights, &quant_config)?;
-                    Ok(LayerReport::from_layer(spec.name.clone(), &layer))
-                })
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
-    })
-    .expect("scope panicked");
+    let indexed: Vec<(usize, &gobo_model::spec::FcLayerSpec)> = specs.iter().enumerate().collect();
+    let results: Vec<Result<LayerReport, GoboError>> = crate::par::par_map_largest_first(
+        &indexed,
+        |(_, spec)| spec.params(),
+        |&(i, spec)| -> Result<LayerReport, GoboError> {
+            let dist = layer_distribution(config, i, count);
+            let weights = synthesize_layer(spec, &dist, seed);
+            let quant_config = QuantConfig::new(method, plan.bits_for(&spec.name))?;
+            let layer = QuantizedLayer::encode(&weights, &quant_config)?;
+            Ok(LayerReport::from_layer(spec.name.clone(), &layer))
+        },
+    );
     results.into_iter().collect::<Result<CompressionReport, GoboError>>()
 }
 
@@ -256,8 +251,7 @@ mod tests {
         let profile = outlier_profile(&small(), -4.0, 7).unwrap();
         assert_eq!(profile.len(), 73);
         // All but the last layers below ~1.5%; whole-model average small.
-        let avg: f64 =
-            profile.iter().map(|p| p.fraction).sum::<f64>() / profile.len() as f64;
+        let avg: f64 = profile.iter().map(|p| p.fraction).sum::<f64>() / profile.len() as f64;
         assert!(avg < 0.01, "average outlier fraction {avg}");
         for p in &profile[..68] {
             assert!(p.fraction < 0.015, "{}: {}", p.name, p.fraction);
@@ -330,10 +324,8 @@ mod tests {
     fn scatter_marks_fringe_values_as_outliers() {
         let pts = layer_scatter(&small(), 5, 2000, 7).unwrap();
         assert!(!pts.is_empty());
-        let outlier_mags: Vec<f32> =
-            pts.iter().filter(|(_, o)| *o).map(|(w, _)| w.abs()).collect();
-        let bulk_max =
-            pts.iter().filter(|(_, o)| !*o).map(|(w, _)| w.abs()).fold(0.0f32, f32::max);
+        let outlier_mags: Vec<f32> = pts.iter().filter(|(_, o)| *o).map(|(w, _)| w.abs()).collect();
+        let bulk_max = pts.iter().filter(|(_, o)| !*o).map(|(w, _)| w.abs()).fold(0.0f32, f32::max);
         for m in outlier_mags {
             assert!(m > bulk_max * 0.8, "outlier {m} inside bulk {bulk_max}");
         }

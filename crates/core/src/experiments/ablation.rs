@@ -112,7 +112,8 @@ mod tests {
         assert_eq!(t.rows.len(), THRESHOLDS.len() + 1);
         // More permissive threshold (closer to 0) ⇒ more outliers and a
         // lower compression ratio.
-        let fractions: Vec<f64> = t.rows[..THRESHOLDS.len()].iter().map(|r| r.outlier_fraction).collect();
+        let fractions: Vec<f64> =
+            t.rows[..THRESHOLDS.len()].iter().map(|r| r.outlier_fraction).collect();
         for w in fractions.windows(2) {
             assert!(w[0] >= w[1] - 1e-12, "fractions not monotone: {fractions:?}");
         }

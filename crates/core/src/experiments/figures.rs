@@ -79,12 +79,8 @@ impl fmt::Display for Figure1c {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "Figure 1c: layer weights and outliers (BERT-Base, one layer)")?;
         writeln!(f, "points: {}, flagged outliers: {}", self.points.len(), self.outliers)?;
-        let bulk_max = self
-            .points
-            .iter()
-            .filter(|(_, o)| !*o)
-            .map(|(w, _)| w.abs())
-            .fold(0.0f32, f32::max);
+        let bulk_max =
+            self.points.iter().filter(|(_, o)| !*o).map(|(w, _)| w.abs()).fold(0.0f32, f32::max);
         writeln!(f, "bulk |w| <= {bulk_max:.4}; sample outliers:")?;
         for (w, _) in self.points.iter().filter(|(_, o)| *o).take(10) {
             writeln!(f, "  {w:+.4}")?;
@@ -130,7 +126,13 @@ impl fmt::Display for Figure3 {
         writeln!(f, "Figure 3: per-FC-layer outlier percentage (BERT-Base)")?;
         for p in &self.points {
             let bar = "#".repeat((p.fraction * 4000.0) as usize);
-            writeln!(f, "{:>3} {:<28} {:>7.3}% |{bar}", p.layer_index + 1, p.name, p.fraction * 100.0)?;
+            writeln!(
+                f,
+                "{:>3} {:<28} {:>7.3}% |{bar}",
+                p.layer_index + 1,
+                p.name,
+                p.fraction * 100.0
+            )?;
         }
         writeln!(f, "average: {:.3}%", self.average * 100.0)
     }

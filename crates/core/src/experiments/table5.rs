@@ -43,12 +43,7 @@ pub fn run(options: &ExperimentOptions) -> Result<Table5, GoboError> {
         rows.push(Row { bits, cells, potential_ratio: 32.0 / f64::from(bits) });
     }
     Ok(Table5 {
-        sweep: TaskSweep {
-            model: zoo.paper,
-            kind: zoo.kind,
-            baseline: zoo.baseline.value,
-            rows,
-        },
+        sweep: TaskSweep { model: zoo.paper, kind: zoo.kind, baseline: zoo.baseline.value, rows },
     })
 }
 

@@ -44,6 +44,7 @@
 pub mod analytic;
 pub mod error;
 pub mod experiments;
+mod par;
 pub mod pipeline;
 pub mod zoo;
 

@@ -1,0 +1,68 @@
+//! Bounded-pool parallel mapping for per-layer work.
+//!
+//! Model quantization used to spawn one OS thread per layer, which on
+//! BERT-scale models means 70+ threads fighting over a handful of
+//! cores. Everything here runs on rayon's global pool instead, so the
+//! thread count is bounded by the pool size regardless of layer count.
+
+/// Maps `work` over `items` on the global rayon pool and returns the
+/// results **in input order**.
+///
+/// Items are scheduled largest-first (by `size_of`): with a bounded
+/// pool, starting the long-pole layers first minimizes the tail where
+/// one worker grinds through a big FFN layer while the rest sit idle.
+pub(crate) fn par_map_largest_first<T, R, F>(
+    items: &[T],
+    size_of: impl Fn(&T) -> usize,
+    work: F,
+) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let mut order: Vec<usize> = (0..items.len()).collect();
+    order.sort_by_key(|&i| std::cmp::Reverse(size_of(&items[i])));
+
+    let mut slots: Vec<Option<R>> = Vec::with_capacity(items.len());
+    slots.resize_with(items.len(), || None);
+    rayon::scope(|s| {
+        let mut refs: Vec<Option<&mut Option<R>>> = slots.iter_mut().map(Some).collect();
+        for &i in &order {
+            let slot = refs[i].take().expect("each slot claimed once");
+            let item = &items[i];
+            let work = &work;
+            s.spawn(move |_| *slot = Some(work(item)));
+        }
+    });
+    slots.into_iter().map(|r| r.expect("worker filled slot")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_input_order() {
+        let items: Vec<usize> = (0..50).collect();
+        let out = par_map_largest_first(&items, |&n| n, |&n| n * 3);
+        assert_eq!(out, items.iter().map(|n| n * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn runs_on_bounded_pool() {
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        let seen = Mutex::new(HashSet::new());
+        let items: Vec<usize> = (0..200).collect();
+        par_map_largest_first(
+            &items,
+            |_| 1,
+            |_| {
+                seen.lock().unwrap().insert(std::thread::current().id());
+            },
+        );
+        // Pool workers plus the helping caller thread.
+        assert!(seen.lock().unwrap().len() <= rayon::current_num_threads() + 1);
+    }
+}

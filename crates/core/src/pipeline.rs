@@ -9,7 +9,9 @@
 use gobo_model::{ModelError, TransformerModel};
 use gobo_quant::container::ModelArchive;
 use gobo_quant::mixed::MixedPrecisionPlan;
-use gobo_quant::{CompressionReport, LayerReport, QuantConfig, QuantError, QuantMethod, QuantizedLayer};
+use gobo_quant::{
+    CompressionReport, LayerReport, QuantConfig, QuantError, QuantMethod, QuantizedLayer,
+};
 use gobo_tensor::Tensor;
 
 use crate::error::GoboError;
@@ -143,38 +145,35 @@ pub fn quantize_model(
     model: &TransformerModel,
     options: &QuantizeOptions,
 ) -> Result<QuantizedModel, GoboError> {
-    let mut targets: Vec<(String, u8)> = Vec::new();
+    let mut targets: Vec<(String, u8, usize)> = Vec::new();
     if options.quantize_weights {
         for spec in model.fc_layers() {
-            targets.push((spec.name.clone(), options.weight_plan.bits_for(&spec.name)));
+            let bits = options.weight_plan.bits_for(&spec.name);
+            targets.push((spec.name.clone(), bits, spec.params()));
         }
     }
     if let Some(bits) = options.embedding_bits {
         for spec in model.embedding_tables() {
-            targets.push((spec.name.clone(), bits));
+            targets.push((spec.name.clone(), bits, spec.params()));
         }
     }
 
-    // Quantize layers in parallel: each worker reads the source tensor
-    // and produces (name, decoded weights, compressed layer).
+    // Quantize layers on the bounded global pool, biggest layers
+    // first: each worker reads the source tensor and produces
+    // (name, decoded weights, compressed layer).
     type LayerResult = Result<(String, Tensor, QuantizedLayer), GoboError>;
-    let results: Vec<LayerResult> = crossbeam::thread::scope(|scope| {
-        let handles: Vec<_> = targets
-            .iter()
-            .map(|(name, bits)| {
-                scope.spawn(move |_| -> LayerResult {
-                    let tensor = model.weight(name)?;
-                    let config = options.layer_config(*bits)?;
-                    let layer = QuantizedLayer::encode(tensor.as_slice(), &config)?;
-                    let decoded = Tensor::from_vec(layer.decode(), tensor.dims())
-                        .map_err(ModelError::from)?;
-                    Ok((name.clone(), decoded, layer))
-                })
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
-    })
-    .expect("scope panicked");
+    let results: Vec<LayerResult> = crate::par::par_map_largest_first(
+        &targets,
+        |(_, _, params)| *params,
+        |(name, bits, _)| -> LayerResult {
+            let tensor = model.weight(name)?;
+            let config = options.layer_config(*bits)?;
+            let layer = QuantizedLayer::encode(tensor.as_slice(), &config)?;
+            let decoded =
+                Tensor::from_vec(layer.decode(), tensor.dims()).map_err(ModelError::from)?;
+            Ok((name.clone(), decoded, layer))
+        },
+    );
 
     let mut out = model.clone();
     let mut report = CompressionReport::new();
@@ -264,18 +263,12 @@ mod tests {
     #[test]
     fn embeddings_only_skips_weights() {
         let model = tiny_model();
-        let options = QuantizeOptions::gobo(3)
-            .unwrap()
-            .with_embedding_bits(3)
-            .unwrap()
-            .embeddings_only();
+        let options =
+            QuantizeOptions::gobo(3).unwrap().with_embedding_bits(3).unwrap().embeddings_only();
         let outcome = quantize_model(&model, &options).unwrap();
         assert_eq!(outcome.report.layers.len(), model.embedding_tables().len());
         // FC weights untouched.
-        assert_eq!(
-            model.weight("pooler").unwrap(),
-            outcome.model.weight("pooler").unwrap()
-        );
+        assert_eq!(model.weight("pooler").unwrap(), outcome.model.weight("pooler").unwrap());
     }
 
     #[test]
@@ -297,11 +290,9 @@ mod tests {
     fn methods_differ_in_outcome() {
         let model = tiny_model();
         let gobo = quantize_model(&model, &QuantizeOptions::gobo(3).unwrap()).unwrap();
-        let linear = quantize_model(
-            &model,
-            &QuantizeOptions::with_method(QuantMethod::Linear, 3).unwrap(),
-        )
-        .unwrap();
+        let linear =
+            quantize_model(&model, &QuantizeOptions::with_method(QuantMethod::Linear, 3).unwrap())
+                .unwrap();
         assert_ne!(
             gobo.model.weight("encoder.0.output").unwrap(),
             linear.model.weight("encoder.0.output").unwrap()
@@ -325,10 +316,8 @@ mod tests {
     #[test]
     fn transform_weights_applies_everywhere() {
         let model = tiny_model();
-        let negated = transform_weights(&model, true, |_name, w| {
-            Ok(w.iter().map(|v| -v).collect())
-        })
-        .unwrap();
+        let negated =
+            transform_weights(&model, true, |_name, w| Ok(w.iter().map(|v| -v).collect())).unwrap();
         for spec in model.fc_layers().iter().chain(&model.embedding_tables()) {
             let a = model.weight(&spec.name).unwrap();
             let b = negated.weight(&spec.name).unwrap();

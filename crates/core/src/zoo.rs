@@ -206,15 +206,9 @@ pub fn train_zoo_model(
     let n_train = scale.train_examples();
     let n_test = scale.test_examples();
     let (train_data, test_data) = match kind {
-        TaskKind::Nli => {
-            (nli(&spec, n_train, &mut rng)?, nli(&spec, n_test, &mut rng)?)
-        }
-        TaskKind::Sts => {
-            (sts(&spec, n_train, &mut rng)?, sts(&spec, n_test, &mut rng)?)
-        }
-        TaskKind::Span => {
-            (span(&spec, n_train, &mut rng)?, span(&spec, n_test, &mut rng)?)
-        }
+        TaskKind::Nli => (nli(&spec, n_train, &mut rng)?, nli(&spec, n_test, &mut rng)?),
+        TaskKind::Sts => (sts(&spec, n_train, &mut rng)?, sts(&spec, n_test, &mut rng)?),
+        TaskKind::Span => (span(&spec, n_train, &mut rng)?, span(&spec, n_test, &mut rng)?),
     };
     let (epochs, learning_rate) = scale.schedule(dims.layers);
     let trained = train(kind, &dims, &train_data, &TrainerOptions { epochs, learning_rate, seed })?;
@@ -233,8 +227,7 @@ mod tests {
         let zoo = train_zoo_model(PaperModel::DistilBert, TaskKind::Nli, ZooScale::Smoke).unwrap();
         assert_eq!(zoo.paper.name(), "DistilBERT");
         assert!(zoo.baseline.value.is_finite());
-        let (score, report) =
-            zoo.quantized_score(&QuantizeOptions::gobo(4).unwrap()).unwrap();
+        let (score, report) = zoo.quantized_score(&QuantizeOptions::gobo(4).unwrap()).unwrap();
         assert!(score.value.is_finite());
         assert!(report.compression_ratio() > 4.0);
     }

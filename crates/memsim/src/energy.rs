@@ -95,7 +95,8 @@ mod tests {
 
     #[test]
     fn custom_constants_apply() {
-        let m = EnergyModel { dram_pj_per_byte: 100.0, sram_pj_per_byte: 0.0, dram_bytes_per_sec: 1e9 };
+        let m =
+            EnergyModel { dram_pj_per_byte: 100.0, sram_pj_per_byte: 0.0, dram_bytes_per_sec: 1e9 };
         let t = InferenceTraffic { weight_bytes: 1e9, embedding_bytes: 0.0, activation_bytes: 0.0 };
         assert!((m.energy(&t) - 1e9 * 100.0 / 1e6).abs() < 1e-6);
         assert!((m.latency_ms(&t) - 1000.0).abs() < 1e-9);

@@ -134,8 +134,10 @@ mod tests {
         let capacity = 48.0 * 1024.0 * 1024.0;
         let ratio = crossover_ratio(&t, capacity).expect("finite weights");
         // Just below the crossover: still streamed; at it: resident.
-        let below = analyze(&t.with_weight_compression(ratio * 0.99), &EnergyModel::default(), capacity);
-        let at = analyze(&t.with_weight_compression(ratio * 1.01), &EnergyModel::default(), capacity);
+        let below =
+            analyze(&t.with_weight_compression(ratio * 0.99), &EnergyModel::default(), capacity);
+        let at =
+            analyze(&t.with_weight_compression(ratio * 1.01), &EnergyModel::default(), capacity);
         assert_eq!(below.residency, Residency::Streamed);
         assert_eq!(at.residency, Residency::Resident);
     }
@@ -144,10 +146,12 @@ mod tests {
     fn degenerate_inputs() {
         let t = bert_base_traffic();
         assert!(crossover_ratio(&t, 0.0).is_none());
-        let empty = InferenceTraffic { weight_bytes: 0.0, embedding_bytes: 0.0, activation_bytes: 1.0 };
+        let empty =
+            InferenceTraffic { weight_bytes: 0.0, embedding_bytes: 0.0, activation_bytes: 1.0 };
         assert!(crossover_ratio(&empty, 1024.0).is_none());
         // A tiny model fits without compression: ratio clamps to 1.
-        let small = InferenceTraffic { weight_bytes: 10.0, embedding_bytes: 0.0, activation_bytes: 1.0 };
+        let small =
+            InferenceTraffic { weight_bytes: 10.0, embedding_bytes: 0.0, activation_bytes: 1.0 };
         assert_eq!(crossover_ratio(&small, 1024.0), Some(1.0));
     }
 }

@@ -83,9 +83,7 @@ impl TransformerModel {
         // --- Pooler ---------------------------------------------------------
         let pooled = if config.has_pooler {
             let first = x.row(0)?.reshape(&[1, config.hidden])?;
-            let z = first
-                .matmul_nt(self.weight("pooler")?)?
-                .add_bias(self.aux("pooler.bias")?)?;
+            let z = first.matmul_nt(self.weight("pooler")?)?.add_bias(self.aux("pooler.bias")?)?;
             Some(z.tanh().reshape(&[config.hidden])?)
         } else {
             None

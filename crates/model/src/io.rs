@@ -161,10 +161,7 @@ fn aux_entries(model: &TransformerModel) -> Vec<(String, &Tensor)> {
     for spec in model.fc_layers() {
         names.push(format!("{}.bias", spec.name));
     }
-    names
-        .into_iter()
-        .filter_map(|n| model.aux(&n).ok().map(|t| (n.clone(), t)))
-        .collect()
+    names.into_iter().filter_map(|n| model.aux(&n).ok().map(|t| (n.clone(), t))).collect()
 }
 
 /// Deserializes a model from the raw format, requiring every

@@ -37,7 +37,11 @@ pub struct LayerDistribution {
 /// Layer-to-layer variation mimics Figure 1b (means near zero, stds in
 /// the 0.02–0.06 range) and Figure 3 (tail mass below ~0.4% for all but
 /// the final layers, rising toward ~1% at the end of the stack).
-pub fn layer_distribution(config: &ModelConfig, layer_index: usize, layer_count: usize) -> LayerDistribution {
+pub fn layer_distribution(
+    config: &ModelConfig,
+    layer_index: usize,
+    layer_count: usize,
+) -> LayerDistribution {
     // Small deterministic wobble so every layer differs, seeded by name
     // hash + index.
     let mut h = 0xcbf29ce484222325u64;
@@ -49,11 +53,7 @@ pub fn layer_distribution(config: &ModelConfig, layer_index: usize, layer_count:
     let depth = if layer_count <= 1 { 0.0 } else { layer_index as f32 / (layer_count - 1) as f32 };
     // Final layers carry more outliers (Figure 3's upturn at the last
     // FC layers).
-    let tail_fraction = if depth > 0.97 {
-        0.004
-    } else {
-        0.0008 + 0.0008 * f64::from(depth)
-    };
+    let tail_fraction = if depth > 0.97 { 0.004 } else { 0.0008 + 0.0008 * f64::from(depth) };
     LayerDistribution {
         mean: 0.001 * wobble,
         std: 0.03 + 0.015 * depth + 0.005 * wobble.abs(),
@@ -146,7 +146,8 @@ mod tests {
 
     #[test]
     fn tail_fraction_materializes_as_outliers() {
-        let dist = LayerDistribution { mean: 0.0, std: 0.03, tail_fraction: 0.002, tail_scale: 8.0 };
+        let dist =
+            LayerDistribution { mean: 0.0, std: 0.03, tail_fraction: 0.002, tail_scale: 8.0 };
         let w = synthesize_layer(&spec(300, 300), &dist, 2);
         // Count weights beyond 4σ of the bulk — tails should dominate
         // that region.
@@ -202,7 +203,8 @@ mod tests {
         // weights pass a normality check; with tails they fail it the
         // way real BERT layers do (heavy kurtosis from outliers).
         let clean = LayerDistribution { mean: 0.0, std: 0.03, tail_fraction: 0.0, tail_scale: 8.0 };
-        let tailed = LayerDistribution { mean: 0.0, std: 0.03, tail_fraction: 0.002, tail_scale: 8.0 };
+        let tailed =
+            LayerDistribution { mean: 0.0, std: 0.03, tail_fraction: 0.002, tail_scale: 8.0 };
         let w_clean = synthesize_layer(&spec(200, 200), &clean, 11);
         let w_tailed = synthesize_layer(&spec(200, 200), &tailed, 11);
         let jb_clean = gobo_stats::jarque_bera_per_sample(&w_clean).unwrap();

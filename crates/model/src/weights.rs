@@ -112,10 +112,8 @@ impl TransformerModel {
     ///
     /// Same conditions as [`TransformerModel::set_weight`].
     pub fn set_aux(&mut self, name: &str, tensor: Tensor) -> Result<(), ModelError> {
-        let slot = self
-            .aux
-            .get_mut(name)
-            .ok_or_else(|| ModelError::UnknownLayer { name: name.into() })?;
+        let slot =
+            self.aux.get_mut(name).ok_or_else(|| ModelError::UnknownLayer { name: name.into() })?;
         if slot.dims() != tensor.dims() {
             return Err(ModelError::WeightShape {
                 layer: name.into(),
@@ -216,12 +214,8 @@ mod tests {
     #[test]
     fn weight_bytes_counts_fc_and_embeddings() {
         let m = tiny();
-        let expected: usize = m
-            .fc_layers()
-            .iter()
-            .chain(&m.embedding_tables())
-            .map(|s| s.params() * 4)
-            .sum();
+        let expected: usize =
+            m.fc_layers().iter().chain(&m.embedding_tables()).map(|s| s.params() * 4).sum();
         assert_eq!(m.weight_bytes(), expected);
     }
 

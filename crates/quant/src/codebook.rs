@@ -51,6 +51,13 @@ impl Codebook {
 
     /// Index of the centroid nearest to `x` (ties break toward the lower
     /// index, i.e. the smaller centroid).
+    ///
+    /// This is the original branchy binary search; the fused kernels use
+    /// [`crate::kernel::nearest_sorted`], which is exactly equivalent (the
+    /// kernel-equivalence proptests compare the two bit-for-bit) but takes
+    /// a branchless counting path for small codebooks. Keeping this body
+    /// verbatim lets the scalar oracle in [`crate::reference`] measure the
+    /// pre-kernel implementation unchanged.
     pub fn nearest(&self, x: f32) -> usize {
         let cs = &self.centroids;
         if cs.len() == 1 {
@@ -85,13 +92,16 @@ impl Codebook {
     /// Returns [`QuantError::CorruptPayload`] when any index is out of
     /// range for this codebook.
     pub fn decode(&self, assignments: &[u8]) -> Result<Vec<f32>, QuantError> {
-        let mut out = Vec::with_capacity(assignments.len());
-        for &a in assignments {
-            let idx = a as usize;
-            if idx >= self.centroids.len() {
-                return Err(QuantError::CorruptPayload { what: "assignment index out of range" });
-            }
-            out.push(self.centroids[idx]);
+        // A 256-entry LUT covers the whole u8 index space, so the decode
+        // loop indexes it unconditionally (no per-element bounds branch);
+        // out-of-range indices hit the sentinel lanes and are detected by
+        // one max() fold over the raw assignments.
+        let mut lut = [0.0f32; 256];
+        lut[..self.centroids.len()].copy_from_slice(&self.centroids);
+        let out: Vec<f32> = assignments.iter().map(|&a| lut[a as usize]).collect();
+        let max_seen = assignments.iter().copied().max().map_or(0, usize::from);
+        if max_seen >= self.centroids.len() {
+            return Err(QuantError::CorruptPayload { what: "assignment index out of range" });
         }
         Ok(out)
     }
@@ -204,9 +214,7 @@ mod tests {
                 .centroids()
                 .iter()
                 .enumerate()
-                .min_by(|(_, a), (_, b)| {
-                    (x - **a).abs().partial_cmp(&(x - **b).abs()).unwrap()
-                })
+                .min_by(|(_, a), (_, b)| (x - **a).abs().partial_cmp(&(x - **b).abs()).unwrap())
                 .map(|(i, _)| i)
                 .unwrap();
             assert!(

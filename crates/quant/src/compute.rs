@@ -155,15 +155,13 @@ mod tests {
             w[5] = 1.4;
             w[n - 9] = -1.1;
         }
-        let layer =
-            QuantizedLayer::encode(&w, &QuantConfig::new(QuantMethod::Gobo, bits).unwrap()).unwrap();
+        let layer = QuantizedLayer::encode(&w, &QuantConfig::new(QuantMethod::Gobo, bits).unwrap())
+            .unwrap();
         (QuantizedMatrix::new(layer, rows, cols).unwrap(), w)
     }
 
     fn dense_matvec(w: &[f32], x: &[f32], rows: usize, cols: usize) -> Vec<f32> {
-        (0..rows)
-            .map(|r| (0..cols).map(|c| w[r * cols + c] * x[c]).sum())
-            .collect()
+        (0..rows).map(|r| (0..cols).map(|c| w[r * cols + c] * x[c]).sum()).collect()
     }
 
     #[test]

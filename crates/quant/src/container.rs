@@ -152,7 +152,9 @@ impl QuantizedLayer {
         }
         let codebook_len = r.u32()? as usize;
         if codebook_len == 0 || codebook_len > 1 << bits {
-            return Err(QuantError::CorruptPayload { what: "codebook size inconsistent with bits" });
+            return Err(QuantError::CorruptPayload {
+                what: "codebook size inconsistent with bits",
+            });
         }
         let mut centroids = Vec::with_capacity(codebook_len);
         for _ in 0..codebook_len {
@@ -220,7 +222,11 @@ impl ModelArchive {
     ///
     /// Returns [`QuantError::InvalidConfig`] for names longer than
     /// `u16::MAX` bytes or duplicated names.
-    pub fn push(&mut self, name: impl Into<String>, layer: QuantizedLayer) -> Result<(), QuantError> {
+    pub fn push(
+        &mut self,
+        name: impl Into<String>,
+        layer: QuantizedLayer,
+    ) -> Result<(), QuantError> {
         let name = name.into();
         if name.len() > u16::MAX as usize {
             return Err(QuantError::InvalidConfig { name: "layer name too long" });
@@ -254,11 +260,7 @@ impl ModelArchive {
 
     /// Total serialized size in bytes.
     pub fn serialized_bytes(&self) -> usize {
-        12 + self
-            .entries
-            .iter()
-            .map(|(n, l)| 2 + n.len() + 4 + l.to_bytes().len())
-            .sum::<usize>()
+        12 + self.entries.iter().map(|(n, l)| 2 + n.len() + 4 + l.to_bytes().len()).sum::<usize>()
     }
 
     /// Serializes the archive.
@@ -387,10 +389,7 @@ mod tests {
         let layer = sample_layer(300, 3);
         let bytes = layer.to_bytes();
         for cut in [0usize, 3, 7, 11, 15, bytes.len() / 2, bytes.len() - 1] {
-            assert!(
-                QuantizedLayer::from_bytes(&bytes[..cut]).is_err(),
-                "cut at {cut} should fail"
-            );
+            assert!(QuantizedLayer::from_bytes(&bytes[..cut]).is_err(), "cut at {cut} should fail");
         }
     }
 

@@ -60,12 +60,7 @@ pub fn huffman_bits_per_symbol(indices: &[u8], k: usize) -> Result<f64, QuantErr
     let counts = occupancy(indices, k)?;
     let lengths = huffman_code_lengths(&counts);
     let n = indices.len() as f64;
-    Ok(counts
-        .iter()
-        .zip(&lengths)
-        .map(|(&c, &l)| c as f64 * l as f64)
-        .sum::<f64>()
-        / n)
+    Ok(counts.iter().zip(&lengths).map(|(&c, &l)| c as f64 * l as f64).sum::<f64>() / n)
 }
 
 /// Optimal prefix-code lengths per symbol (zero-count symbols get

@@ -6,12 +6,18 @@
 //! L1 norm is minimal. The paper observes convergence in ~7 iterations
 //! for 3-bit codebooks, roughly 9× faster than running K-Means to
 //! assignment convergence, with consistently better downstream accuracy.
+//!
+//! Each iteration runs as one fused pass over the values
+//! ([`crate::kernel`]); the separate-pass formulation this replaces is
+//! preserved as a test oracle in [`crate::reference`], and property
+//! tests assert the two produce bit-identical results.
 
 use serde::{Deserialize, Serialize};
 
 use crate::codebook::{Codebook, ConvergenceTrace};
 use crate::error::QuantError;
 use crate::init;
+use crate::kernel::{self, ClusterScratch, SweepMode};
 
 /// Result of clustering a layer's G group: the final codebook, one index
 /// per weight, and the per-iteration convergence trace.
@@ -60,26 +66,32 @@ pub const L1_PATIENCE: usize = 5;
 /// assert_eq!(clustering.assignments.len(), values.len());
 /// # Ok::<(), gobo_quant::QuantError>(())
 /// ```
-pub fn quantize_g(values: &[f32], clusters: usize, max_iterations: usize) -> Result<Clustering, QuantError> {
-    if max_iterations == 0 {
-        return Err(QuantError::InvalidConfig { name: "max_iterations" });
-    }
-    let mut codebook = init::equal_population(values, clusters)?;
+pub fn quantize_g(
+    values: &[f32],
+    clusters: usize,
+    max_iterations: usize,
+) -> Result<Clustering, QuantError> {
+    kernel::check_max_iterations(max_iterations)?;
+    let init_codebook = init::equal_population(values, clusters)?;
+    let mode = SweepMode::choose(values);
+    let mut scratch = ClusterScratch::new();
+    scratch.load(values.len(), init_codebook.centroids(), mode);
     let mut trace = ConvergenceTrace::default();
 
-    let mut best: Option<(f64, Codebook, Vec<u8>)> = None;
+    let mut best_l1 = f64::INFINITY;
+    let mut have_best = false;
+    let mut have_prev = false;
     let mut stale = 0usize;
-    let mut prev_assignments: Vec<u8> = Vec::new();
     for iteration in 0..max_iterations {
-        let assignments = codebook.assign(values);
-        let l1 = codebook.l1_norm(values, &assignments);
-        let l2 = codebook.l2_norm(values, &assignments);
-        trace.l1.push(l1);
-        trace.l2.push(l2);
+        let stats = scratch.sweep(values, mode);
+        trace.l1.push(stats.l1);
+        trace.l2.push(stats.l2);
 
-        let improved = best.as_ref().is_none_or(|(b, _, _)| l1 < *b);
+        let improved = !have_best || stats.l1 < best_l1;
         if improved {
-            best = Some((l1, codebook.clone(), assignments.clone()));
+            have_best = true;
+            best_l1 = stats.l1;
+            scratch.snapshot_best();
             trace.selected_iteration = iteration;
             stale = 0;
         } else {
@@ -89,15 +101,18 @@ pub fn quantize_g(values: &[f32], clusters: usize, max_iterations: usize) -> Res
                 break;
             }
         }
-        // A fixed point cannot improve further.
-        if assignments == prev_assignments {
+        // A fixed point cannot improve further. (`changed` compares
+        // against the previous iteration's buffer contents, so it only
+        // means "fixed point" from the second sweep on.)
+        if have_prev && stats.changed == 0 {
             break;
         }
-        codebook = codebook.update_means(values, &assignments);
-        prev_assignments = assignments;
+        have_prev = true;
+        scratch.update_centroids();
     }
 
-    let (_, codebook, assignments) = best.expect("at least one iteration ran");
+    let (centroids, assignments) = scratch.take_best();
+    let codebook = Codebook::new(centroids).expect("best centroids are finite and non-empty");
     Ok(Clustering { codebook, assignments, trace })
 }
 
@@ -124,12 +139,7 @@ mod tests {
     fn selected_iteration_is_argmin_l1() {
         let values = wavy(2048);
         let c = quantize_g(&values, 8, 100).unwrap();
-        let min = c
-            .trace
-            .l1
-            .iter()
-            .cloned()
-            .fold(f64::INFINITY, f64::min);
+        let min = c.trace.l1.iter().cloned().fold(f64::INFINITY, f64::min);
         assert!((c.trace.l1[c.trace.selected_iteration] - min).abs() < 1e-12);
     }
 

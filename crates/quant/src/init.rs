@@ -144,10 +144,7 @@ mod tests {
             equal_population(&[1.0, 2.0], 4),
             Err(QuantError::TooFewValues { values: 2, clusters: 4 })
         ));
-        assert!(matches!(
-            equal_population(&[1.0], 0),
-            Err(QuantError::InvalidConfig { .. })
-        ));
+        assert!(matches!(equal_population(&[1.0], 0), Err(QuantError::InvalidConfig { .. })));
         assert!(linear(&[], 4).is_err());
         assert!(linear(&[1.0], 0).is_err());
     }

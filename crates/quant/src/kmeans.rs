@@ -6,10 +6,11 @@
 //! an L2-optimal (not L1-optimal) codebook with worse downstream
 //! accuracy.
 
-use crate::codebook::ConvergenceTrace;
+use crate::codebook::{Codebook, ConvergenceTrace};
 use crate::error::QuantError;
 use crate::gobo::Clustering;
 use crate::init;
+use crate::kernel::{self, ClusterScratch, SweepMode};
 
 /// Quantizes G-group values with K-Means run to assignment convergence.
 ///
@@ -17,27 +18,36 @@ use crate::init;
 ///
 /// Propagates initialization errors ([`QuantError::TooFewValues`],
 /// [`QuantError::EmptyLayer`], [`QuantError::InvalidConfig`]).
-pub fn quantize_g(values: &[f32], clusters: usize, max_iterations: usize) -> Result<Clustering, QuantError> {
-    if max_iterations == 0 {
-        return Err(QuantError::InvalidConfig { name: "max_iterations" });
-    }
-    let mut codebook = init::equal_population(values, clusters)?;
+pub fn quantize_g(
+    values: &[f32],
+    clusters: usize,
+    max_iterations: usize,
+) -> Result<Clustering, QuantError> {
+    kernel::check_max_iterations(max_iterations)?;
+    let init_codebook = init::equal_population(values, clusters)?;
+    let mode = SweepMode::choose(values);
+    let mut scratch = ClusterScratch::new();
+    scratch.load(values.len(), init_codebook.centroids(), mode);
     let mut trace = ConvergenceTrace::default();
-    let mut assignments: Vec<u8> = Vec::new();
 
+    let mut have_prev = false;
     for iteration in 0..max_iterations {
-        let new_assignments = codebook.assign(values);
-        trace.l1.push(codebook.l1_norm(values, &new_assignments));
-        trace.l2.push(codebook.l2_norm(values, &new_assignments));
+        let stats = scratch.sweep(values, mode);
+        trace.l1.push(stats.l1);
+        trace.l2.push(stats.l2);
         trace.selected_iteration = iteration;
-        let converged = new_assignments == assignments;
-        assignments = new_assignments;
-        if converged {
+        // Converged means this sweep reproduced the previous iteration's
+        // assignments; break *before* the mean update so the returned
+        // codebook is the one the assignments were made against.
+        if have_prev && stats.changed == 0 {
             break;
         }
-        codebook = codebook.update_means(values, &assignments);
+        have_prev = true;
+        scratch.update_centroids();
     }
 
+    let (centroids, assignments) = scratch.take_current();
+    let codebook = Codebook::new(centroids).expect("centroids are finite and non-empty");
     Ok(Clustering { codebook, assignments, trace })
 }
 

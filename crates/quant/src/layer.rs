@@ -91,7 +91,9 @@ impl QuantizedLayer {
     pub fn encode_split(split: &OutlierSplit, config: &QuantConfig) -> Result<Self, QuantError> {
         let clusters = config.clusters();
         let clustering = match config.method() {
-            QuantMethod::Gobo => gobo::quantize_g(split.g_values(), clusters, config.max_iterations())?,
+            QuantMethod::Gobo => {
+                gobo::quantize_g(split.g_values(), clusters, config.max_iterations())?
+            }
             QuantMethod::KMeans => {
                 kmeans::quantize_g(split.g_values(), clusters, config.max_iterations())?
             }
@@ -194,11 +196,8 @@ impl QuantizedLayer {
         outlier_values: Vec<f32>,
         trace: ConvergenceTrace,
     ) -> Self {
-        let outlier_fraction = if total == 0 {
-            0.0
-        } else {
-            outlier_values.len() as f64 / total as f64
-        };
+        let outlier_fraction =
+            if total == 0 { 0.0 } else { outlier_values.len() as f64 / total as f64 };
         QuantizedLayer {
             method,
             bits,
@@ -243,11 +242,7 @@ impl QuantizedLayer {
     pub fn mean_abs_error(&self, original: &[f32]) -> f64 {
         assert_eq!(original.len(), self.total, "original layer length mismatch");
         let decoded = self.decode();
-        decoded
-            .iter()
-            .zip(original)
-            .map(|(&d, &o)| f64::from((d - o).abs()))
-            .sum::<f64>()
+        decoded.iter().zip(original).map(|(&d, &o)| f64::from((d - o).abs())).sum::<f64>()
             / self.total as f64
     }
 }
@@ -303,10 +298,7 @@ mod tests {
             (0..w.len()).filter(|&i| decoded[i] == w[i] && !centroids.contains(&w[i])).collect();
         for (i, &d) in decoded.iter().enumerate() {
             if !outlier_set.contains(&i) {
-                assert!(
-                    centroids.contains(&d),
-                    "decoded[{i}]={d} not a centroid"
-                );
+                assert!(centroids.contains(&d), "decoded[{i}]={d} not a centroid");
             }
         }
     }
@@ -359,12 +351,7 @@ mod tests {
         // Outliers dominate the *worst-case* error: without them, the
         // largest-magnitude weights collapse onto bulk centroids.
         let max_err = |layer: &QuantizedLayer| {
-            layer
-                .decode()
-                .iter()
-                .zip(&w)
-                .map(|(&d, &o)| (d - o).abs())
-                .fold(0.0f32, f32::max)
+            layer.decode().iter().zip(&w).map(|(&d, &o)| (d - o).abs()).fold(0.0f32, f32::max)
         };
         let e_with = max_err(&with);
         let e_without = max_err(&without);

@@ -127,10 +127,7 @@ impl MixedPrecisionPlan {
 
     /// Bit width for a layer name (first matching rule, else default).
     pub fn bits_for(&self, layer_name: &str) -> u8 {
-        self.rules
-            .iter()
-            .find(|r| r.matches(layer_name))
-            .map_or(self.default_bits, |r| r.bits)
+        self.rules.iter().find(|r| r.matches(layer_name)).map_or(self.default_bits, |r| r.bits)
     }
 
     /// The default bit width.
@@ -146,9 +143,9 @@ impl MixedPrecisionPlan {
 
 /// Extracts `N` from a name containing `encoder.N.`.
 fn parse_encoder_index(layer_name: &str) -> Option<usize> {
-    let rest = layer_name.strip_prefix("encoder.").or_else(|| {
-        layer_name.find(".encoder.").map(|i| &layer_name[i + ".encoder.".len()..])
-    })?;
+    let rest = layer_name
+        .strip_prefix("encoder.")
+        .or_else(|| layer_name.find(".encoder.").map(|i| &layer_name[i + ".encoder.".len()..]))?;
     let digits: String = rest.chars().take_while(|c| c.is_ascii_digit()).collect();
     digits.parse().ok()
 }
@@ -230,10 +227,20 @@ mod tests {
         let base = MixedPrecisionPlan::uniform(3).unwrap();
         assert!(base
             .clone()
-            .with_rule(LayerRule { component: "".into(), min_encoder: None, max_encoder: None, bits: 4 })
+            .with_rule(LayerRule {
+                component: "".into(),
+                min_encoder: None,
+                max_encoder: None,
+                bits: 4
+            })
             .is_err());
         assert!(base
-            .with_rule(LayerRule { component: "x".into(), min_encoder: None, max_encoder: None, bits: 0 })
+            .with_rule(LayerRule {
+                component: "x".into(),
+                min_encoder: None,
+                max_encoder: None,
+                bits: 0
+            })
             .is_err());
     }
 

@@ -6,9 +6,21 @@
 //! radius comparison, which keeps detection a single O(n) pass even for
 //! multi-million-weight layers.
 
-use gobo_stats::Gaussian;
+use gobo_stats::{Gaussian, StatsError};
 
 use crate::error::QuantError;
+
+/// Maps a Gaussian-fit failure onto the detection error contract.
+/// `Gaussian::fit` already checks every weight for finiteness inside
+/// its first accumulation pass, so detection needs no dedicated
+/// pre-scan — folding the check into the fit removes one full pass
+/// over the layer while preserving the exact error values.
+fn fit_error(e: StatsError) -> QuantError {
+    match e {
+        StatsError::NonFinite => QuantError::NonFinite,
+        other => QuantError::Stats(other),
+    }
+}
 
 /// The log-pdf threshold the paper found sufficient across all models.
 pub const DEFAULT_LOG_PDF_THRESHOLD: f64 = -4.0;
@@ -41,10 +53,7 @@ impl OutlierSplit {
         if weights.is_empty() {
             return Err(QuantError::EmptyLayer);
         }
-        if weights.iter().any(|w| !w.is_finite()) {
-            return Err(QuantError::NonFinite);
-        }
-        let gaussian = Gaussian::fit(weights)?;
+        let gaussian = Gaussian::fit(weights).map_err(fit_error)?;
         // log_pdf(w) < threshold  ⇔  |w - mean| > radius.
         let radius = gaussian.cutoff_radius(log_pdf_threshold);
         let mean = gaussian.mean();
@@ -87,10 +96,7 @@ impl OutlierSplit {
         if weights.is_empty() {
             return Err(QuantError::EmptyLayer);
         }
-        if weights.iter().any(|w| !w.is_finite()) {
-            return Err(QuantError::NonFinite);
-        }
-        let gaussian = Gaussian::fit(weights)?;
+        let gaussian = Gaussian::fit(weights).map_err(fit_error)?;
         Ok(OutlierSplit {
             gaussian,
             g_values: weights.to_vec(),
@@ -143,11 +149,7 @@ impl OutlierSplit {
     /// Panics when `g_decoded.len()` differs from the G-group size; the
     /// caller controls both sides, so a mismatch is a programming error.
     pub fn reassemble(&self, g_decoded: &[f32]) -> Vec<f32> {
-        assert_eq!(
-            g_decoded.len(),
-            self.g_values.len(),
-            "decoded G group size mismatch"
-        );
+        assert_eq!(g_decoded.len(), self.g_values.len(), "decoded G group size mismatch");
         let mut out = Vec::with_capacity(self.total);
         let mut g_iter = g_decoded.iter();
         let mut o_idx = 0usize;
@@ -244,14 +246,8 @@ mod tests {
     #[test]
     fn rejects_degenerate_layers() {
         assert!(matches!(OutlierSplit::detect(&[], -4.0), Err(QuantError::EmptyLayer)));
-        assert!(matches!(
-            OutlierSplit::detect(&[1.0, f32::NAN], -4.0),
-            Err(QuantError::NonFinite)
-        ));
-        assert!(matches!(
-            OutlierSplit::detect(&[2.0, 2.0, 2.0], -4.0),
-            Err(QuantError::Stats(_))
-        ));
+        assert!(matches!(OutlierSplit::detect(&[1.0, f32::NAN], -4.0), Err(QuantError::NonFinite)));
+        assert!(matches!(OutlierSplit::detect(&[2.0, 2.0, 2.0], -4.0), Err(QuantError::Stats(_))));
     }
 
     #[test]

@@ -3,6 +3,15 @@
 //! G-group weights are stored as `bits`-wide indices (1–8 bits) packed
 //! LSB-first into a byte stream. Packing is what turns "3-bit indexes"
 //! from bookkeeping into an actual 10.67× raw size reduction.
+//!
+//! Both directions move a **64-bit word per memory operation**. Packing
+//! absorbs values into a u128 bit accumulator and emits a full
+//! little-endian u64 each time one fills; unpacking loads the u64 word
+//! containing each element's bit window directly (`bit % 8 + bits <= 15`
+//! always fits in one word) and shifts it into place, with a bytewise
+//! fallback only for the final elements near the end of the stream.
+//! The byte layout is identical — the bytewise formulation is preserved
+//! in [`crate::reference`] as the equivalence oracle.
 
 use bytes::{BufMut, Bytes, BytesMut};
 
@@ -34,22 +43,26 @@ pub fn pack(values: &[u8], bits: u8) -> Result<Bytes, QuantError> {
     }
     let mask = mask_for(bits);
     let mut out = BytesMut::with_capacity(packed_len(values.len(), bits));
-    let mut acc: u32 = 0;
-    let mut acc_bits: u8 = 0;
+    // The u128 accumulator always has room for one more value past the
+    // 64-bit flush threshold (127 - 64 >= 8 = max width).
+    let mut acc: u128 = 0;
+    let mut acc_bits: u32 = 0;
     for &v in values {
         if v & !mask != 0 {
             return Err(QuantError::CorruptPayload { what: "value exceeds bit width" });
         }
-        acc |= u32::from(v) << acc_bits;
-        acc_bits += bits;
-        while acc_bits >= 8 {
-            out.put_u8((acc & 0xFF) as u8);
-            acc >>= 8;
-            acc_bits -= 8;
+        acc |= u128::from(v) << acc_bits;
+        acc_bits += u32::from(bits);
+        if acc_bits >= 64 {
+            out.put_u64_le(acc as u64);
+            acc >>= 64;
+            acc_bits -= 64;
         }
     }
-    if acc_bits > 0 {
+    while acc_bits > 0 {
         out.put_u8((acc & 0xFF) as u8);
+        acc >>= 8;
+        acc_bits = acc_bits.saturating_sub(8);
     }
     Ok(out.freeze())
 }
@@ -68,20 +81,38 @@ pub fn unpack(packed: &[u8], bits: u8, count: usize) -> Result<Vec<u8>, QuantErr
     if packed.len() < packed_len(count, bits) {
         return Err(QuantError::CorruptPayload { what: "packed payload too short" });
     }
-    let mask = u32::from(mask_for(bits));
-    let mut out = Vec::with_capacity(count);
-    let mut acc: u32 = 0;
-    let mut acc_bits: u8 = 0;
-    let mut byte_idx = 0usize;
-    for _ in 0..count {
-        while acc_bits < bits {
-            acc |= u32::from(packed[byte_idx]) << acc_bits;
-            byte_idx += 1;
-            acc_bits += 8;
+    let mask = u64::from(mask_for(bits));
+    let bits = usize::from(bits);
+    let mut out = vec![0u8; count];
+    // Fast path: load the u64 word containing each element's bit window
+    // and shift it into place. `bit % 8 + bits <= 15`, so a single word
+    // always covers the window; all that's needed is 8 readable bytes
+    // from the word base.
+    let limit = packed.len().saturating_sub(7);
+    let mut bit = 0usize;
+    let mut done = 0usize;
+    for slot in out.iter_mut() {
+        let base = bit >> 3;
+        if base >= limit {
+            break;
         }
-        out.push((acc & mask) as u8);
-        acc >>= bits;
-        acc_bits -= bits;
+        let word = u64::from_le_bytes(packed[base..base + 8].try_into().expect("8 bytes"));
+        *slot = ((word >> (bit & 7)) & mask) as u8;
+        bit += bits;
+        done += 1;
+    }
+    // Bytewise tail: the last few elements whose containing word would
+    // read past the end of the stream. The length check above guarantees
+    // every byte the window itself needs is present.
+    for slot in out.iter_mut().skip(done) {
+        let base = bit >> 3;
+        let end = (bit + bits).div_ceil(8);
+        let mut acc = 0u32;
+        for (off, &b) in packed[base..end].iter().enumerate() {
+            acc |= u32::from(b) << (8 * off);
+        }
+        *slot = ((acc >> (bit & 7)) as u64 & mask) as u8;
+        bit += bits;
     }
     Ok(out)
 }

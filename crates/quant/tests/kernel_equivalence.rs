@@ -1,0 +1,152 @@
+//! Equivalence properties for the fused kernels.
+//!
+//! The single-pass kernels in `gobo_quant::kernel` and the
+//! word-at-a-time bit packer claim **bit-identical** output to the
+//! scalar separate-pass implementations preserved in
+//! `gobo_quant::reference`. These tests enforce that claim across
+//! random layers, every supported bit width, and degenerate inputs
+//! (constant layers, duplicate centroids, codebook-sized layers).
+
+use gobo_quant::gobo::{self, Clustering};
+use gobo_quant::packing;
+use gobo_quant::reference;
+use gobo_quant::{kmeans, linear, Codebook};
+use proptest::prelude::*;
+
+fn f32_bits(xs: &[f32]) -> Vec<u32> {
+    xs.iter().map(|x| x.to_bits()).collect()
+}
+
+fn f64_bits(xs: &[f64]) -> Vec<u64> {
+    xs.iter().map(|x| x.to_bits()).collect()
+}
+
+/// Panics unless the two clusterings agree bit-for-bit: codebook,
+/// assignments, both trace norms, and the selected iteration.
+fn assert_identical(fused: &Clustering, scalar: &Clustering) {
+    assert_eq!(
+        f32_bits(fused.codebook.centroids()),
+        f32_bits(scalar.codebook.centroids()),
+        "codebooks differ"
+    );
+    assert_eq!(fused.assignments, scalar.assignments, "assignments differ");
+    assert_eq!(f64_bits(&fused.trace.l1), f64_bits(&scalar.trace.l1), "L1 traces differ");
+    assert_eq!(f64_bits(&fused.trace.l2), f64_bits(&scalar.trace.l2), "L2 traces differ");
+    assert_eq!(
+        fused.trace.selected_iteration, scalar.trace.selected_iteration,
+        "selected iterations differ"
+    );
+}
+
+fn compare_all_methods(values: &[f32], clusters: usize) {
+    let fused = gobo::quantize_g(values, clusters, 60).unwrap();
+    let scalar = reference::scalar_gobo_quantize_g(values, clusters, 60).unwrap();
+    assert_identical(&fused, &scalar);
+
+    let fused = kmeans::quantize_g(values, clusters, 200).unwrap();
+    let scalar = reference::scalar_kmeans_quantize_g(values, clusters, 200).unwrap();
+    assert_identical(&fused, &scalar);
+
+    let fused = linear::quantize_g(values, clusters).unwrap();
+    let scalar = reference::scalar_linear_quantize_g(values, clusters).unwrap();
+    assert_identical(&fused, &scalar);
+}
+
+/// G-group-like weights with at least 256 entries so every bit width
+/// up to 8 has enough values for its codebook.
+fn g_values() -> impl Strategy<Value = Vec<f32>> {
+    proptest::collection::vec(-0.15f32..0.15, 260..600)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn fused_quantizers_match_scalar_reference(w in g_values(), bits in 1u8..=8) {
+        compare_all_methods(&w, 1usize << bits);
+    }
+
+    #[test]
+    fn fused_quantizers_match_scalar_reference_on_sorted_input(w in g_values(), bits in 1u8..=8) {
+        // Ascending input routes the fused path through the O(n + k)
+        // boundary-merge sweep; the scalar reference still binary
+        // searches, so this pins the partition_point emulation.
+        let mut w = w;
+        w.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        compare_all_methods(&w, 1usize << bits);
+    }
+
+    #[test]
+    fn fused_sweep_matches_codebook_passes(
+        values in proptest::collection::vec(-0.3f32..0.3, 1..400),
+        centroids in proptest::collection::vec(-0.25f32..0.25, 1..40),
+    ) {
+        // Random centroid tables (duplicates included) against the
+        // public Codebook building blocks the sweep fuses.
+        let cb = Codebook::new(centroids).unwrap();
+        let mut assignments = vec![0u8; values.len()];
+        let mut sums = vec![0.0f64; cb.len()];
+        let mut counts = vec![0u64; cb.len()];
+        let stats = gobo_quant::kernel::fused_sweep(
+            &values, cb.centroids(), &mut assignments, &mut sums, &mut counts,
+        );
+        let expected = cb.assign(&values);
+        prop_assert_eq!(&assignments, &expected);
+        prop_assert_eq!(stats.l1.to_bits(), cb.l1_norm(&values, &expected).to_bits());
+        prop_assert_eq!(stats.l2.to_bits(), cb.l2_norm(&values, &expected).to_bits());
+        let mut updated = cb.centroids().to_vec();
+        gobo_quant::kernel::update_centroids(&mut updated, &sums, &counts);
+        prop_assert_eq!(f32_bits(&updated), f32_bits(cb.update_means(&values, &expected).centroids()));
+    }
+
+    #[test]
+    fn word_packing_matches_bytewise_oracle(
+        values in proptest::collection::vec(0u8..=255, 0..900),
+        bits in 1u8..=8,
+    ) {
+        let mask = if bits == 8 { 0xFF } else { (1u8 << bits) - 1 };
+        let clipped: Vec<u8> = values.iter().map(|v| v & mask).collect();
+        let word = packing::pack(&clipped, bits).unwrap();
+        let byte = reference::pack_bytewise(&clipped, bits).unwrap();
+        prop_assert_eq!(word.to_vec(), byte.to_vec());
+        // Both unpackers invert both packers.
+        prop_assert_eq!(packing::unpack(&word, bits, clipped.len()).unwrap(), clipped.clone());
+        prop_assert_eq!(reference::unpack_bytewise(&word, bits, clipped.len()).unwrap(), clipped);
+    }
+}
+
+#[test]
+fn degenerate_layers_match_scalar_reference() {
+    let constant = vec![0.5f32; 300];
+    let two_valued: Vec<f32> = (0..300).map(|i| (i % 2) as f32).collect();
+    let codebook_sized: Vec<f32> = (0..256).map(|i| i as f32 * 0.01 - 1.28).collect();
+    let tiny = vec![-1.0f32, 1.0, 0.0, 0.25];
+    for values in [&constant, &two_valued, &codebook_sized, &tiny] {
+        for bits in 1u8..=8 {
+            let clusters = 1usize << bits;
+            if clusters > values.len() {
+                continue;
+            }
+            compare_all_methods(values, clusters);
+        }
+    }
+}
+
+#[test]
+fn packing_error_cases_match_bytewise_oracle() {
+    // Oversized value, bad widths, truncated payload: both
+    // implementations must agree on every rejection.
+    assert!(packing::pack(&[8], 3).is_err() && reference::pack_bytewise(&[8], 3).is_err());
+    for bits in [0u8, 9] {
+        assert!(
+            packing::pack(&[0], bits).is_err() && reference::pack_bytewise(&[0], bits).is_err()
+        );
+        assert!(
+            packing::unpack(&[0], bits, 1).is_err()
+                && reference::unpack_bytewise(&[0], bits, 1).is_err()
+        );
+    }
+    let packed = packing::pack(&[1, 2, 3, 4, 5], 4).unwrap();
+    assert!(packing::unpack(&packed[..1], 4, 5).is_err());
+    assert!(reference::unpack_bytewise(&packed[..1], 4, 5).is_err());
+}

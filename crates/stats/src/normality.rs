@@ -58,12 +58,7 @@ pub fn moments(sample: &[f32]) -> Result<Moments, StatsError> {
         return Err(StatsError::ZeroVariance);
     }
     let std = m2.sqrt();
-    Ok(Moments {
-        mean,
-        std,
-        skewness: m3 / m2.powf(1.5),
-        excess_kurtosis: m4 / (m2 * m2) - 3.0,
-    })
+    Ok(Moments { mean, std, skewness: m3 / m2.powf(1.5), excess_kurtosis: m4 / (m2 * m2) - 3.0 })
 }
 
 /// The Jarque–Bera statistic: `n/6 · (S² + K²/4)`.

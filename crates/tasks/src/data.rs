@@ -333,10 +333,18 @@ mod tests {
     #[test]
     fn spec_validation() {
         assert!(spec().validate().is_ok());
-        assert!(TaskSpec { vocab: 62, clusters: 5, sentence_len: 5, noise: 0.0 }.validate().is_err());
-        assert!(TaskSpec { vocab: 62, clusters: 2, sentence_len: 5, noise: 0.0 }.validate().is_err());
-        assert!(TaskSpec { vocab: 62, clusters: 6, sentence_len: 0, noise: 0.0 }.validate().is_err());
-        assert!(TaskSpec { vocab: 10, clusters: 6, sentence_len: 5, noise: 0.0 }.validate().is_err());
+        assert!(TaskSpec { vocab: 62, clusters: 5, sentence_len: 5, noise: 0.0 }
+            .validate()
+            .is_err());
+        assert!(TaskSpec { vocab: 62, clusters: 2, sentence_len: 5, noise: 0.0 }
+            .validate()
+            .is_err());
+        assert!(TaskSpec { vocab: 62, clusters: 6, sentence_len: 0, noise: 0.0 }
+            .validate()
+            .is_err());
+        assert!(TaskSpec { vocab: 10, clusters: 6, sentence_len: 5, noise: 0.0 }
+            .validate()
+            .is_err());
         assert!(TaskSpec::small(62).with_noise(1.5).validate().is_err());
         assert!(TaskSpec::small(62).with_noise(0.3).validate().is_ok());
     }

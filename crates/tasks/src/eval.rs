@@ -106,9 +106,8 @@ pub fn evaluate(
 fn pooled(model: &TransformerModel, ex: &Example) -> Result<Tensor, TaskError> {
     let out = model.encode(&ex.ids, &ex.type_ids)?;
     let hidden = model.config().hidden;
-    let pooled = out
-        .pooled
-        .ok_or(gobo_model::ModelError::InvalidInput { what: "model has no pooler" })?;
+    let pooled =
+        out.pooled.ok_or(gobo_model::ModelError::InvalidInput { what: "model has no pooler" })?;
     Ok(pooled.reshape(&[1, hidden]).map_err(gobo_model::ModelError::from)?)
 }
 
@@ -119,10 +118,8 @@ fn classify(
     ex: &Example,
 ) -> Result<usize, TaskError> {
     let p = pooled(model, ex)?;
-    let logits = p
-        .matmul_nt(weight)
-        .and_then(|l| l.add_bias(bias))
-        .map_err(gobo_model::ModelError::from)?;
+    let logits =
+        p.matmul_nt(weight).and_then(|l| l.add_bias(bias)).map_err(gobo_model::ModelError::from)?;
     Ok(logits.argmax_rows().map_err(gobo_model::ModelError::from)?[0])
 }
 
@@ -133,10 +130,8 @@ fn regress(
     ex: &Example,
 ) -> Result<f32, TaskError> {
     let p = pooled(model, ex)?;
-    let pred = p
-        .matmul_nt(weight)
-        .and_then(|l| l.add_bias(bias))
-        .map_err(gobo_model::ModelError::from)?;
+    let pred =
+        p.matmul_nt(weight).and_then(|l| l.add_bias(bias)).map_err(gobo_model::ModelError::from)?;
     Ok(pred.as_slice()[0] * 5.0)
 }
 
@@ -290,10 +285,7 @@ mod tests {
         let model = to_transformer_model("Tiny", &d, &trained.params).unwrap();
         let head = HeadWeights::extract(TaskKind::Nli, &trained.params).unwrap();
         let sts_data = sts(&s, 6, &mut rng).unwrap();
-        assert!(matches!(
-            evaluate(&model, &head, &sts_data),
-            Err(TaskError::LabelKindMismatch)
-        ));
+        assert!(matches!(evaluate(&model, &head, &sts_data), Err(TaskError::LabelKindMismatch)));
         assert!(matches!(evaluate(&model, &head, &[]), Err(TaskError::EmptyDataset)));
     }
 }

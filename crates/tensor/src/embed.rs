@@ -49,11 +49,7 @@ pub fn gather_rows(table: &Tensor, ids: &[usize]) -> Result<Tensor, TensorError>
 ///
 /// Returns [`TensorError::ShapeMismatch`] unless `grad` has one row per
 /// id, and [`TensorError::IndexOutOfBounds`] when any id exceeds `vocab`.
-pub fn scatter_add_rows(
-    grad: &Tensor,
-    ids: &[usize],
-    vocab: usize,
-) -> Result<Tensor, TensorError> {
+pub fn scatter_add_rows(grad: &Tensor, ids: &[usize], vocab: usize) -> Result<Tensor, TensorError> {
     let (rows, dim) = grad.shape().as_matrix()?;
     if rows != ids.len() {
         return Err(TensorError::ShapeMismatch {

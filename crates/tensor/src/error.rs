@@ -52,10 +52,9 @@ pub enum TensorError {
 impl fmt::Display for TensorError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            TensorError::ElementCount { got, expected } => write!(
-                f,
-                "element count {got} does not match shape requiring {expected}"
-            ),
+            TensorError::ElementCount { got, expected } => {
+                write!(f, "element count {got} does not match shape requiring {expected}")
+            }
             TensorError::ShapeMismatch { op, lhs, rhs } => {
                 write!(f, "{op}: incompatible shapes {lhs:?} and {rhs:?}")
             }
@@ -80,11 +79,7 @@ mod tests {
 
     #[test]
     fn display_mentions_shapes() {
-        let e = TensorError::ShapeMismatch {
-            op: "matmul",
-            lhs: vec![2, 3],
-            rhs: vec![4, 5],
-        };
+        let e = TensorError::ShapeMismatch { op: "matmul", lhs: vec![2, 3], rhs: vec![4, 5] };
         let s = e.to_string();
         assert!(s.contains("matmul"));
         assert!(s.contains("[2, 3]"));

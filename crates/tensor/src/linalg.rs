@@ -229,7 +229,11 @@ pub fn stack_rows(rows: &[Tensor]) -> Result<Tensor, TensorError> {
 /// divisible by `heads`, or a rank error when `x` is not rank 2.
 pub fn split_heads(x: &Tensor, heads: usize) -> Result<Tensor, TensorError> {
     if x.shape().rank() != 2 {
-        return Err(TensorError::RankMismatch { op: "split_heads", expected: 2, got: x.shape().rank() });
+        return Err(TensorError::RankMismatch {
+            op: "split_heads",
+            expected: 2,
+            got: x.shape().rank(),
+        });
     }
     let (rows, cols) = (x.dims()[0], x.dims()[1]);
     if heads == 0 || cols % heads != 0 {
@@ -260,7 +264,11 @@ pub fn split_heads(x: &Tensor, heads: usize) -> Result<Tensor, TensorError> {
 /// Returns a rank error when `x` is not rank 3.
 pub fn merge_heads(x: &Tensor) -> Result<Tensor, TensorError> {
     if x.shape().rank() != 3 {
-        return Err(TensorError::RankMismatch { op: "merge_heads", expected: 3, got: x.shape().rank() });
+        return Err(TensorError::RankMismatch {
+            op: "merge_heads",
+            expected: 3,
+            got: x.shape().rank(),
+        });
     }
     let (heads, rows, hd) = (x.dims()[0], x.dims()[1], x.dims()[2]);
     let cols = heads * hd;

@@ -34,7 +34,12 @@ impl Tensor {
     /// assert!((y.as_slice()[1] - 1.0).abs() < 1e-3);
     /// # Ok::<(), gobo_tensor::TensorError>(())
     /// ```
-    pub fn layer_norm(&self, gamma: &Tensor, beta: &Tensor, eps: f32) -> Result<Tensor, TensorError> {
+    pub fn layer_norm(
+        &self,
+        gamma: &Tensor,
+        beta: &Tensor,
+        eps: f32,
+    ) -> Result<Tensor, TensorError> {
         let (rows, cols) = self.shape().as_matrix()?;
         if cols == 0 {
             return Err(TensorError::EmptyDimension { op: "layer_norm" });
@@ -100,10 +105,9 @@ mod tests {
 
     #[test]
     fn normalized_rows_have_zero_mean_unit_var() {
-        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 10.0, 20.0, 30.0, 40.0], &[2, 4]).unwrap();
-        let y = x
-            .layer_norm(&Tensor::ones(&[4]), &Tensor::zeros(&[4]), LAYER_NORM_EPS)
-            .unwrap();
+        let x =
+            Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 10.0, 20.0, 30.0, 40.0], &[2, 4]).unwrap();
+        let y = x.layer_norm(&Tensor::ones(&[4]), &Tensor::zeros(&[4]), LAYER_NORM_EPS).unwrap();
         for m in row_moments(&y).unwrap() {
             assert!(m.mean.abs() < 1e-5);
             assert!((m.var - 1.0).abs() < 1e-3);

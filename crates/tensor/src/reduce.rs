@@ -108,7 +108,8 @@ impl Tensor {
     pub fn sum_rows(&self) -> Result<Tensor, TensorError> {
         let (rows, cols) = self.shape().as_matrix()?;
         let data = self.as_slice();
-        let sums: Vec<f32> = (0..rows).map(|r| data[r * cols..(r + 1) * cols].iter().sum()).collect();
+        let sums: Vec<f32> =
+            (0..rows).map(|r| data[r * cols..(r + 1) * cols].iter().sum()).collect();
         Tensor::from_vec(sums, &[rows])
     }
 

@@ -82,8 +82,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(42);
         let t = randn(&mut rng, &[50_000], 1.0, 2.0);
         let mean = t.mean();
-        let var = t.as_slice().iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>()
-            / (t.len() as f32);
+        let var =
+            t.as_slice().iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / (t.len() as f32);
         assert!((mean - 1.0).abs() < 0.05, "mean {mean}");
         assert!((var - 4.0).abs() < 0.15, "var {var}");
     }

@@ -314,7 +314,10 @@ mod tests {
         let examples: Vec<(Vec<usize>, usize)> = (0..24)
             .map(|i| {
                 let first = i % d.vocab;
-                (vec![first, (i * 5) % d.vocab, (i * 3) % d.vocab], usize::from(first < d.vocab / 2))
+                (
+                    vec![first, (i * 5) % d.vocab, (i * 3) % d.vocab],
+                    usize::from(first < d.vocab / 2),
+                )
             })
             .collect();
 

@@ -158,8 +158,7 @@ mod tests {
 
     #[test]
     fn from_iterator_collects() {
-        let p: ParamSet =
-            vec![("x".to_owned(), Tensor::zeros(&[1]))].into_iter().collect();
+        let p: ParamSet = vec![("x".to_owned(), Tensor::zeros(&[1]))].into_iter().collect();
         assert_eq!(p.len(), 1);
     }
 }

@@ -35,27 +35,13 @@ enum Op {
     Tanh(VarId),
     Relu(VarId),
     Softmax(VarId),
-    LayerNorm {
-        x: VarId,
-        gamma: VarId,
-        beta: VarId,
-        eps: f32,
-    },
-    Embedding {
-        table: VarId,
-        ids: Vec<usize>,
-    },
+    LayerNorm { x: VarId, gamma: VarId, beta: VarId, eps: f32 },
+    Embedding { table: VarId, ids: Vec<usize> },
     Row(VarId, usize),
     Reshape(VarId),
     Mean(VarId),
-    CrossEntropy {
-        logits: VarId,
-        targets: Vec<usize>,
-    },
-    Mse {
-        pred: VarId,
-        target: VarId,
-    },
+    CrossEntropy { logits: VarId, targets: Vec<usize> },
+    Mse { pred: VarId, target: VarId },
 }
 
 #[derive(Debug, Clone)]
@@ -238,12 +224,11 @@ impl Graph {
     ///
     /// Propagates shape mismatches as [`TrainError::Tensor`].
     pub fn merge_heads(&mut self, a: VarId) -> Result<VarId, TrainError> {
-        let heads = self
-            .val(a)
-            .dims()
-            .first()
-            .copied()
-            .ok_or(TensorError::RankMismatch { op: "merge_heads", expected: 3, got: 0 })?;
+        let heads = self.val(a).dims().first().copied().ok_or(TensorError::RankMismatch {
+            op: "merge_heads",
+            expected: 3,
+            got: 0,
+        })?;
         let value = merge_heads(self.val(a))?;
         let rg = self.needs(a);
         Ok(self.push(Op::MergeHeads(a, heads), value, rg))
@@ -529,8 +514,7 @@ impl Graph {
                     for c in 0..cols {
                         let xhat = (xs[r * cols + c] - m.mean) * inv;
                         let dyg = dyv[r * cols + c] * g[c];
-                        dxs[r * cols + c] =
-                            inv * (dyg - sum_dyg / n - xhat * sum_dyg_xhat / n);
+                        dxs[r * cols + c] = inv * (dyg - sum_dyg / n - xhat * sum_dyg_xhat / n);
                     }
                 }
                 self.accumulate(grads, *x, dx)?;
@@ -669,10 +653,7 @@ mod tests {
 
     #[test]
     fn bias_and_activation_gradients() {
-        let params = vec![
-            t(vec![0.5, -0.3, 0.2, 0.8], &[2, 2]),
-            t(vec![0.1, -0.2], &[2]),
-        ];
+        let params = vec![t(vec![0.5, -0.3, 0.2, 0.8], &[2, 2]), t(vec![0.1, -0.2], &[2])];
         grad_check(
             &|g, p| {
                 let a = g.parameter(p[0].clone());
@@ -842,10 +823,7 @@ mod tests {
     fn cross_entropy_validates_targets() {
         let mut g = Graph::new();
         let logits = g.parameter(t(vec![0.0; 6], &[2, 3]));
-        assert!(matches!(
-            g.cross_entropy(logits, &[0]),
-            Err(TrainError::TargetMismatch { .. })
-        ));
+        assert!(matches!(g.cross_entropy(logits, &[0]), Err(TrainError::TargetMismatch { .. })));
         assert!(matches!(
             g.cross_entropy(logits, &[0, 5]),
             Err(TrainError::ClassOutOfRange { class: 5, classes: 3 })

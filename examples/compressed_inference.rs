@@ -45,11 +45,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         (0..rows).map(|r| (0..cols).map(|c| dense[r * cols + c] * x[c]).sum()).collect();
     let t_dense = t0.elapsed();
 
-    let max_diff = y_compressed
-        .iter()
-        .zip(&y_dense)
-        .map(|(a, b)| (a - b).abs())
-        .fold(0.0f32, f32::max);
+    let max_diff =
+        y_compressed.iter().zip(&y_dense).map(|(a, b)| (a - b).abs()).fold(0.0f32, f32::max);
     println!("max |compressed - dense| = {max_diff:.2e} (identical math, different order)");
     println!("compressed-domain matvec: {t_compressed:?}");
     println!("decode ({t_decode:?}) + dense matvec ({t_dense:?})");

@@ -31,7 +31,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let g = gobo::quantize_g(split.g_values(), 8, 1000)?;
     let k = kmeans::quantize_g(split.g_values(), 8, 1000)?;
 
-    println!("\n{:>5} {:>16} {:>16} {:>16} {:>16}", "iter", "GOBO L1", "GOBO L2", "KMeans L1", "KMeans L2");
+    println!(
+        "\n{:>5} {:>16} {:>16} {:>16} {:>16}",
+        "iter", "GOBO L1", "GOBO L2", "KMeans L1", "KMeans L2"
+    );
     let rows = g.trace.iterations().max(k.trace.iterations());
     for i in 0..rows {
         let cell = |v: Option<&f64>| v.map_or("-".to_owned(), |x| format!("{x:.1}"));

@@ -17,9 +17,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let options = if full { ExperimentOptions::full() } else { ExperimentOptions::smoke() };
 
     // --- Size side (Table VII) -------------------------------------------
-    println!("embedding-table compression (synthetic, {} geometry):",
-        if full { "full-scale" } else { "1/16-scale" });
-    println!("{:<16} {:>12} {:>12} {:>7} {:>12} {:>7}", "Model", "FP32 KB", "3-bit KB", "CR", "4-bit KB", "CR");
+    println!(
+        "embedding-table compression (synthetic, {} geometry):",
+        if full { "full-scale" } else { "1/16-scale" }
+    );
+    println!(
+        "{:<16} {:>12} {:>12} {:>7} {:>12} {:>7}",
+        "Model", "FP32 KB", "3-bit KB", "CR", "4-bit KB", "CR"
+    );
     for model in PaperModel::all() {
         let config = scaled_config(&model.config(), options.geometry_divisor)?;
         let r3 = embedding_compression(&config, 3, options.seed)?;
@@ -41,8 +46,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let zoo = train_zoo_model(PaperModel::BertBase, TaskKind::Nli, scale)?;
     println!("baseline accuracy: {:.2}%", zoo.baseline.value * 100.0);
     for (label, opts) in [
-        ("FP32 weights + 3-bit embeddings", QuantizeOptions::gobo(3)?.with_embedding_bits(3)?.embeddings_only()),
-        ("FP32 weights + 4-bit embeddings", QuantizeOptions::gobo(3)?.with_embedding_bits(4)?.embeddings_only()),
+        (
+            "FP32 weights + 3-bit embeddings",
+            QuantizeOptions::gobo(3)?.with_embedding_bits(3)?.embeddings_only(),
+        ),
+        (
+            "FP32 weights + 4-bit embeddings",
+            QuantizeOptions::gobo(3)?.with_embedding_bits(4)?.embeddings_only(),
+        ),
         ("3-bit GOBO + 3-bit embeddings ", QuantizeOptions::gobo(3)?.with_embedding_bits(3)?),
         ("3-bit GOBO + 4-bit embeddings ", QuantizeOptions::gobo(3)?.with_embedding_bits(4)?),
     ] {

@@ -15,11 +15,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let scale = if full { ZooScale::Full } else { ZooScale::Smoke };
     println!("training BERT-Base stand-in on the MNLI-like task ({scale:?})...");
     let zoo = train_zoo_model(PaperModel::BertBase, TaskKind::Nli, scale)?;
-    println!(
-        "baseline {}: {:.2}%",
-        zoo.baseline.metric,
-        zoo.baseline.value * 100.0
-    );
+    println!("baseline {}: {:.2}%", zoo.baseline.metric, zoo.baseline.value * 100.0);
 
     let sweep = sweep_one(&zoo)?;
     println!("\n{:>4} {:>18} {:>18} {:>18} {:>9}", "Bits", "Linear", "K-Means", "GOBO", "Pot. CR");

@@ -13,8 +13,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // --- Single layer -----------------------------------------------------
     // GOBO works on any FP32 weight slice: here, 64k Gaussian-ish weights
     // with a few strong outliers.
-    let mut weights: Vec<f32> =
-        (0..65_536).map(|i| ((i as f32) * 0.1).sin() * 0.05 + ((i as f32) * 0.013).cos() * 0.01).collect();
+    let mut weights: Vec<f32> = (0..65_536)
+        .map(|i| ((i as f32) * 0.1).sin() * 0.05 + ((i as f32) * 0.013).cos() * 0.01)
+        .collect();
     weights[123] = 1.5;
     weights[40_000] = -1.2;
 

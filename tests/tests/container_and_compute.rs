@@ -10,8 +10,8 @@ use gobo_tensor::Tensor;
 
 #[test]
 fn archive_round_trip_preserves_task_accuracy() {
-    let zoo = train_zoo_model(PaperModel::DistilBert, TaskKind::Nli, ZooScale::Smoke)
-        .expect("training");
+    let zoo =
+        train_zoo_model(PaperModel::DistilBert, TaskKind::Nli, ZooScale::Smoke).expect("training");
     let outcome =
         quantize_model(&zoo.model, &QuantizeOptions::gobo(3).expect("opts")).expect("quantize");
 
@@ -35,20 +35,15 @@ fn archive_round_trip_preserves_task_accuracy() {
 
 #[test]
 fn compressed_domain_fc_matches_decoded_model_layer() {
-    let zoo = train_zoo_model(PaperModel::DistilBert, TaskKind::Nli, ZooScale::Smoke)
-        .expect("training");
+    let zoo =
+        train_zoo_model(PaperModel::DistilBert, TaskKind::Nli, ZooScale::Smoke).expect("training");
     let outcome =
         quantize_model(&zoo.model, &QuantizeOptions::gobo(3).expect("opts")).expect("quantize");
 
     // Pick the intermediate FC of encoder 0 and compare compressed-domain
     // matvec against the decoded weight matrix.
     let name = "encoder.0.intermediate";
-    let spec = zoo
-        .model
-        .fc_layers()
-        .into_iter()
-        .find(|s| s.name == name)
-        .expect("layer spec");
+    let spec = zoo.model.fc_layers().into_iter().find(|s| s.name == name).expect("layer spec");
     let layer = outcome.archive.get(name).expect("archived layer").clone();
     let qm = QuantizedMatrix::new(layer, spec.rows, spec.cols).expect("matrix");
 
@@ -67,8 +62,8 @@ fn compressed_domain_fc_matches_decoded_model_layer() {
 fn cli_formats_interoperate_with_pipeline() {
     // The CLI's compressed format must round-trip a *trained* model, not
     // just random weights, and reproduce the pipeline's decode.
-    let zoo = train_zoo_model(PaperModel::DistilBert, TaskKind::Sts, ZooScale::Smoke)
-        .expect("training");
+    let zoo =
+        train_zoo_model(PaperModel::DistilBert, TaskKind::Sts, ZooScale::Smoke).expect("training");
     let options = QuantizeOptions::gobo(4).expect("opts").with_embedding_bits(4).expect("emb");
     let outcome = quantize_model(&zoo.model, &options).expect("quantize");
 

@@ -57,9 +57,8 @@ fn mixed_precision_plan_controls_every_encoder() {
         .expect("rule");
     let opts = QuantizeOptions::gobo(3).expect("opts").with_weight_plan(plan);
     let outcome = quantize_model(&model, &opts).expect("q");
-    let bits_of = |name: &str| {
-        outcome.report.layers.iter().find(|l| l.name == name).expect("row").bits
-    };
+    let bits_of =
+        |name: &str| outcome.report.layers.iter().find(|l| l.name == name).expect("row").bits;
     assert_eq!(bits_of("encoder.0.attention.key"), 3);
     assert_eq!(bits_of("encoder.1.attention.key"), 5);
     assert_eq!(bits_of("encoder.2.attention.key"), 5);
@@ -94,9 +93,7 @@ fn outlier_values_survive_pipeline_bit_exactly() {
     let dims = w.dims().to_vec();
     w.as_mut_slice()[7] = 2.5;
     w.as_mut_slice()[100] = -3.0;
-    model
-        .set_weight(name, w.reshape(&dims).expect("reshape"))
-        .expect("set");
+    model.set_weight(name, w.reshape(&dims).expect("reshape")).expect("set");
     let outcome = quantize_model(&model, &QuantizeOptions::gobo(3).expect("opts")).expect("q");
     let decoded = outcome.model.weight(name).expect("layer");
     assert_eq!(decoded.as_slice()[7], 2.5);

@@ -66,10 +66,7 @@ fn more_bits_never_catastrophically_worse() {
     };
     let coarse = score_at(2);
     let fine = score_at(6);
-    assert!(
-        fine >= coarse - 0.1,
-        "6-bit ({fine}) should not be much worse than 2-bit ({coarse})"
-    );
+    assert!(fine >= coarse - 0.1, "6-bit ({fine}) should not be much worse than 2-bit ({coarse})");
 }
 
 #[test]
@@ -79,9 +76,7 @@ fn reference_quantizers_compose_with_models() {
     // Q8BERT-style 8-bit symmetric quantization of everything barely
     // moves accuracy.
     let q8 = transform_weights(&zoo.model, true, |_n, w| {
-        Ok(gobo_quant::reference::SymmetricQuantizedLayer::encode(w)
-            .expect("encode")
-            .decode())
+        Ok(gobo_quant::reference::SymmetricQuantizedLayer::encode(w).expect("encode").decode())
     })
     .expect("transform");
     let score = evaluate(&q8, &zoo.head, &zoo.test_data).expect("evaluate");
@@ -97,10 +92,8 @@ fn reference_quantizers_compose_with_models() {
 fn embedding_quantization_composes_with_weight_quantization() {
     let zoo = train_zoo_model(PaperModel::DistilBert, TaskKind::Nli, ZooScale::Smoke)
         .expect("training succeeds");
-    let opts = QuantizeOptions::gobo(3)
-        .expect("options")
-        .with_embedding_bits(4)
-        .expect("embedding bits");
+    let opts =
+        QuantizeOptions::gobo(3).expect("options").with_embedding_bits(4).expect("embedding bits");
     let (score, report) = zoo.quantized_score(&opts).expect("quantized evaluation");
     assert!(score.value.is_finite());
     // Report covers FC layers + embedding tables.

@@ -1,0 +1,160 @@
+//! Offline stand-in for `proptest`: deterministic random property
+//! testing covering the subset of the API this workspace uses.
+//!
+//! Differences from real proptest, deliberately accepted:
+//!
+//! - **No shrinking.** A failing case reports the test name, case
+//!   number, and assertion message; cases are deterministic per test
+//!   name, so failures reproduce on re-run.
+//! - **No persistence.** `.proptest-regressions` files are ignored.
+//! - Strategies generate values directly instead of building value
+//!   trees.
+//!
+//! Supported surface: range strategies for the primitive integer and
+//! float types, tuple strategies up to arity 6, `prop_map`,
+//! `prop_flat_map`, `prop_filter`, `prop_filter_map`,
+//! `collection::vec` with exact / range / inclusive-range sizes,
+//! `any::<T>()` for primitives, `Just`, the `proptest!` macro with an
+//! optional `#![proptest_config(..)]` header, `ProptestConfig`,
+//! `prop_assert!`, `prop_assert_eq!`, `prop_assert_ne!`, and
+//! `prop_assume!`.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// The glob import used by test files: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Declares property tests. Supports an optional leading
+/// `#![proptest_config(expr)]` followed by `#[test] fn` items whose
+/// parameters use `name in strategy` syntax.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = ($config); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            config = ($crate::test_runner::ProptestConfig::default());
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (
+        config = ($config:expr);
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config = $config;
+                let strategy = ($($strat,)+);
+                $crate::test_runner::run_property(
+                    &config,
+                    stringify!($name),
+                    strategy,
+                    |($($arg,)+)| {
+                        $body
+                        #[allow(unreachable_code)]
+                        Ok(())
+                    },
+                );
+            }
+        )*
+    };
+}
+
+/// Fails the current case (with an optional formatted message) if the
+/// condition is false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: {}",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: {}: {}",
+                stringify!($cond),
+                format!($($fmt)+)
+            )));
+        }
+    };
+}
+
+/// Fails the current case if the two expressions are not equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let l = $left;
+        let r = $right;
+        if !(l == r) {
+            return Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: {} == {}",
+                stringify!($left),
+                stringify!($right)
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let l = $left;
+        let r = $right;
+        if !(l == r) {
+            return Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: {} == {}: {}",
+                stringify!($left),
+                stringify!($right),
+                format!($($fmt)+)
+            )));
+        }
+    }};
+}
+
+/// Fails the current case if the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let l = $left;
+        let r = $right;
+        if l == r {
+            return Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: {} != {}",
+                stringify!($left),
+                stringify!($right)
+            )));
+        }
+    }};
+}
+
+/// Rejects the current case (retried with a fresh input) if the
+/// condition is false.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::reject(format!(
+                "assumption failed: {}",
+                stringify!($cond)
+            )));
+        }
+    };
+}

@@ -1,0 +1,150 @@
+//! The property-test driver: configuration, errors, and the case loop.
+
+use crate::strategy::Strategy;
+use rand::SeedableRng;
+
+/// The RNG handed to strategies. Deterministic per test name, so runs
+/// are reproducible without a persistence file.
+pub type TestRng = rand::rngs::StdRng;
+
+/// Runner configuration; only `cases` is honoured.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of successful cases required for the property to pass.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` successful cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Why a single case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The property is violated: fail the whole test.
+    Fail(String),
+    /// The input is outside the property's domain: retry with a new one.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// A failure with the given message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// A rejection with the given message.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+fn seed_for(name: &str) -> u64 {
+    // FNV-1a over the test name: stable across runs and platforms.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Runs one property to completion; panics (failing the enclosing
+/// `#[test]`) on the first violated case.
+pub fn run_property<S, F>(config: &ProptestConfig, name: &str, strategy: S, mut property: F)
+where
+    S: Strategy,
+    F: FnMut(S::Value) -> Result<(), TestCaseError>,
+{
+    let mut rng = TestRng::seed_from_u64(seed_for(name));
+    let max_rejections = 256 * config.cases as usize + 1024;
+    let mut rejections = 0usize;
+    let mut passed = 0u32;
+    while passed < config.cases {
+        let Some(value) = strategy.generate(&mut rng) else {
+            rejections += 1;
+            assert!(
+                rejections <= max_rejections,
+                "proptest '{name}': too many rejected inputs ({rejections}); \
+                 strategy filters are too strict"
+            );
+            continue;
+        };
+        match property(value) {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject(why)) => {
+                rejections += 1;
+                assert!(
+                    rejections <= max_rejections,
+                    "proptest '{name}': too many rejected inputs ({rejections}): {why}"
+                );
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("proptest '{name}' failed (case {passed} of {}): {msg}", config.cases);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prelude::*;
+
+    #[test]
+    fn seeds_are_stable_per_name() {
+        assert_eq!(seed_for("alpha"), seed_for("alpha"));
+        assert_ne!(seed_for("alpha"), seed_for("beta"));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_respect_bounds(x in 3usize..17, y in -2.0f32..2.0, b in 1u8..=8) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-2.0..2.0).contains(&y));
+            prop_assert!((1..=8).contains(&b));
+        }
+
+        #[test]
+        fn vec_lengths_respect_size(v in crate::collection::vec(0u8..=255, 4..9)) {
+            prop_assert!(v.len() >= 4 && v.len() < 9);
+        }
+
+        #[test]
+        fn exact_size_vec(v in crate::collection::vec(0.0f64..1.0, 12usize)) {
+            prop_assert_eq!(v.len(), 12);
+        }
+
+        #[test]
+        fn map_and_filter_compose(
+            n in (0u32..100).prop_map(|v| v * 2).prop_filter("even", |v| v % 2 == 0)
+        ) {
+            prop_assert!(n % 2 == 0);
+            prop_assert!(n < 200);
+        }
+
+        #[test]
+        fn flat_map_builds_dependent_sizes(
+            v in (1usize..6).prop_flat_map(|n| crate::collection::vec(0u64..10, n))
+        ) {
+            prop_assert!(!v.is_empty() && v.len() < 6);
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(n in 0u32..10) {
+            prop_assume!(n != 3);
+            prop_assert!(n != 3);
+        }
+    }
+}

@@ -1,0 +1,110 @@
+//! Distributions: the `Standard` unit distribution and uniform ranges.
+
+use crate::RngCore;
+
+/// Maps raw generator bits to a value of `T`.
+pub trait Distribution<T> {
+    /// Samples one value.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// The standard distribution: `[0, 1)` for floats, full range for
+/// integers.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Standard;
+
+impl Distribution<f32> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+        // 24 explicit mantissa bits of randomness.
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+impl Distribution<f64> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Distribution<u32> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u32 {
+        rng.next_u32()
+    }
+}
+
+impl Distribution<u64> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Distribution<bool> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Uniform range sampling.
+pub mod uniform {
+    use crate::RngCore;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A range that can be sampled uniformly.
+    pub trait SampleRange<T> {
+        /// Samples one value from the range; panics on an empty range.
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+    }
+
+    macro_rules! int_range_impl {
+        ($($t:ty),*) => {$(
+            impl SampleRange<$t> for Range<$t> {
+                fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                    assert!(self.start < self.end, "cannot sample empty range");
+                    let span = (self.end as u128).wrapping_sub(self.start as u128);
+                    let v = (rng.next_u64() as u128) % span;
+                    self.start.wrapping_add(v as $t)
+                }
+            }
+            impl SampleRange<$t> for RangeInclusive<$t> {
+                fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "cannot sample empty range");
+                    let span = (hi as u128).wrapping_sub(lo as u128).wrapping_add(1);
+                    if span == 0 {
+                        // Full-width inclusive range of a 128-bit-spanning type.
+                        return rng.next_u64() as $t;
+                    }
+                    let v = (rng.next_u64() as u128) % span;
+                    lo.wrapping_add(v as $t)
+                }
+            }
+        )*};
+    }
+
+    int_range_impl!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! float_range_impl {
+        ($($t:ty),*) => {$(
+            impl SampleRange<$t> for Range<$t> {
+                fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                    assert!(self.start < self.end, "cannot sample empty range");
+                    let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+                    let v = self.start as f64 + (self.end as f64 - self.start as f64) * unit;
+                    let v = v as $t;
+                    // Guard against rounding up onto the excluded endpoint.
+                    if v >= self.end { self.start } else { v }
+                }
+            }
+            impl SampleRange<$t> for RangeInclusive<$t> {
+                fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "cannot sample empty range");
+                    let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+                    ((lo as f64 + (hi as f64 - lo as f64) * unit) as $t).clamp(lo, hi)
+                }
+            }
+        )*};
+    }
+
+    float_range_impl!(f32, f64);
+}

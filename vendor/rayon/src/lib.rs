@@ -1,0 +1,259 @@
+//! Offline stand-in for `rayon`: a bounded global worker pool with
+//! scoped task spawning.
+//!
+//! The API mirrors the subset of rayon this workspace uses —
+//! [`scope`]/[`Scope::spawn`], [`join`], and [`current_num_threads`] —
+//! with the same guarantees:
+//!
+//! - the pool is **global and bounded**: `RAYON_NUM_THREADS` or the
+//!   machine's available parallelism, created once, reused by every
+//!   call site. Spawning 10 000 tasks never creates 10 000 threads.
+//! - [`scope`] blocks until every task spawned inside it has finished,
+//!   so tasks may borrow from the caller's stack.
+//! - the thread calling [`scope`] *helps*: while waiting it pops and
+//!   runs queued tasks instead of sleeping, so nested scopes cannot
+//!   deadlock and a single-core machine still makes progress.
+//!
+//! Scheduling is a shared FIFO injector rather than per-worker
+//! work-stealing deques; for the coarse tasks this workspace spawns
+//! (whole layers, multi-thousand-element chunks) the difference is
+//! noise.
+
+use std::any::Any;
+use std::collections::VecDeque;
+use std::marker::PhantomData;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::thread;
+use std::time::Duration;
+
+type Job = Box<dyn FnOnce() + Send>;
+
+struct PoolState {
+    queue: Mutex<VecDeque<Job>>,
+    available: Condvar,
+}
+
+struct Pool {
+    state: Arc<PoolState>,
+    workers: usize,
+}
+
+static POOL: OnceLock<Pool> = OnceLock::new();
+
+fn pool() -> &'static Pool {
+    POOL.get_or_init(|| {
+        let workers = configured_threads();
+        let state =
+            Arc::new(PoolState { queue: Mutex::new(VecDeque::new()), available: Condvar::new() });
+        for i in 0..workers {
+            let st = Arc::clone(&state);
+            thread::Builder::new()
+                .name(format!("rayon-worker-{i}"))
+                .spawn(move || worker_loop(&st))
+                .expect("failed to spawn pool worker");
+        }
+        Pool { state, workers }
+    })
+}
+
+fn configured_threads() -> usize {
+    if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = v.parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+fn worker_loop(state: &PoolState) {
+    loop {
+        let job = {
+            let mut q = state.queue.lock().expect("pool queue poisoned");
+            loop {
+                if let Some(j) = q.pop_front() {
+                    break j;
+                }
+                q = state.available.wait(q).expect("pool queue poisoned");
+            }
+        };
+        job();
+    }
+}
+
+fn push_job(job: Job) {
+    let p = pool();
+    p.state.queue.lock().expect("pool queue poisoned").push_back(job);
+    p.state.available.notify_one();
+}
+
+fn try_pop_job() -> Option<Job> {
+    pool().state.queue.lock().expect("pool queue poisoned").pop_front()
+}
+
+/// Number of worker threads in the global pool.
+pub fn current_num_threads() -> usize {
+    pool().workers
+}
+
+struct ScopeState {
+    pending: AtomicUsize,
+    panic: Mutex<Option<Box<dyn Any + Send>>>,
+}
+
+impl ScopeState {
+    fn record_panic(&self, payload: Box<dyn Any + Send>) {
+        let mut slot = self.panic.lock().expect("scope panic slot poisoned");
+        slot.get_or_insert(payload);
+    }
+}
+
+/// A scope in which tasks borrowing the caller's stack may be spawned.
+pub struct Scope<'scope> {
+    state: Arc<ScopeState>,
+    _marker: PhantomData<fn(&'scope ()) -> &'scope ()>,
+}
+
+impl<'scope> Scope<'scope> {
+    /// Spawns a task on the global pool. The task may borrow anything
+    /// that outlives the enclosing [`scope`] call.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce(&Scope<'scope>) + Send + 'scope,
+    {
+        let state = Arc::clone(&self.state);
+        state.pending.fetch_add(1, Ordering::SeqCst);
+        let wrapper = move || {
+            let inner = Scope::<'scope> { state: Arc::clone(&state), _marker: PhantomData };
+            if let Err(payload) = panic::catch_unwind(AssertUnwindSafe(|| f(&inner))) {
+                inner.state.record_panic(payload);
+            }
+            state.pending.fetch_sub(1, Ordering::SeqCst);
+        };
+        let job: Box<dyn FnOnce() + Send + 'scope> = Box::new(wrapper);
+        // SAFETY: `scope` does not return until `pending` reaches zero,
+        // so the job (and everything it borrows, all outliving 'scope)
+        // stays valid for the job's whole execution. The transmute only
+        // erases the lifetime; layout is identical.
+        let job: Job = unsafe { std::mem::transmute(job) };
+        push_job(job);
+    }
+}
+
+/// Creates a scope, runs `f` in it, and blocks until every spawned
+/// task has completed. While blocked, the calling thread executes
+/// queued tasks itself ("help-first" waiting).
+///
+/// Panics from tasks are captured and re-raised here after all tasks
+/// have drained.
+pub fn scope<'scope, F, R>(f: F) -> R
+where
+    F: FnOnce(&Scope<'scope>) -> R,
+{
+    let state = Arc::new(ScopeState { pending: AtomicUsize::new(0), panic: Mutex::new(None) });
+    let s = Scope { state: Arc::clone(&state), _marker: PhantomData };
+    let result = panic::catch_unwind(AssertUnwindSafe(|| f(&s)));
+
+    // Drain: run queued jobs ourselves, sleep briefly only when the
+    // queue is empty but tasks are still in flight on workers.
+    while state.pending.load(Ordering::SeqCst) != 0 {
+        if let Some(job) = try_pop_job() {
+            job();
+        } else {
+            thread::sleep(Duration::from_micros(50));
+        }
+    }
+
+    if let Some(payload) = state.panic.lock().expect("scope panic slot poisoned").take() {
+        panic::resume_unwind(payload);
+    }
+    match result {
+        Ok(r) => r,
+        Err(payload) => panic::resume_unwind(payload),
+    }
+}
+
+/// Runs both closures, potentially in parallel, and returns both
+/// results.
+pub fn join<A, B, RA, RB>(oper_a: A, oper_b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    let mut rb: Option<RB> = None;
+    let ra = {
+        let rb_ref = &mut rb;
+        scope(move |s| {
+            s.spawn(move |_| *rb_ref = Some(oper_b()));
+            oper_a()
+        })
+    };
+    (ra, rb.expect("join task completed"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scope_runs_all_tasks_with_borrows() {
+        let mut out = vec![0usize; 64];
+        scope(|s| {
+            for (i, slot) in out.iter_mut().enumerate() {
+                s.spawn(move |_| *slot = i * 2);
+            }
+        });
+        assert!(out.iter().enumerate().all(|(i, &v)| v == i * 2));
+    }
+
+    #[test]
+    fn nested_scopes_complete() {
+        let mut totals = [0u64; 8];
+        scope(|s| {
+            for (i, t) in totals.iter_mut().enumerate() {
+                s.spawn(move |_| {
+                    let mut parts = [0u64; 4];
+                    scope(|inner| {
+                        for (j, p) in parts.iter_mut().enumerate() {
+                            inner.spawn(move |_| *p = (i * 10 + j) as u64);
+                        }
+                    });
+                    *t = parts.iter().sum();
+                });
+            }
+        });
+        for (i, &t) in totals.iter().enumerate() {
+            let expected: u64 = (0..4).map(|j| (i * 10 + j) as u64).sum();
+            assert_eq!(t, expected);
+        }
+    }
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = join(|| 2 + 2, || "ok");
+        assert_eq!(a, 4);
+        assert_eq!(b, "ok");
+    }
+
+    #[test]
+    fn thread_count_is_bounded_and_stable() {
+        let n = current_num_threads();
+        assert!(n >= 1);
+        assert_eq!(n, current_num_threads());
+    }
+
+    #[test]
+    fn task_panic_propagates() {
+        let caught = std::panic::catch_unwind(|| {
+            scope(|s| {
+                s.spawn(|_| panic!("boom"));
+            });
+        });
+        assert!(caught.is_err());
+    }
+}

@@ -1,0 +1,25 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace only uses serde's *derives* as forward-compatible
+//! annotations — nothing actually serializes through serde yet (the
+//! container format in `gobo-quant` is hand-rolled). This stand-in
+//! keeps those annotations compiling without network access: the traits
+//! are markers blanket-implemented for every type, and the derive
+//! macros expand to nothing.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker for serializable types (blanket-implemented).
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker for deserializable types (blanket-implemented).
+pub trait Deserialize<'de> {}
+
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Owned-deserialization marker, mirroring serde's blanket rule.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+
+impl<T: ?Sized> DeserializeOwned for T {}

@@ -1,0 +1,22 @@
+//! No-op derive macros backing the vendored `serde` stand-in.
+//!
+//! The real traits are blanket-implemented in the `serde` stand-in, so
+//! the derives only need to accept the attribute syntax and emit
+//! nothing.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` (and `#[serde(...)]` attributes) and
+/// expands to nothing; the blanket impl in `serde` covers the trait.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` (and `#[serde(...)]` attributes)
+/// and expands to nothing; the blanket impl in `serde` covers the
+/// trait.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
