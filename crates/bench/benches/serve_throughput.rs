@@ -1,0 +1,114 @@
+//! Serving-path throughput: end-to-end `gobo-serve` encode requests
+//! through the in-process client, sweeping the dynamic-batching knob.
+//!
+//! Two comparisons matter here:
+//!
+//! * **batching gain** — the same concurrent offered load at
+//!   `max_batch` 1 vs 8 vs 32 shows what coalescing buys when several
+//!   clients hit one model;
+//! * **serving overhead** — `direct_encode` is the raw
+//!   `TransformerModel::encode` call; the `max_batch=1`, single-client
+//!   case on top of it is the queue + scheduler + channel tax per
+//!   request.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gobo::format::CompressedModel;
+use gobo::pipeline::{quantize_model, QuantizeOptions};
+use gobo_model::config::ModelConfig;
+use gobo_model::TransformerModel;
+use gobo_serve::{Client, EncodeRequest, RegistryConfig, SchedulerConfig, ServeCore, ServeOptions};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const SEQ_LEN: usize = 16;
+const CLIENTS: usize = 4;
+const REQUESTS_PER_CLIENT: usize = 8;
+
+fn build_container() -> CompressedModel {
+    let config = ModelConfig::tiny("ServeBench", 2, 64, 4, 256, 64).expect("geometry");
+    let model = TransformerModel::new(config, &mut StdRng::seed_from_u64(0)).expect("model");
+    let outcome = quantize_model(&model, &QuantizeOptions::gobo(3).expect("bits")).expect("quant");
+    CompressedModel::new(&model, outcome.archive)
+}
+
+fn ids_for(client: usize, request: usize) -> Vec<usize> {
+    (0..SEQ_LEN).map(|t| 1 + (client * 31 + request * 7 + t) % 250).collect()
+}
+
+/// Offered load of `CLIENTS` threads against one core; returns after
+/// every request completes.
+fn drive(client: &Client) {
+    let mut joins = Vec::new();
+    for c in 0..CLIENTS {
+        let client = client.clone();
+        joins.push(std::thread::spawn(move || {
+            for r in 0..REQUESTS_PER_CLIENT {
+                client.encode(EncodeRequest::new("bench", ids_for(c, r))).expect("bench encode");
+            }
+        }));
+    }
+    for join in joins {
+        join.join().expect("bench client");
+    }
+}
+
+fn bench_serve_throughput(c: &mut Criterion) {
+    let container = build_container();
+    let mut group = c.benchmark_group("serve_throughput");
+    group.sample_size(10);
+
+    for max_batch in [1usize, 8, 32] {
+        let core = ServeCore::start(ServeOptions {
+            registry: RegistryConfig::default(),
+            scheduler: SchedulerConfig {
+                max_batch,
+                max_wait: Duration::from_micros(500),
+                queue_capacity: 4 * CLIENTS * REQUESTS_PER_CLIENT,
+                ..SchedulerConfig::default()
+            },
+        });
+        let client = Client::new(Arc::clone(&core));
+        client.register("bench", &container).expect("register");
+        drive(&client); // warm-up
+        group.bench_with_input(
+            BenchmarkId::new("concurrent_encode", max_batch),
+            &client,
+            |b, client| b.iter(|| drive(client)),
+        );
+        core.shutdown();
+    }
+    group.finish();
+}
+
+fn bench_serving_overhead(c: &mut Criterion) {
+    let container = build_container();
+    let model = container.decode().expect("decode");
+    let mut group = c.benchmark_group("serve_overhead");
+    group.sample_size(10);
+
+    group.bench_function("direct_encode", |b| {
+        b.iter(|| model.encode(&ids_for(0, 0), &[]).expect("encode"))
+    });
+
+    let core = ServeCore::start(ServeOptions {
+        registry: RegistryConfig::default(),
+        scheduler: SchedulerConfig {
+            max_batch: 1,
+            max_wait: Duration::ZERO,
+            ..SchedulerConfig::default()
+        },
+    });
+    let client = Client::new(Arc::clone(&core));
+    client.register("bench", &container).expect("register");
+    group.bench_function("served_encode", |b| {
+        b.iter(|| client.encode(EncodeRequest::new("bench", ids_for(0, 0))).expect("encode"))
+    });
+    group.finish();
+    core.shutdown();
+}
+
+criterion_group!(benches, bench_serve_throughput, bench_serving_overhead);
+criterion_main!(benches);

@@ -52,13 +52,24 @@ USAGE:
                 [--embedding-bits N] [--threshold T]
   gobo inspect  --input <model.gobor|model.gobom>
   gobo decode   --input <model.gobom> --output <model.gobor>
+  gobo serve    --model <model.gobom> [--model <more.gobom> ...]
+                [--name NAME ...] [--addr HOST:PORT] [--port-file PATH]
+                [--workers N] [--max-batch N] [--max-wait-us N]
+                [--queue-capacity N] [--max-bytes N] [--max-models N]
+  gobo bench-serve [--output BENCH_serve.json] [--layers N] [--hidden N]
+                [--bits N] [--clients N] [--requests N] [--seq-len N]
 
 FORMATS:
   .gobor  raw FP32 model (gobo-model io format)
-  .gobom  compressed model (config + FP32 aux + quantized layers)";
+  .gobom  compressed model (config + FP32 aux + quantized layers)
+
+SERVING:
+  `serve` decodes each .gobom once, then answers POST /v1/encode with
+  dynamic batching; GET /v1/models lists residents, GET /metrics is
+  Prometheus text, POST /v1/shutdown drains and exits.";
 
 /// Minimal flag parser: `--name value` pairs after the subcommand.
-struct Args {
+pub(crate) struct Args {
     pairs: Vec<(String, String)>,
 }
 
@@ -80,15 +91,24 @@ impl Args {
         Ok(Args { pairs })
     }
 
-    fn get(&self, name: &str) -> Option<&str> {
+    pub(crate) fn get(&self, name: &str) -> Option<&str> {
         self.pairs.iter().find(|(k, _)| k == name).map(|(_, v)| v.as_str())
     }
 
-    fn require(&self, name: &str) -> Result<&str, CliError> {
+    /// All values of a repeatable flag, in order of appearance.
+    pub(crate) fn get_all(&self, name: &str) -> Vec<&str> {
+        self.pairs.iter().filter(|(k, _)| k == name).map(|(_, v)| v.as_str()).collect()
+    }
+
+    pub(crate) fn require(&self, name: &str) -> Result<&str, CliError> {
         self.get(name).ok_or_else(|| CliError::Usage(format!("missing required flag --{name}")))
     }
 
-    fn parse_num<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, CliError> {
+    pub(crate) fn parse_num<T: std::str::FromStr>(
+        &self,
+        name: &str,
+        default: T,
+    ) -> Result<T, CliError> {
         match self.get(name) {
             None => Ok(default),
             Some(v) => {
@@ -113,6 +133,8 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "quantize" => quantize(&args),
         "inspect" => inspect(&args),
         "decode" => decode(&args),
+        "serve" => crate::serve_cmd::serve(&args),
+        "bench-serve" => crate::serve_cmd::bench_serve(&args),
         "help" | "--help" | "-h" => Ok(USAGE.to_owned()),
         other => Err(CliError::Usage(format!("unknown command `{other}`"))),
     }

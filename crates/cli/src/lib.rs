@@ -17,5 +17,6 @@
 
 pub mod cmd;
 pub mod format;
+mod serve_cmd;
 
 pub use cmd::{run, CliError};

@@ -1,0 +1,332 @@
+//! `gobo serve` and `gobo bench-serve`: the CLI face of `gobo-serve`.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use gobo::pipeline::{quantize_model, QuantizeOptions};
+use gobo_model::config::ModelConfig;
+use gobo_model::TransformerModel;
+use gobo_serve::json::Json;
+use gobo_serve::{
+    Client, EncodeRequest, RegistryConfig, SchedulerConfig, ServeCore, ServeOptions, Server,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::cmd::{Args, CliError};
+use crate::format::CompressedModel;
+
+fn scheduler_config(args: &Args) -> Result<SchedulerConfig, CliError> {
+    let defaults = SchedulerConfig::default();
+    Ok(SchedulerConfig {
+        workers: args.parse_num("workers", defaults.workers)?,
+        max_batch: args.parse_num("max-batch", defaults.max_batch)?,
+        max_wait: Duration::from_micros(
+            args.parse_num("max-wait-us", defaults.max_wait.as_micros() as u64)?,
+        ),
+        queue_capacity: args.parse_num("queue-capacity", defaults.queue_capacity)?,
+        default_deadline: Duration::from_millis(
+            args.parse_num("deadline-ms", defaults.default_deadline.as_millis() as u64)?,
+        ),
+    })
+}
+
+/// `gobo serve`: load `.gobom` files, bind, and serve until shutdown.
+pub(crate) fn serve(args: &Args) -> Result<String, CliError> {
+    let models = args.get_all("model");
+    if models.is_empty() {
+        return Err(CliError::Usage("serve needs at least one --model <file.gobom>".into()));
+    }
+    let names = args.get_all("name");
+    let addr = args.get("addr").unwrap_or("127.0.0.1:7070");
+    let registry_defaults = RegistryConfig::default();
+    let options = ServeOptions {
+        registry: RegistryConfig {
+            max_bytes: args.parse_num("max-bytes", registry_defaults.max_bytes)?,
+            max_models: args.parse_num("max-models", registry_defaults.max_models)?,
+        },
+        scheduler: scheduler_config(args)?,
+    };
+
+    let core = ServeCore::start(options);
+    let mut loaded = Vec::new();
+    for (i, path) in models.iter().enumerate() {
+        let name = match names.get(i) {
+            Some(name) => (*name).to_owned(),
+            None => std::path::Path::new(path)
+                .file_stem()
+                .map(|s| s.to_string_lossy().into_owned())
+                .ok_or_else(|| CliError::Usage(format!("cannot derive a name from `{path}`")))?,
+        };
+        let entry = core
+            .registry()
+            .load_file(&name, path)
+            .map_err(|e| CliError::Failed(format!("loading `{path}`: {e}")))?;
+        loaded.push(entry.key.to_string());
+    }
+
+    let server = Server::bind(Arc::clone(&core), addr)
+        .map_err(|e| CliError::Failed(format!("cannot bind `{addr}`: {e}")))?;
+    let local = server.local_addr();
+    if let Some(port_file) = args.get("port-file") {
+        std::fs::write(port_file, format!("{}\n", local.port()))?;
+    }
+    // `run` only returns its string after the server exits, so the
+    // address a caller needs to connect goes to stdout immediately.
+    println!("gobo-serve listening on http://{local} (models: {})", loaded.join(", "));
+    server.serve_until_shutdown();
+    Ok(format!("gobo-serve on {local} shut down after draining"))
+}
+
+/// One measured throughput configuration for `bench-serve`.
+struct BenchRow {
+    max_batch: usize,
+    requests: usize,
+    elapsed_us: u64,
+    latency_us_mean: f64,
+    batches: u64,
+    batch_size_max: u64,
+}
+
+/// `gobo bench-serve`: in-process client throughput at batch sizes
+/// 1/8/32, written to a JSON report.
+pub(crate) fn bench_serve(args: &Args) -> Result<String, CliError> {
+    let output = args.get("output").unwrap_or("BENCH_serve.json");
+    let layers: usize = args.parse_num("layers", 2)?;
+    let hidden: usize = args.parse_num("hidden", 64)?;
+    let bits: u8 = args.parse_num("bits", 3)?;
+    let clients: usize = args.parse_num("clients", 4)?.max(1);
+    let requests: usize = args.parse_num("requests", 128)?.max(clients);
+    let seq_len: usize = args.parse_num("seq-len", 16)?.max(1);
+    let seed: u64 = args.parse_num("seed", 0)?;
+
+    let config = ModelConfig::tiny("BenchServe", layers, hidden, 4, 256, 64)
+        .map_err(|e| CliError::Failed(format!("invalid bench geometry: {e}")))?;
+    let model = TransformerModel::new(config, &mut StdRng::seed_from_u64(seed))
+        .map_err(|e| CliError::Failed(e.to_string()))?;
+    let quant_options = QuantizeOptions::gobo(bits).map_err(|e| CliError::Failed(e.to_string()))?;
+    let outcome =
+        quantize_model(&model, &quant_options).map_err(|e| CliError::Failed(e.to_string()))?;
+    let compressed = CompressedModel::new(&model, outcome.archive);
+
+    let mut rows = Vec::new();
+    for max_batch in [1usize, 8, 32] {
+        let core = ServeCore::start(ServeOptions {
+            registry: RegistryConfig::default(),
+            scheduler: SchedulerConfig {
+                max_batch,
+                max_wait: Duration::from_micros(500),
+                queue_capacity: requests + clients,
+                ..SchedulerConfig::default()
+            },
+        });
+        let client = Client::new(Arc::clone(&core));
+        client.register("bench", &compressed).map_err(|e| CliError::Failed(e.to_string()))?;
+        // Warm-up: populate whatever lazy state the first request hits.
+        client
+            .encode(EncodeRequest::new("bench", vec![1; seq_len]))
+            .map_err(|e| CliError::Failed(e.to_string()))?;
+
+        let per_client = requests / clients;
+        let started = Instant::now();
+        let mut joins = Vec::new();
+        for c in 0..clients {
+            let client = client.clone();
+            joins.push(std::thread::spawn(move || -> Result<u64, String> {
+                let mut latency_us = 0u64;
+                for r in 0..per_client {
+                    let ids: Vec<usize> =
+                        (0..seq_len).map(|t| 1 + (c * 31 + r * 7 + t) % 250).collect();
+                    let sent = Instant::now();
+                    client.encode(EncodeRequest::new("bench", ids)).map_err(|e| e.to_string())?;
+                    latency_us += sent.elapsed().as_micros() as u64;
+                }
+                Ok(latency_us)
+            }));
+        }
+        let mut latency_total = 0u64;
+        for join in joins {
+            latency_total += join
+                .join()
+                .map_err(|_| CliError::Failed("bench client panicked".into()))?
+                .map_err(CliError::Failed)?;
+        }
+        let elapsed_us = started.elapsed().as_micros() as u64;
+        let done = per_client * clients;
+        let metrics = core.metrics();
+        rows.push(BenchRow {
+            max_batch,
+            requests: done,
+            elapsed_us,
+            latency_us_mean: latency_total as f64 / done as f64,
+            // The warm-up request is included in these counters.
+            batches: metrics.batches.load(std::sync::atomic::Ordering::Relaxed),
+            batch_size_max: metrics.batch_size_max.load(std::sync::atomic::Ordering::Relaxed),
+        });
+        core.shutdown();
+    }
+
+    let report = Json::obj(vec![
+        ("bench", Json::Str("serve_throughput".to_owned())),
+        (
+            "model",
+            Json::obj(vec![
+                ("layers", Json::Num(layers as f64)),
+                ("hidden", Json::Num(hidden as f64)),
+                ("bits", Json::Num(bits as f64)),
+                ("seq_len", Json::Num(seq_len as f64)),
+            ]),
+        ),
+        ("clients", Json::Num(clients as f64)),
+        (
+            "configs",
+            Json::Arr(
+                rows.iter()
+                    .map(|row| {
+                        let rps = row.requests as f64 / (row.elapsed_us as f64 / 1e6);
+                        Json::obj(vec![
+                            ("max_batch", Json::Num(row.max_batch as f64)),
+                            ("requests", Json::Num(row.requests as f64)),
+                            ("elapsed_us", Json::Num(row.elapsed_us as f64)),
+                            ("throughput_rps", Json::Num(rps)),
+                            ("latency_us_mean", Json::Num(row.latency_us_mean)),
+                            ("batches", Json::Num(row.batches as f64)),
+                            ("batch_size_max", Json::Num(row.batch_size_max as f64)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ]);
+    std::fs::write(output, format!("{report}\n"))?;
+
+    let mut summary = format!(
+        "serve throughput ({clients} clients, {seq_len}-token sequences, {bits}-bit model):\n"
+    );
+    for row in &rows {
+        let rps = row.requests as f64 / (row.elapsed_us as f64 / 1e6);
+        summary.push_str(&format!(
+            "  max_batch {:>2}: {:>8.1} req/s, mean latency {:>8.0} us, \
+             {} batches (largest {})\n",
+            row.max_batch, rps, row.latency_us_mean, row.batches, row.batch_size_max
+        ));
+    }
+    summary.push_str(&format!("report written to `{output}`"));
+    Ok(summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use std::io::{Read, Write};
+    use std::net::TcpStream;
+
+    use crate::cmd::run_str;
+
+    fn tmp(name: &str) -> String {
+        let dir = std::env::temp_dir().join("gobo-serve-cli-tests");
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        dir.join(name).to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn serve_requires_model_flag() {
+        let err = run_str(&["serve"]).unwrap_err();
+        assert!(err.to_string().contains("--model"), "{err}");
+    }
+
+    #[test]
+    fn bench_serve_writes_report() {
+        let out = tmp("BENCH_serve_test.json");
+        let msg = run_str(&[
+            "bench-serve",
+            "--output",
+            &out,
+            "--layers",
+            "1",
+            "--hidden",
+            "16",
+            "--requests",
+            "16",
+            "--clients",
+            "2",
+            "--seq-len",
+            "4",
+        ])
+        .unwrap();
+        assert!(msg.contains("max_batch 32"), "{msg}");
+        let report = std::fs::read_to_string(&out).unwrap();
+        let value = gobo_serve::json::parse(&report).unwrap();
+        let configs = value.get("configs").and_then(|c| c.as_array().map(<[_]>::to_vec)).unwrap();
+        assert_eq!(configs.len(), 3);
+        for config in &configs {
+            assert!(config.get("throughput_rps").and_then(|v| v.as_f64()).unwrap() > 0.0);
+        }
+    }
+
+    /// End-to-end CLI test: quantize a model to disk, `gobo serve` it on
+    /// an ephemeral port, drive one encode over raw HTTP, then shut it
+    /// down gracefully — the same flow the CI smoke job scripts.
+    #[test]
+    fn serve_round_trip_over_http() {
+        let raw = tmp("serve.gobor");
+        let packed = tmp("serve.gobom");
+        let port_file = tmp("serve.port");
+        let _ = std::fs::remove_file(&port_file);
+        run_str(&["demo", "--output", &raw, "--layers", "1", "--hidden", "16"]).unwrap();
+        run_str(&["quantize", "--input", &raw, "--output", &packed, "--bits", "3"]).unwrap();
+
+        let serve_args: Vec<String> = [
+            "serve",
+            "--model",
+            &packed,
+            "--name",
+            "smoke",
+            "--addr",
+            "127.0.0.1:0",
+            "--port-file",
+            &port_file,
+        ]
+        .iter()
+        .map(|s| (*s).to_owned())
+        .collect();
+        let server = std::thread::spawn(move || crate::cmd::run(&serve_args));
+
+        // Wait for the port file to appear.
+        let mut port = None;
+        for _ in 0..200 {
+            if let Ok(text) = std::fs::read_to_string(&port_file) {
+                if let Ok(p) = text.trim().parse::<u16>() {
+                    port = Some(p);
+                    break;
+                }
+            }
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+        let port = port.expect("server never wrote its port file");
+
+        let send = |path: &str, body: &str| -> String {
+            let mut stream = TcpStream::connect(("127.0.0.1", port)).expect("connect");
+            stream
+                .write_all(
+                    format!(
+                        "POST {path} HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{body}",
+                        body.len()
+                    )
+                    .as_bytes(),
+                )
+                .unwrap();
+            let mut response = String::new();
+            stream.read_to_string(&mut response).unwrap();
+            response
+        };
+
+        let response = send("/v1/encode", "{\"model\":\"smoke\",\"ids\":[1,2,3]}");
+        assert!(response.starts_with("HTTP/1.1 200"), "{response}");
+        assert!(response.contains("\"hidden\""), "{response}");
+
+        let response = send("/v1/shutdown", "");
+        assert!(response.contains("draining"), "{response}");
+        let msg = server.join().unwrap().unwrap();
+        assert!(msg.contains("shut down after draining"), "{msg}");
+    }
+}

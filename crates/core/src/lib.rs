@@ -15,7 +15,10 @@
 //!   fractions, compression ratios, convergence traces) streamed one
 //!   layer at a time so BERT-Large never has to be resident;
 //! * [`experiments`] — one driver per paper table and figure,
-//!   regenerating each row/series.
+//!   regenerating each row/series;
+//! * [`format`] — the `.gobom` compressed-model container (model
+//!   configuration + FP32 auxiliary parameters + quantized archive),
+//!   shared by the CLI and the serving subsystem.
 //!
 //! # Quickstart
 //!
@@ -44,9 +47,11 @@
 pub mod analytic;
 pub mod error;
 pub mod experiments;
+pub mod format;
 mod par;
 pub mod pipeline;
 pub mod zoo;
 
 pub use error::GoboError;
+pub use format::CompressedModel;
 pub use pipeline::{quantize_model, QuantizeOptions, QuantizedModel};

@@ -65,6 +65,7 @@ pub mod reference;
 pub mod report;
 
 pub use codebook::{Codebook, ConvergenceTrace};
+pub use compute::QuantizedMatrix;
 pub use config::{QuantConfig, QuantMethod};
 pub use error::QuantError;
 pub use layer::QuantizedLayer;

@@ -1,0 +1,141 @@
+//! Parity between compute-on-compressed and decode-then-matmul.
+//!
+//! [`QuantizedMatrix::matvec`] accumulates activations *per centroid*
+//! and multiplies each centroid once (the accelerator's schedule);
+//! decode-then-matmul performs the textbook dot product. Both consume
+//! the exact same quantized weights, so any disagreement beyond
+//! floating-point reassociation is a codec bug.
+//!
+//! ## Tolerance
+//!
+//! The two paths sum the same terms in different orders (bucketed by
+//! centroid vs. column order), so results are *not* bit-identical.
+//! Each output is a sum of `cols` products of magnitude ≤ `|x|∞·|w|∞`;
+//! reassociating an FP32 sum of `n` terms perturbs it by at most about
+//! `n · ε · Σ|terms|` with `ε = 2⁻²⁴ ≈ 6e-8`. For BERT-base geometry
+//! (`cols = 768`, weights ≲ 1.5 with outliers, activations ≤ 1) that
+//! bound is ~5e-5 per element; we assert a comfortably tight 1e-4
+//! combined absolute/relative epsilon.
+
+use gobo_model::config::ModelConfig;
+use gobo_model::spec::enumerate_fc_layers;
+use gobo_model::synth::{layer_distribution, synthesize_layer};
+use gobo_quant::{QuantConfig, QuantMethod, QuantizedLayer, QuantizedMatrix};
+
+const EPS: f32 = 1e-4;
+
+fn assert_close(got: &[f32], want: &[f32], what: &str) {
+    assert_eq!(got.len(), want.len(), "{what}: length mismatch");
+    for (i, (g, w)) in got.iter().zip(want).enumerate() {
+        let tol = EPS * (1.0 + w.abs());
+        assert!((g - w).abs() <= tol, "{what}[{i}]: compressed {g} vs decoded {w} (tol {tol})");
+    }
+}
+
+/// Deterministic pseudo-activations in `[-1, 1)`.
+fn activations(n: usize, seed: u64) -> Vec<f32> {
+    (0..n)
+        .map(|i| {
+            let x = (i as u64).wrapping_mul(6364136223846793005).wrapping_add(seed);
+            ((x >> 33) as f32 / (1u64 << 31) as f32) - 1.0
+        })
+        .collect()
+}
+
+/// Quantizes a synthetic BERT-base FC layer and checks matvec parity
+/// between the compressed schedule and the decoded dense product.
+#[test]
+fn bert_layer_matvec_matches_decoded() {
+    let config = ModelConfig::bert_base();
+    let specs = enumerate_fc_layers(&config);
+    // An attention projection: 768×768, the common FC shape.
+    let spec = specs.iter().find(|s| s.rows == s.cols).expect("square FC layer");
+    let dist = layer_distribution(&config, 0, specs.len());
+    let weights = synthesize_layer(spec, &dist, 11);
+
+    for bits in [3u8, 4] {
+        let layer = QuantizedLayer::encode(
+            &weights,
+            &QuantConfig::new(QuantMethod::Gobo, bits).expect("bits"),
+        )
+        .expect("encode");
+        let matrix = QuantizedMatrix::new(layer, spec.rows, spec.cols).expect("shape");
+
+        // Reference: decode to dense, then the textbook product.
+        let dense = matrix.to_dense();
+        let x = activations(spec.cols, 42);
+        let mut reference = vec![0.0f32; spec.rows];
+        for (r, y) in reference.iter_mut().enumerate() {
+            *y = dense[r * spec.cols..(r + 1) * spec.cols]
+                .iter()
+                .zip(&x)
+                .map(|(w, xv)| w * xv)
+                .sum();
+        }
+
+        let got = matrix.matvec(&x).expect("matvec");
+        assert_close(&got, &reference, &format!("matvec@{bits}b"));
+    }
+}
+
+/// The batched FC product (`A·Wᵀ`) agrees with per-row decode-then-dot
+/// for a multi-token activation matrix.
+#[test]
+fn bert_layer_matmul_nt_matches_decoded() {
+    let config = ModelConfig::bert_base();
+    let specs = enumerate_fc_layers(&config);
+    let spec = specs.iter().find(|s| s.rows == s.cols).expect("square FC layer");
+    let dist = layer_distribution(&config, 0, specs.len());
+    let weights = synthesize_layer(spec, &dist, 13);
+
+    let layer =
+        QuantizedLayer::encode(&weights, &QuantConfig::new(QuantMethod::Gobo, 3).expect("bits"))
+            .expect("encode");
+    let matrix = QuantizedMatrix::new(layer, spec.rows, spec.cols).expect("shape");
+    let dense = matrix.to_dense();
+
+    let tokens = 4usize;
+    let a = activations(tokens * spec.cols, 7);
+    let mut reference = Vec::with_capacity(tokens * spec.rows);
+    for row in a.chunks(spec.cols) {
+        for r in 0..spec.rows {
+            reference.push(
+                dense[r * spec.cols..(r + 1) * spec.cols]
+                    .iter()
+                    .zip(row)
+                    .map(|(w, xv)| w * xv)
+                    .sum(),
+            );
+        }
+    }
+
+    let got = matrix.matmul_nt(&a).expect("matmul_nt");
+    assert_close(&got, &reference, "matmul_nt@3b");
+}
+
+/// Outliers must flow through the compressed product exactly: zeroing
+/// every activation except one that hits an outlier column isolates the
+/// outlier path, where both schedules multiply the same two floats and
+/// must agree bit-for-bit.
+#[test]
+fn outlier_path_is_exact() {
+    let config = ModelConfig::bert_base();
+    let specs = enumerate_fc_layers(&config);
+    let spec = specs.iter().find(|s| s.rows == s.cols).expect("square FC layer");
+    let dist = layer_distribution(&config, 0, specs.len());
+    let weights = synthesize_layer(spec, &dist, 17);
+
+    let layer =
+        QuantizedLayer::encode(&weights, &QuantConfig::new(QuantMethod::Gobo, 3).expect("bits"))
+            .expect("encode");
+    let (positions, values) = layer.outliers();
+    assert!(!positions.is_empty(), "synthetic BERT layer should have outliers");
+    let (flat, outlier_value) = (positions[0] as usize, values[0]);
+    let (row, col) = (flat / spec.cols, flat % spec.cols);
+
+    let matrix = QuantizedMatrix::new(layer, spec.rows, spec.cols).expect("shape");
+    let mut x = vec![0.0f32; spec.cols];
+    x[col] = 0.8125; // exactly representable
+    let y = matrix.matvec(&x).expect("matvec");
+    assert_eq!(y[row].to_bits(), (0.8125f32 * outlier_value).to_bits());
+}

@@ -1,0 +1,112 @@
+//! The serving core: registry + scheduler + metrics behind one handle,
+//! plus the in-process [`Client`] that tests and benchmarks use to
+//! bypass the socket entirely.
+
+use std::sync::Arc;
+
+use gobo::format::CompressedModel;
+
+use crate::error::ServeError;
+use crate::metrics::Metrics;
+use crate::registry::{ModelEntry, ModelRegistry, RegistryConfig};
+use crate::scheduler::{EncodeRequest, EncodeResponse, Scheduler, SchedulerConfig};
+
+/// Combined configuration for a serving core.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServeOptions {
+    /// Registry residency limits.
+    pub registry: RegistryConfig,
+    /// Scheduling and batching parameters.
+    pub scheduler: SchedulerConfig,
+}
+
+/// Registry, scheduler, and metrics wired together. The HTTP front end
+/// and the in-process [`Client`] are both thin layers over this.
+pub struct ServeCore {
+    metrics: Arc<Metrics>,
+    registry: Arc<ModelRegistry>,
+    scheduler: Scheduler,
+}
+
+impl ServeCore {
+    /// Starts the worker pool and returns the shared core handle.
+    pub fn start(options: ServeOptions) -> Arc<ServeCore> {
+        let metrics = Arc::new(Metrics::new());
+        let registry = Arc::new(ModelRegistry::new(options.registry, Arc::clone(&metrics)));
+        let scheduler =
+            Scheduler::start(options.scheduler, Arc::clone(&registry), Arc::clone(&metrics));
+        Arc::new(ServeCore { metrics, registry, scheduler })
+    }
+
+    /// The model registry.
+    pub fn registry(&self) -> &ModelRegistry {
+        &self.registry
+    }
+
+    /// The request scheduler.
+    pub fn scheduler(&self) -> &Scheduler {
+        &self.scheduler
+    }
+
+    /// The metric set.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Drains the queue and stops the worker pool (idempotent).
+    pub fn shutdown(&self) {
+        self.scheduler.shutdown();
+    }
+}
+
+/// In-process client: same registry, scheduler, and metrics as the
+/// HTTP front end, without the socket.
+#[derive(Clone)]
+pub struct Client {
+    core: Arc<ServeCore>,
+}
+
+impl Client {
+    /// Creates a client over a running core.
+    pub fn new(core: Arc<ServeCore>) -> Self {
+        Client { core }
+    }
+
+    /// Submits a request and waits for its reply.
+    ///
+    /// # Errors
+    ///
+    /// Admission rejections, deadline expiry, or inference failures —
+    /// see [`crate::scheduler::Scheduler::encode_blocking`].
+    pub fn encode(&self, req: EncodeRequest) -> Result<EncodeResponse, ServeError> {
+        self.core.scheduler.encode_blocking(req)
+    }
+
+    /// Registers an in-memory compressed model under `name`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates registry failures.
+    pub fn register(
+        &self,
+        name: &str,
+        compressed: &CompressedModel,
+    ) -> Result<Arc<ModelEntry>, ServeError> {
+        self.core.registry.insert(name, compressed)
+    }
+
+    /// Resident models, most recently used first.
+    pub fn models(&self) -> Vec<Arc<ModelEntry>> {
+        self.core.registry.list()
+    }
+
+    /// The Prometheus metrics text.
+    pub fn metrics_text(&self) -> String {
+        self.core.metrics.render()
+    }
+
+    /// The underlying core handle.
+    pub fn core(&self) -> &Arc<ServeCore> {
+        &self.core
+    }
+}

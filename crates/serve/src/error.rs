@@ -1,0 +1,122 @@
+//! Error type for the serving subsystem.
+
+use std::fmt;
+
+use gobo::format::FormatError;
+use gobo_model::ModelError;
+
+/// Error surfaced by registry, scheduler, and front-end operations.
+///
+/// Every variant maps to a well-defined HTTP status via
+/// [`ServeError::http_status`]; overload conditions (`QueueFull`,
+/// `DeadlineExceeded`, `ShuttingDown`) are *rejections*, never hangs.
+#[derive(Debug)]
+pub enum ServeError {
+    /// The requested model name (or name/bits pair) is not registered.
+    ModelNotFound {
+        /// The name the client asked for.
+        name: String,
+    },
+    /// The admission queue is at capacity; the request was rejected.
+    QueueFull,
+    /// The request's deadline expired before a worker produced a
+    /// response.
+    DeadlineExceeded,
+    /// The server is draining and no longer admits new requests.
+    ShuttingDown,
+    /// The request body or parameters were malformed.
+    BadRequest(String),
+    /// Inference rejected the input (e.g. out-of-vocabulary ids).
+    Model(ModelError),
+    /// A `.gobom` container failed to load.
+    Format(FormatError),
+    /// Reading a model file from disk failed.
+    Io(String),
+    /// An internal invariant broke (worker channel dropped, poisoned
+    /// lock).
+    Internal(&'static str),
+}
+
+impl ServeError {
+    /// The HTTP status code this error maps to.
+    pub fn http_status(&self) -> u16 {
+        match self {
+            ServeError::ModelNotFound { .. } => 404,
+            ServeError::QueueFull => 429,
+            ServeError::DeadlineExceeded => 504,
+            ServeError::ShuttingDown => 503,
+            ServeError::BadRequest(_) | ServeError::Model(_) => 400,
+            ServeError::Format(_) | ServeError::Io(_) | ServeError::Internal(_) => 500,
+        }
+    }
+
+    /// A short machine-readable error code for JSON bodies.
+    pub fn code(&self) -> &'static str {
+        match self {
+            ServeError::ModelNotFound { .. } => "model_not_found",
+            ServeError::QueueFull => "queue_full",
+            ServeError::DeadlineExceeded => "deadline_exceeded",
+            ServeError::ShuttingDown => "shutting_down",
+            ServeError::BadRequest(_) => "bad_request",
+            ServeError::Model(_) => "invalid_input",
+            ServeError::Format(_) => "corrupt_model",
+            ServeError::Io(_) => "io_error",
+            ServeError::Internal(_) => "internal",
+        }
+    }
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::ModelNotFound { name } => write!(f, "model `{name}` not registered"),
+            ServeError::QueueFull => write!(f, "admission queue full"),
+            ServeError::DeadlineExceeded => write!(f, "request deadline exceeded"),
+            ServeError::ShuttingDown => write!(f, "server is shutting down"),
+            ServeError::BadRequest(msg) => write!(f, "bad request: {msg}"),
+            ServeError::Model(e) => write!(f, "inference rejected input: {e}"),
+            ServeError::Format(e) => write!(f, "model container failure: {e}"),
+            ServeError::Io(msg) => write!(f, "i/o failure: {msg}"),
+            ServeError::Internal(what) => write!(f, "internal failure: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Model(e) => Some(e),
+            ServeError::Format(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ModelError> for ServeError {
+    fn from(e: ModelError) -> Self {
+        ServeError::Model(e)
+    }
+}
+
+impl From<FormatError> for ServeError {
+    fn from(e: FormatError) -> Self {
+        ServeError::Format(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn statuses_and_codes() {
+        assert_eq!(ServeError::QueueFull.http_status(), 429);
+        assert_eq!(ServeError::DeadlineExceeded.http_status(), 504);
+        assert_eq!(ServeError::ShuttingDown.http_status(), 503);
+        assert_eq!(ServeError::ModelNotFound { name: "x".into() }.http_status(), 404);
+        assert_eq!(ServeError::BadRequest("no".into()).http_status(), 400);
+        assert_eq!(ServeError::Internal("x").http_status(), 500);
+        assert_eq!(ServeError::QueueFull.code(), "queue_full");
+        assert!(ServeError::ModelNotFound { name: "m".into() }.to_string().contains("`m`"));
+    }
+}

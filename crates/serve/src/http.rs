@@ -1,0 +1,384 @@
+//! Minimal HTTP/1.1 front end over `std::net::TcpListener`.
+//!
+//! No external HTTP stack: requests are parsed by hand (request line,
+//! headers, `Content-Length` body), one request per connection
+//! (`Connection: close`). Routes:
+//!
+//! * `POST /v1/encode` — run one sequence through a registered model;
+//! * `GET  /v1/models` — list resident models;
+//! * `GET  /metrics` — Prometheus text exposition;
+//! * `POST /v1/shutdown` — begin graceful shutdown (drain, then exit).
+//!
+//! The listener runs non-blocking with a short poll so shutdown can
+//! interrupt `accept`; each accepted connection is handled on its own
+//! thread and joined during teardown.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::core::ServeCore;
+use crate::error::ServeError;
+use crate::json::{parse, Json};
+use crate::scheduler::EncodeRequest;
+
+/// Largest accepted request body.
+const MAX_BODY: usize = 16 << 20;
+/// Largest accepted request line or header line.
+const MAX_LINE: usize = 8 << 10;
+/// Poll interval of the non-blocking accept loop.
+const ACCEPT_POLL: Duration = Duration::from_millis(5);
+
+struct ShutdownSignal {
+    requested: Mutex<bool>,
+    cvar: Condvar,
+}
+
+impl ShutdownSignal {
+    fn request(&self) {
+        if let Ok(mut requested) = self.requested.lock() {
+            *requested = true;
+        }
+        self.cvar.notify_all();
+    }
+
+    fn wait(&self) {
+        let Ok(mut requested) = self.requested.lock() else { return };
+        while !*requested {
+            requested = match self.cvar.wait(requested) {
+                Ok(guard) => guard,
+                Err(_) => return,
+            };
+        }
+    }
+}
+
+/// A bound, accepting HTTP server over a [`ServeCore`].
+pub struct Server {
+    core: Arc<ServeCore>,
+    local_addr: SocketAddr,
+    signal: Arc<ShutdownSignal>,
+    accept_stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+    connections: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl Server {
+    /// Binds `addr` (use port 0 for an ephemeral port) and starts
+    /// accepting.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket failures.
+    pub fn bind(core: Arc<ServeCore>, addr: &str) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+        let signal =
+            Arc::new(ShutdownSignal { requested: Mutex::new(false), cvar: Condvar::new() });
+        let accept_stop = Arc::new(AtomicBool::new(false));
+        let connections: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+
+        let accept_thread = {
+            let core = Arc::clone(&core);
+            let signal = Arc::clone(&signal);
+            let accept_stop = Arc::clone(&accept_stop);
+            let connections = Arc::clone(&connections);
+            std::thread::Builder::new().name("gobo-serve-accept".into()).spawn(move || {
+                while !accept_stop.load(Ordering::Acquire) {
+                    match listener.accept() {
+                        Ok((stream, _)) => {
+                            let core = Arc::clone(&core);
+                            let signal = Arc::clone(&signal);
+                            let handle = std::thread::spawn(move || {
+                                handle_connection(&core, &signal, stream);
+                            });
+                            if let Ok(mut conns) = connections.lock() {
+                                // Reap finished handlers so the vector
+                                // does not grow with every request.
+                                conns.retain(|h| !h.is_finished());
+                                conns.push(handle);
+                            }
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(ACCEPT_POLL);
+                        }
+                        Err(_) => std::thread::sleep(ACCEPT_POLL),
+                    }
+                }
+            })?
+        };
+
+        Ok(Server {
+            core,
+            local_addr,
+            signal,
+            accept_stop,
+            accept_thread: Some(accept_thread),
+            connections,
+        })
+    }
+
+    /// The bound address (with the resolved ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Asks the server to shut down, as `POST /v1/shutdown` does.
+    pub fn request_shutdown(&self) {
+        self.signal.request();
+    }
+
+    /// Blocks until shutdown is requested (via
+    /// [`Server::request_shutdown`] or `POST /v1/shutdown`), then tears
+    /// down gracefully: stop accepting, join in-flight connections,
+    /// drain the scheduler queue, stop the workers.
+    pub fn serve_until_shutdown(mut self) {
+        self.signal.wait();
+        self.teardown();
+    }
+
+    fn teardown(&mut self) {
+        self.signal.request();
+        self.accept_stop.store(true, Ordering::Release);
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+        let handles: Vec<JoinHandle<()>> = match self.connections.lock() {
+            Ok(mut conns) => conns.drain(..).collect(),
+            Err(_) => Vec::new(),
+        };
+        for handle in handles {
+            let _ = handle.join();
+        }
+        self.core.shutdown();
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.teardown();
+    }
+}
+
+/// One parsed request.
+struct Request {
+    method: String,
+    path: String,
+    body: Vec<u8>,
+}
+
+fn handle_connection(core: &ServeCore, signal: &ShutdownSignal, stream: TcpStream) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
+    let mut reader = BufReader::new(match stream.try_clone() {
+        Ok(clone) => clone,
+        Err(_) => return,
+    });
+    let mut stream = stream;
+    match read_request(&mut reader) {
+        Ok(Some(request)) => {
+            core.metrics().http_requests.fetch_add(1, Ordering::Relaxed);
+            let (status, content_type, body, shutdown_after) = route(core, &request);
+            let _ = write_response(&mut stream, status, content_type, body.as_bytes());
+            if shutdown_after {
+                signal.request();
+            }
+        }
+        Ok(None) => {} // client closed without sending anything
+        Err(msg) => {
+            let body = error_body(400, "bad_request", &msg);
+            let _ = write_response(&mut stream, 400, "application/json", body.as_bytes());
+        }
+    }
+}
+
+fn read_request(reader: &mut BufReader<TcpStream>) -> Result<Option<Request>, String> {
+    let request_line = match read_line(reader)? {
+        Some(line) => line,
+        None => return Ok(None),
+    };
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().ok_or("empty request line")?.to_owned();
+    let path = parts.next().ok_or("request line missing path")?.to_owned();
+    let version = parts.next().ok_or("request line missing version")?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(format!("unsupported protocol `{version}`"));
+    }
+
+    let mut content_length = 0usize;
+    loop {
+        let line = read_line(reader)?.ok_or("connection closed inside headers")?;
+        if line.is_empty() {
+            break;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(format!("malformed header `{line}`"));
+        };
+        if name.eq_ignore_ascii_case("content-length") {
+            content_length = value
+                .trim()
+                .parse()
+                .map_err(|_| format!("bad content-length `{}`", value.trim()))?;
+            if content_length > MAX_BODY {
+                return Err("body too large".into());
+            }
+        }
+    }
+
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body).map_err(|e| format!("truncated body: {e}"))?;
+    Ok(Some(Request { method, path, body }))
+}
+
+/// Reads one CRLF- (or LF-) terminated line; `None` on clean EOF.
+fn read_line(reader: &mut BufReader<TcpStream>) -> Result<Option<String>, String> {
+    let mut line = Vec::new();
+    let mut limited = reader.take(MAX_LINE as u64);
+    let n = limited.read_until(b'\n', &mut line).map_err(|e| format!("read failure: {e}"))?;
+    if n == 0 {
+        return Ok(None);
+    }
+    if line.last() != Some(&b'\n') {
+        return Err("header line too long".into());
+    }
+    while matches!(line.last(), Some(b'\n' | b'\r')) {
+        line.pop();
+    }
+    String::from_utf8(line).map(Some).map_err(|_| "header not utf-8".into())
+}
+
+fn route(core: &ServeCore, request: &Request) -> (u16, &'static str, String, bool) {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("POST", "/v1/encode") => match encode(core, &request.body) {
+            Ok(body) => (200, "application/json", body, false),
+            Err(e) => (e.http_status(), "application/json", serve_error_body(&e), false),
+        },
+        ("GET", "/v1/models") => (200, "application/json", models_body(core), false),
+        ("GET", "/metrics") => (200, "text/plain; version=0.0.4", core.metrics().render(), false),
+        ("POST", "/v1/shutdown") => {
+            (200, "application/json", "{\"status\":\"draining\"}".to_owned(), true)
+        }
+        _ => (404, "application/json", error_body(404, "not_found", "no such route"), false),
+    }
+}
+
+fn encode(core: &ServeCore, body: &[u8]) -> Result<String, ServeError> {
+    let text =
+        std::str::from_utf8(body).map_err(|_| ServeError::BadRequest("body not utf-8".into()))?;
+    let value = parse(text).map_err(ServeError::BadRequest)?;
+    let model = value
+        .get("model")
+        .and_then(Json::as_str)
+        .ok_or_else(|| ServeError::BadRequest("missing string field `model`".into()))?
+        .to_owned();
+    let ids = value
+        .get("ids")
+        .and_then(Json::as_usize_array)
+        .ok_or_else(|| ServeError::BadRequest("missing integer array `ids`".into()))?;
+    let type_ids = match value.get("type_ids") {
+        None | Some(Json::Null) => Vec::new(),
+        Some(v) => v
+            .as_usize_array()
+            .ok_or_else(|| ServeError::BadRequest("`type_ids` must be an integer array".into()))?,
+    };
+    let bits = match value.get("bits") {
+        None | Some(Json::Null) => None,
+        Some(v) => Some(
+            v.as_usize()
+                .filter(|&b| b <= 32)
+                .ok_or_else(|| ServeError::BadRequest("`bits` must be a small integer".into()))?
+                as u8,
+        ),
+    };
+    let deadline = match value.get("deadline_ms") {
+        None | Some(Json::Null) => None,
+        Some(v) => Some(Duration::from_millis(
+            v.as_usize()
+                .ok_or_else(|| ServeError::BadRequest("`deadline_ms` must be an integer".into()))?
+                as u64,
+        )),
+    };
+
+    let response =
+        core.scheduler().encode_blocking(EncodeRequest { model, bits, ids, type_ids, deadline })?;
+    let pooled = match &response.pooled {
+        Some(values) => Json::f32_array(values),
+        None => Json::Null,
+    };
+    Ok(Json::obj(vec![
+        ("model", Json::Str(response.model.name.clone())),
+        ("bits", Json::Num(response.model.bits as f64)),
+        ("batch_size", Json::Num(response.batch_size as f64)),
+        ("queue_us", Json::Num(response.queue_us as f64)),
+        ("compute_us", Json::Num(response.compute_us as f64)),
+        (
+            "hidden",
+            Json::obj(vec![
+                ("dims", Json::usize_array(&response.hidden_dims)),
+                ("data", Json::f32_array(&response.hidden)),
+            ]),
+        ),
+        ("pooled", pooled),
+    ])
+    .to_string())
+}
+
+fn models_body(core: &ServeCore) -> String {
+    let models: Vec<Json> = core
+        .registry()
+        .list()
+        .iter()
+        .map(|entry| {
+            Json::obj(vec![
+                ("name", Json::Str(entry.key.name.clone())),
+                ("bits", Json::Num(entry.key.bits as f64)),
+                ("quantized_layers", Json::Num(entry.quantized_layers as f64)),
+                ("decoded_bytes", Json::Num(entry.decoded_bytes as f64)),
+                ("compressed_bytes", Json::Num(entry.compressed_bytes as f64)),
+            ])
+        })
+        .collect();
+    Json::obj(vec![("models", Json::Arr(models))]).to_string()
+}
+
+fn serve_error_body(e: &ServeError) -> String {
+    error_body(e.http_status(), e.code(), &e.to_string())
+}
+
+fn error_body(status: u16, code: &str, message: &str) -> String {
+    Json::obj(vec![
+        ("status", Json::Num(status as f64)),
+        ("error", Json::Str(code.to_owned())),
+        ("message", Json::Str(message.to_owned())),
+    ])
+    .to_string()
+}
+
+fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    body: &[u8],
+) -> std::io::Result<()> {
+    let reason = match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        429 => "Too Many Requests",
+        503 => "Service Unavailable",
+        504 => "Gateway Timeout",
+        _ => "Internal Server Error",
+    };
+    let header = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(header.as_bytes())?;
+    stream.write_all(body)?;
+    stream.flush()
+}

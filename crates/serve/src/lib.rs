@@ -1,0 +1,71 @@
+//! `gobo-serve`: batched quantized-inference serving.
+//!
+//! GOBO's decoded models are plug-in compatible with any FP32 engine;
+//! this crate is that engine's front door. It loads `.gobom` compressed
+//! containers ([`gobo::format::CompressedModel`]), decodes each **once**
+//! into a [`gobo_model::TransformerModel`], and serves encode requests
+//! over HTTP/1.1 with dynamic batching:
+//!
+//! * [`registry`] — named model cache keyed by *name/bits*, LRU-evicted
+//!   under a decoded-byte budget;
+//! * [`scheduler`] — bounded admission queue, worker pool, batch
+//!   coalescing up to `max_batch`/`max_wait`, per-request deadlines
+//!   that reject (never hang) on overload, graceful queue drain;
+//! * [`http`] — a dependency-free HTTP/1.1 front end on
+//!   `std::net::TcpListener` (`POST /v1/encode`, `GET /v1/models`,
+//!   `GET /metrics`, `POST /v1/shutdown`);
+//! * [`core`] — the shared registry+scheduler+metrics handle and the
+//!   in-process [`Client`] that benchmarks and tests use to bypass the
+//!   socket;
+//! * [`metrics`] — request/latency/queue-depth/batch-size counters in
+//!   Prometheus text format;
+//! * [`json`] — the minimal vendored-free JSON codec the front end
+//!   speaks.
+//!
+//! The forward pass is deterministic, so a served response is
+//! byte-identical to a direct [`TransformerModel::encode`] call on the
+//! same decoded model, at every batch size.
+//!
+//! [`TransformerModel::encode`]: gobo_model::TransformerModel::encode
+//!
+//! # Quickstart
+//!
+//! ```
+//! use gobo::format::CompressedModel;
+//! use gobo::pipeline::{quantize_model, QuantizeOptions};
+//! use gobo_model::{config::ModelConfig, TransformerModel};
+//! use gobo_serve::{Client, EncodeRequest, ServeCore, ServeOptions};
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! // Quantize a small model and wrap it in a container.
+//! let config = ModelConfig::tiny("Demo", 1, 16, 2, 40, 12)?;
+//! let model = TransformerModel::new(config, &mut StdRng::seed_from_u64(1))?;
+//! let outcome = quantize_model(&model, &QuantizeOptions::gobo(3)?)?;
+//! let compressed = CompressedModel::new(&model, outcome.archive);
+//!
+//! // Serve it in-process.
+//! let core = ServeCore::start(ServeOptions::default());
+//! let client = Client::new(core.clone());
+//! client.register("demo", &compressed)?;
+//! let response = client.encode(EncodeRequest::new("demo", vec![1, 2, 3]))?;
+//! assert_eq!(response.hidden_dims, [3, 16]);
+//! core.shutdown();
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod core;
+pub mod error;
+pub mod http;
+pub mod json;
+pub mod metrics;
+pub mod registry;
+pub mod scheduler;
+
+pub use crate::core::{Client, ServeCore, ServeOptions};
+pub use error::ServeError;
+pub use http::Server;
+pub use metrics::Metrics;
+pub use registry::{ModelEntry, ModelKey, ModelRegistry, RegistryConfig};
+pub use scheduler::{EncodeRequest, EncodeResponse, Scheduler, SchedulerConfig};

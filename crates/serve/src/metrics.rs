@@ -1,0 +1,213 @@
+//! Serving metrics: lock-free counters rendered in Prometheus text
+//! exposition format at `GET /metrics`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Counter/gauge set shared by the scheduler, registry, and front end.
+///
+/// All fields are monotone counters except `queue_depth` (a gauge) —
+/// everything is updated with relaxed atomics since no cross-field
+/// consistency is required.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    /// Total HTTP requests accepted by the front end (all routes).
+    pub http_requests: AtomicU64,
+    /// Encode requests submitted (HTTP and in-process clients).
+    pub encode_requests: AtomicU64,
+    /// Encode requests completed successfully.
+    pub encode_ok: AtomicU64,
+    /// Requests rejected because the admission queue was full.
+    pub rejected_queue_full: AtomicU64,
+    /// Requests rejected because their deadline expired in the queue.
+    pub rejected_deadline: AtomicU64,
+    /// Requests rejected during shutdown.
+    pub rejected_shutdown: AtomicU64,
+    /// Requests that failed inference (invalid input, unknown model).
+    pub encode_failed: AtomicU64,
+    /// Current admission-queue depth (gauge).
+    pub queue_depth: AtomicU64,
+    /// High-water mark of the admission queue.
+    pub queue_depth_peak: AtomicU64,
+    /// Batches executed by workers.
+    pub batches: AtomicU64,
+    /// Requests carried inside executed batches (Σ batch sizes).
+    pub batched_requests: AtomicU64,
+    /// Largest batch executed so far.
+    pub batch_size_max: AtomicU64,
+    /// Σ end-to-end latency of completed encodes, microseconds.
+    pub latency_us_sum: AtomicU64,
+    /// Σ time completed encodes spent queued, microseconds.
+    pub queue_wait_us_sum: AtomicU64,
+    /// Models currently resident in the registry (gauge).
+    pub registry_models: AtomicU64,
+    /// Decoded bytes currently resident in the registry (gauge).
+    pub registry_bytes: AtomicU64,
+    /// Models evicted from the registry under the byte budget.
+    pub registry_evictions: AtomicU64,
+}
+
+impl Metrics {
+    /// Creates a zeroed metric set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Increments the queue-depth gauge and tracks its high-water mark.
+    pub fn queue_push(&self) {
+        let depth = self.queue_depth.fetch_add(1, Ordering::Relaxed) + 1;
+        self.queue_depth_peak.fetch_max(depth, Ordering::Relaxed);
+    }
+
+    /// Decrements the queue-depth gauge.
+    pub fn queue_pop(&self) {
+        self.queue_depth.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Records an executed batch of `size` requests.
+    pub fn record_batch(&self, size: usize) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.batched_requests.fetch_add(size as u64, Ordering::Relaxed);
+        self.batch_size_max.fetch_max(size as u64, Ordering::Relaxed);
+    }
+
+    /// Records a completed encode with its end-to-end and queue-wait
+    /// latencies.
+    pub fn record_encode_ok(&self, latency_us: u64, queue_wait_us: u64) {
+        self.encode_ok.fetch_add(1, Ordering::Relaxed);
+        self.latency_us_sum.fetch_add(latency_us, Ordering::Relaxed);
+        self.queue_wait_us_sum.fetch_add(queue_wait_us, Ordering::Relaxed);
+    }
+
+    /// Reverses one [`Metrics::record_encode_ok`] — used when the reply
+    /// could not be delivered after the counters were already bumped.
+    pub fn unrecord_encode_ok(&self, latency_us: u64, queue_wait_us: u64) {
+        self.encode_ok.fetch_sub(1, Ordering::Relaxed);
+        self.latency_us_sum.fetch_sub(latency_us, Ordering::Relaxed);
+        self.queue_wait_us_sum.fetch_sub(queue_wait_us, Ordering::Relaxed);
+    }
+
+    /// Renders the Prometheus text exposition.
+    pub fn render(&self) -> String {
+        let mut out = String::with_capacity(1600);
+        let mut counter = |name: &str, help: &str, value: u64| {
+            out.push_str(&format!(
+                "# HELP gobo_{name} {help}\n# TYPE gobo_{name} counter\ngobo_{name} {value}\n"
+            ));
+        };
+        counter(
+            "http_requests_total",
+            "HTTP requests accepted by the front end",
+            self.http_requests.load(Ordering::Relaxed),
+        );
+        counter(
+            "encode_requests_total",
+            "encode requests submitted",
+            self.encode_requests.load(Ordering::Relaxed),
+        );
+        counter(
+            "encode_ok_total",
+            "encode requests completed successfully",
+            self.encode_ok.load(Ordering::Relaxed),
+        );
+        counter(
+            "rejected_queue_full_total",
+            "requests rejected at admission (queue full)",
+            self.rejected_queue_full.load(Ordering::Relaxed),
+        );
+        counter(
+            "rejected_deadline_total",
+            "requests rejected after deadline expiry",
+            self.rejected_deadline.load(Ordering::Relaxed),
+        );
+        counter(
+            "rejected_shutdown_total",
+            "requests rejected during shutdown",
+            self.rejected_shutdown.load(Ordering::Relaxed),
+        );
+        counter(
+            "encode_failed_total",
+            "encode requests that failed inference",
+            self.encode_failed.load(Ordering::Relaxed),
+        );
+        counter("batches_total", "worker batches executed", self.batches.load(Ordering::Relaxed));
+        counter(
+            "batched_requests_total",
+            "requests carried in executed batches",
+            self.batched_requests.load(Ordering::Relaxed),
+        );
+        counter(
+            "batch_size_max",
+            "largest batch executed",
+            self.batch_size_max.load(Ordering::Relaxed),
+        );
+        counter(
+            "queue_depth_peak",
+            "admission queue high-water mark",
+            self.queue_depth_peak.load(Ordering::Relaxed),
+        );
+        counter(
+            "latency_us_sum",
+            "sum of end-to-end encode latencies (us)",
+            self.latency_us_sum.load(Ordering::Relaxed),
+        );
+        counter(
+            "queue_wait_us_sum",
+            "sum of queue-wait times of completed encodes (us)",
+            self.queue_wait_us_sum.load(Ordering::Relaxed),
+        );
+        counter(
+            "registry_evictions_total",
+            "models evicted under the registry byte budget",
+            self.registry_evictions.load(Ordering::Relaxed),
+        );
+        let mut gauge = |name: &str, help: &str, value: u64| {
+            out.push_str(&format!(
+                "# HELP gobo_{name} {help}\n# TYPE gobo_{name} gauge\ngobo_{name} {value}\n"
+            ));
+        };
+        gauge(
+            "queue_depth",
+            "current admission queue depth",
+            self.queue_depth.load(Ordering::Relaxed),
+        );
+        gauge(
+            "registry_models",
+            "models resident in the registry",
+            self.registry_models.load(Ordering::Relaxed),
+        );
+        gauge(
+            "registry_bytes",
+            "decoded bytes resident in the registry",
+            self.registry_bytes.load(Ordering::Relaxed),
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_reflects_updates() {
+        let m = Metrics::new();
+        m.http_requests.fetch_add(3, Ordering::Relaxed);
+        m.queue_push();
+        m.queue_push();
+        m.queue_pop();
+        m.record_batch(4);
+        m.record_batch(7);
+        m.record_encode_ok(1500, 300);
+        let text = m.render();
+        assert!(text.contains("gobo_http_requests_total 3"));
+        assert!(text.contains("gobo_queue_depth 1"));
+        assert!(text.contains("gobo_queue_depth_peak 2"));
+        assert!(text.contains("gobo_batches_total 2"));
+        assert!(text.contains("gobo_batched_requests_total 11"));
+        assert!(text.contains("gobo_batch_size_max 7"));
+        assert!(text.contains("gobo_latency_us_sum 1500"));
+        assert!(text.contains("gobo_queue_wait_us_sum 300"));
+        // Prometheus exposition shape: HELP+TYPE precede every sample.
+        assert_eq!(text.matches("# TYPE").count(), text.matches("# HELP").count());
+    }
+}

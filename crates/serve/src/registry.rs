@@ -1,0 +1,346 @@
+//! The model registry: named, decoded-once, LRU-bounded model cache.
+//!
+//! A `.gobom` container is loaded from disk (or handed over in memory),
+//! decoded **once** into a plug-in-compatible FP32
+//! [`TransformerModel`], and cached under a *name/bits* key — the same
+//! logical model quantized at different widths serves side by side.
+//! Residency is bounded by a decoded-byte budget with LRU eviction;
+//! handles already held by in-flight batches stay valid after eviction
+//! because entries are reference counted (`Arc`).
+
+use std::collections::HashMap;
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Mutex};
+
+use gobo::format::CompressedModel;
+use gobo_model::TransformerModel;
+
+use crate::error::ServeError;
+use crate::metrics::Metrics;
+
+/// Cache key: model name plus the (maximum) quantization width of its
+/// archive.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ModelKey {
+    /// Registered model name.
+    pub name: String,
+    /// Bit width (the widest layer in the archive; 32 for a raw FP32
+    /// container with an empty archive).
+    pub bits: u8,
+}
+
+impl std::fmt::Display for ModelKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}@{}b", self.name, self.bits)
+    }
+}
+
+/// A resident decoded model plus its accounting.
+#[derive(Debug)]
+pub struct ModelEntry {
+    /// The cache key.
+    pub key: ModelKey,
+    /// The decoded FP32 model, shared with in-flight batches.
+    pub model: Arc<TransformerModel>,
+    /// Decoded FP32 bytes charged against the registry budget
+    /// (quantizable weights + auxiliary parameters).
+    pub decoded_bytes: usize,
+    /// Serialized size of the compressed container.
+    pub compressed_bytes: usize,
+    /// Number of quantized layers in the archive.
+    pub quantized_layers: usize,
+}
+
+/// Registry residency limits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RegistryConfig {
+    /// Decoded-byte budget. The most recently inserted model is always
+    /// kept, even if it alone exceeds the budget; everything beyond the
+    /// budget is evicted least-recently-used first.
+    pub max_bytes: usize,
+    /// Hard cap on resident models.
+    pub max_models: usize,
+}
+
+impl Default for RegistryConfig {
+    fn default() -> Self {
+        RegistryConfig { max_bytes: 1 << 30, max_models: 16 }
+    }
+}
+
+struct Inner {
+    entries: HashMap<ModelKey, Arc<ModelEntry>>,
+    /// Logical-clock recency stamps, bumped on every hit.
+    recency: HashMap<ModelKey, u64>,
+    tick: u64,
+}
+
+/// Thread-safe model cache with LRU eviction under a byte budget.
+pub struct ModelRegistry {
+    config: RegistryConfig,
+    metrics: Arc<Metrics>,
+    inner: Mutex<Inner>,
+}
+
+impl ModelRegistry {
+    /// Creates an empty registry.
+    pub fn new(config: RegistryConfig, metrics: Arc<Metrics>) -> Self {
+        ModelRegistry {
+            config,
+            metrics,
+            inner: Mutex::new(Inner { entries: HashMap::new(), recency: HashMap::new(), tick: 0 }),
+        }
+    }
+
+    /// Loads a `.gobom` container from disk and registers it under
+    /// `name`. Returns the resident entry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Io`] for unreadable files and
+    /// [`ServeError::Format`] for corrupt containers.
+    pub fn load_file(&self, name: &str, path: &str) -> Result<Arc<ModelEntry>, ServeError> {
+        let bytes = std::fs::read(path).map_err(|e| ServeError::Io(format!("{path}: {e}")))?;
+        let compressed = CompressedModel::from_bytes(&bytes)?;
+        self.insert(name, &compressed)
+    }
+
+    /// Decodes `compressed` once and registers it under `name`,
+    /// evicting LRU entries beyond the configured budget.
+    ///
+    /// # Errors
+    ///
+    /// Propagates decode failures ([`ServeError::Format`]).
+    pub fn insert(
+        &self,
+        name: &str,
+        compressed: &CompressedModel,
+    ) -> Result<Arc<ModelEntry>, ServeError> {
+        let model = compressed.decode()?;
+        let bits = compressed.archive.iter().map(|(_, l)| l.bits()).max().unwrap_or(32);
+        let decoded_bytes = model_bytes(&model);
+        let entry = Arc::new(ModelEntry {
+            key: ModelKey { name: name.to_owned(), bits },
+            model: Arc::new(model),
+            decoded_bytes,
+            compressed_bytes: compressed.serialized_bytes(),
+            quantized_layers: compressed.archive.len(),
+        });
+
+        let mut inner = self.inner.lock().map_err(|_| ServeError::Internal("registry lock"))?;
+        inner.tick += 1;
+        let tick = inner.tick;
+        inner.entries.insert(entry.key.clone(), Arc::clone(&entry));
+        inner.recency.insert(entry.key.clone(), tick);
+        self.evict_beyond_budget(&mut inner, &entry.key);
+        self.refresh_gauges(&inner);
+        Ok(entry)
+    }
+
+    /// Looks a model up by name (any bits, most recently used wins) or
+    /// by exact name/bits, bumping its recency.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::ModelNotFound`] when nothing matches.
+    pub fn get(&self, name: &str, bits: Option<u8>) -> Result<Arc<ModelEntry>, ServeError> {
+        let mut inner = self.inner.lock().map_err(|_| ServeError::Internal("registry lock"))?;
+        let key = inner
+            .entries
+            .keys()
+            .filter(|k| k.name == name && bits.is_none_or(|b| k.bits == b))
+            .max_by_key(|k| inner.recency.get(k).copied().unwrap_or(0))
+            .cloned()
+            .ok_or_else(|| ServeError::ModelNotFound { name: name.to_owned() })?;
+        inner.tick += 1;
+        let tick = inner.tick;
+        inner.recency.insert(key.clone(), tick);
+        Ok(Arc::clone(&inner.entries[&key]))
+    }
+
+    /// Snapshot of the resident entries, most recently used first.
+    pub fn list(&self) -> Vec<Arc<ModelEntry>> {
+        let inner = match self.inner.lock() {
+            Ok(inner) => inner,
+            Err(_) => return Vec::new(),
+        };
+        let mut keys: Vec<&ModelKey> = inner.entries.keys().collect();
+        keys.sort_by_key(|k| std::cmp::Reverse(inner.recency.get(*k).copied().unwrap_or(0)));
+        keys.into_iter().map(|k| Arc::clone(&inner.entries[k])).collect()
+    }
+
+    /// Total decoded bytes currently resident.
+    pub fn resident_bytes(&self) -> usize {
+        self.inner
+            .lock()
+            .map(|inner| inner.entries.values().map(|e| e.decoded_bytes).sum())
+            .unwrap_or(0)
+    }
+
+    /// Number of resident models.
+    pub fn len(&self) -> usize {
+        self.inner.lock().map(|inner| inner.entries.len()).unwrap_or(0)
+    }
+
+    /// Returns `true` when no model is resident.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn evict_beyond_budget(&self, inner: &mut Inner, keep: &ModelKey) {
+        loop {
+            let total: usize = inner.entries.values().map(|e| e.decoded_bytes).sum();
+            let over_bytes = total > self.config.max_bytes;
+            let over_count = inner.entries.len() > self.config.max_models;
+            if (!over_bytes && !over_count) || inner.entries.len() <= 1 {
+                return;
+            }
+            // Oldest entry other than the one just inserted.
+            let victim = inner
+                .entries
+                .keys()
+                .filter(|k| *k != keep)
+                .min_by_key(|k| inner.recency.get(*k).copied().unwrap_or(0))
+                .cloned();
+            match victim {
+                Some(key) => {
+                    inner.entries.remove(&key);
+                    inner.recency.remove(&key);
+                    self.metrics.registry_evictions.fetch_add(1, Ordering::Relaxed);
+                }
+                None => return,
+            }
+        }
+    }
+
+    fn refresh_gauges(&self, inner: &Inner) {
+        self.metrics.registry_models.store(inner.entries.len() as u64, Ordering::Relaxed);
+        let bytes: usize = inner.entries.values().map(|e| e.decoded_bytes).sum();
+        self.metrics.registry_bytes.store(bytes as u64, Ordering::Relaxed);
+    }
+}
+
+/// FP32 bytes of every tensor the decoded model holds (quantizable
+/// weights plus auxiliary parameters, approximated as weights only —
+/// aux tensors are biases/LayerNorms, a negligible fraction).
+fn model_bytes(model: &TransformerModel) -> usize {
+    model.weight_bytes()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gobo::pipeline::{quantize_model, QuantizeOptions};
+    use gobo_model::config::ModelConfig;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn compressed(seed: u64, bits: u8) -> CompressedModel {
+        let config = ModelConfig::tiny("Reg", 1, 16, 2, 40, 12).unwrap();
+        let model = TransformerModel::new(config, &mut StdRng::seed_from_u64(seed)).unwrap();
+        let outcome = quantize_model(&model, &QuantizeOptions::gobo(bits).unwrap()).unwrap();
+        CompressedModel::new(&model, outcome.archive)
+    }
+
+    fn registry(max_bytes: usize, max_models: usize) -> ModelRegistry {
+        ModelRegistry::new(RegistryConfig { max_bytes, max_models }, Arc::new(Metrics::new()))
+    }
+
+    #[test]
+    fn insert_get_and_name_bits_key() {
+        let r = registry(usize::MAX, 16);
+        r.insert("m", &compressed(1, 3)).unwrap();
+        r.insert("m", &compressed(1, 4)).unwrap();
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.get("m", Some(3)).unwrap().key.bits, 3);
+        assert_eq!(r.get("m", Some(4)).unwrap().key.bits, 4);
+        // Nameless-bits lookup returns the most recently used.
+        assert_eq!(r.get("m", None).unwrap().key.bits, 4);
+        assert!(matches!(r.get("nope", None), Err(ServeError::ModelNotFound { .. })));
+        assert!(r.get("m", Some(7)).is_err());
+    }
+
+    #[test]
+    fn decoded_model_matches_direct_decode() {
+        let c = compressed(9, 3);
+        let r = registry(usize::MAX, 4);
+        let entry = r.insert("m", &c).unwrap();
+        let direct = c.decode().unwrap();
+        let a = entry.model.encode(&[1, 2, 3], &[]).unwrap();
+        let b = direct.encode(&[1, 2, 3], &[]).unwrap();
+        assert_eq!(a, b);
+        assert!(entry.decoded_bytes > 0);
+        assert!(entry.compressed_bytes > 0);
+        assert!(entry.quantized_layers > 0);
+    }
+
+    #[test]
+    fn lru_eviction_under_byte_budget() {
+        let one = compressed(1, 3);
+        let r = registry(usize::MAX, 16);
+        let bytes = r.insert("probe", &one).unwrap().decoded_bytes;
+        // Budget for two models; the third insert evicts the LRU.
+        let r = registry(bytes * 2, 16);
+        r.insert("a", &compressed(1, 3)).unwrap();
+        r.insert("b", &compressed(2, 3)).unwrap();
+        r.get("a", None).unwrap(); // touch `a`: now `b` is LRU
+        r.insert("c", &compressed(3, 3)).unwrap();
+        assert_eq!(r.len(), 2);
+        assert!(r.get("a", None).is_ok());
+        assert!(r.get("b", None).is_err(), "LRU entry should be evicted");
+        assert!(r.get("c", None).is_ok());
+    }
+
+    #[test]
+    fn newest_model_survives_even_over_budget() {
+        let r = registry(1, 16); // budget smaller than any model
+        r.insert("a", &compressed(1, 3)).unwrap();
+        r.insert("b", &compressed(2, 3)).unwrap();
+        assert_eq!(r.len(), 1);
+        assert!(r.get("b", None).is_ok());
+    }
+
+    #[test]
+    fn model_count_cap() {
+        let r = registry(usize::MAX, 2);
+        r.insert("a", &compressed(1, 3)).unwrap();
+        r.insert("b", &compressed(2, 3)).unwrap();
+        r.insert("c", &compressed(3, 3)).unwrap();
+        assert_eq!(r.len(), 2);
+        assert!(r.get("a", None).is_err());
+    }
+
+    #[test]
+    fn held_handle_survives_eviction() {
+        let r = registry(1, 16);
+        let held = r.insert("a", &compressed(1, 3)).unwrap();
+        r.insert("b", &compressed(2, 3)).unwrap(); // evicts `a`
+        assert!(r.get("a", None).is_err());
+        // The Arc keeps the decoded model alive for in-flight work.
+        assert!(held.model.encode(&[1, 2], &[]).is_ok());
+    }
+
+    #[test]
+    fn list_orders_by_recency() {
+        let r = registry(usize::MAX, 16);
+        r.insert("a", &compressed(1, 3)).unwrap();
+        r.insert("b", &compressed(2, 3)).unwrap();
+        r.get("a", None).unwrap();
+        let names: Vec<String> = r.list().iter().map(|e| e.key.name.clone()).collect();
+        assert_eq!(names, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn load_file_round_trip_and_errors() {
+        let dir = std::env::temp_dir().join("gobo-serve-registry");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("m.gobom");
+        std::fs::write(&path, compressed(4, 3).to_bytes()).unwrap();
+        let r = registry(usize::MAX, 4);
+        let entry = r.load_file("disk", path.to_str().unwrap()).unwrap();
+        assert_eq!(entry.key.name, "disk");
+        assert!(matches!(r.load_file("x", "/nonexistent/file.gobom"), Err(ServeError::Io(_))));
+        std::fs::write(&path, b"garbage").unwrap();
+        assert!(matches!(r.load_file("x", path.to_str().unwrap()), Err(ServeError::Format(_))));
+    }
+}

@@ -1,0 +1,380 @@
+//! Request scheduling: bounded admission, worker pool, dynamic
+//! batching, deadlines, graceful drain.
+//!
+//! Requests enter a bounded FIFO admission queue (overflow is
+//! *rejected*, never blocked on). A pool of worker threads pops the
+//! oldest request and **coalesces** every queued request for the same
+//! model/bits key into one batch, waiting up to
+//! [`SchedulerConfig::max_wait`] for stragglers or until
+//! [`SchedulerConfig::max_batch`] is reached. The batch resolves its
+//! model handle from the registry once, then runs each sequence through
+//! [`TransformerModel::encode`] — the forward pass is deterministic, so
+//! served outputs are byte-identical to direct in-process calls at any
+//! batch size.
+//!
+//! Every request carries a deadline; requests that expire while queued
+//! are answered with [`ServeError::DeadlineExceeded`] the moment a
+//! worker reaches them, and the submitting side additionally enforces
+//! the deadline with a receive timeout so callers never hang on an
+//! overloaded server.
+//!
+//! [`TransformerModel::encode`]: gobo_model::TransformerModel::encode
+
+use std::collections::VecDeque;
+use std::sync::atomic::Ordering;
+use std::sync::mpsc::{sync_channel, Receiver, RecvTimeoutError, SyncSender};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crate::error::ServeError;
+use crate::metrics::Metrics;
+use crate::registry::{ModelKey, ModelRegistry};
+
+/// Worker-pool and batching parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SchedulerConfig {
+    /// Worker threads executing batches.
+    pub workers: usize,
+    /// Largest batch a worker will coalesce.
+    pub max_batch: usize,
+    /// How long a worker waits for stragglers after the first request
+    /// of a batch.
+    pub max_wait: Duration,
+    /// Admission-queue capacity; submissions beyond it are rejected
+    /// with [`ServeError::QueueFull`].
+    pub queue_capacity: usize,
+    /// Deadline applied to requests that do not carry their own.
+    pub default_deadline: Duration,
+}
+
+impl Default for SchedulerConfig {
+    fn default() -> Self {
+        SchedulerConfig {
+            workers: std::thread::available_parallelism().map_or(2, |n| n.get().min(8)),
+            max_batch: 8,
+            max_wait: Duration::from_micros(2000),
+            queue_capacity: 256,
+            default_deadline: Duration::from_secs(5),
+        }
+    }
+}
+
+/// One inference request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EncodeRequest {
+    /// Registered model name.
+    pub model: String,
+    /// Optional exact bit width (otherwise the most recently used
+    /// registration under `model` serves).
+    pub bits: Option<u8>,
+    /// Token ids.
+    pub ids: Vec<usize>,
+    /// Segment ids; may be empty.
+    pub type_ids: Vec<usize>,
+    /// Per-request deadline; the scheduler default applies when absent.
+    pub deadline: Option<Duration>,
+}
+
+impl EncodeRequest {
+    /// A request for `model` over `ids` with library defaults.
+    pub fn new(model: impl Into<String>, ids: Vec<usize>) -> Self {
+        EncodeRequest { model: model.into(), bits: None, ids, type_ids: Vec::new(), deadline: None }
+    }
+}
+
+/// One completed inference.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EncodeResponse {
+    /// The model that served the request.
+    pub model: ModelKey,
+    /// Final hidden states, row-major `hidden_dims`.
+    pub hidden: Vec<f32>,
+    /// Shape of `hidden`: `(seq_len, hidden)`.
+    pub hidden_dims: [usize; 2],
+    /// Pooled first-token representation, when the model has a pooler.
+    pub pooled: Option<Vec<f32>>,
+    /// Size of the batch this request was executed in.
+    pub batch_size: usize,
+    /// Time spent queued before execution, microseconds.
+    pub queue_us: u64,
+    /// Forward-pass time, microseconds.
+    pub compute_us: u64,
+}
+
+type Reply = Result<EncodeResponse, ServeError>;
+
+struct Pending {
+    req: EncodeRequest,
+    enqueued: Instant,
+    deadline: Instant,
+    tx: SyncSender<Reply>,
+}
+
+struct State {
+    queue: VecDeque<Pending>,
+    shutdown: bool,
+}
+
+struct Shared {
+    config: SchedulerConfig,
+    registry: Arc<ModelRegistry>,
+    metrics: Arc<Metrics>,
+    state: Mutex<State>,
+    cvar: Condvar,
+}
+
+/// The admission queue + worker pool.
+pub struct Scheduler {
+    shared: Arc<Shared>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Scheduler {
+    /// Starts the worker pool.
+    pub fn start(
+        config: SchedulerConfig,
+        registry: Arc<ModelRegistry>,
+        metrics: Arc<Metrics>,
+    ) -> Self {
+        let shared = Arc::new(Shared {
+            config,
+            registry,
+            metrics,
+            state: Mutex::new(State { queue: VecDeque::new(), shutdown: false }),
+            cvar: Condvar::new(),
+        });
+        let workers = (0..config.workers.max(1))
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("gobo-serve-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn worker")
+            })
+            .collect();
+        Scheduler { shared, workers: Mutex::new(workers) }
+    }
+
+    /// The scheduler's configuration.
+    pub fn config(&self) -> &SchedulerConfig {
+        &self.shared.config
+    }
+
+    /// Admits a request, returning the channel its reply will arrive
+    /// on. Rejects immediately — never blocks — when the queue is full
+    /// or the scheduler is draining.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::QueueFull`] at capacity, [`ServeError::ShuttingDown`]
+    /// after [`Scheduler::shutdown`] began.
+    pub fn submit(&self, req: EncodeRequest) -> Result<Receiver<Reply>, ServeError> {
+        let metrics = &self.shared.metrics;
+        metrics.encode_requests.fetch_add(1, Ordering::Relaxed);
+        let now = Instant::now();
+        let deadline = now + req.deadline.unwrap_or(self.shared.config.default_deadline);
+        let (tx, rx) = sync_channel(1);
+        {
+            let mut state =
+                self.shared.state.lock().map_err(|_| ServeError::Internal("scheduler lock"))?;
+            if state.shutdown {
+                metrics.rejected_shutdown.fetch_add(1, Ordering::Relaxed);
+                return Err(ServeError::ShuttingDown);
+            }
+            if state.queue.len() >= self.shared.config.queue_capacity {
+                metrics.rejected_queue_full.fetch_add(1, Ordering::Relaxed);
+                return Err(ServeError::QueueFull);
+            }
+            state.queue.push_back(Pending { req, enqueued: now, deadline, tx });
+            metrics.queue_push();
+        }
+        self.shared.cvar.notify_all();
+        Ok(rx)
+    }
+
+    /// Submits and waits for the reply, enforcing the deadline on the
+    /// waiting side as well so the caller cannot hang past it.
+    ///
+    /// # Errors
+    ///
+    /// Admission rejections from [`Scheduler::submit`], worker-side
+    /// failures, or [`ServeError::DeadlineExceeded`].
+    pub fn encode_blocking(&self, req: EncodeRequest) -> Result<EncodeResponse, ServeError> {
+        let deadline = req.deadline.unwrap_or(self.shared.config.default_deadline);
+        let rx = self.submit(req)?;
+        // Workers reply to every popped request (including expired
+        // ones), so the grace period only covers scheduling noise.
+        let grace = self.shared.config.max_wait + Duration::from_millis(250);
+        match rx.recv_timeout(deadline + grace) {
+            Ok(reply) => reply,
+            Err(RecvTimeoutError::Timeout) => {
+                self.shared.metrics.rejected_deadline.fetch_add(1, Ordering::Relaxed);
+                Err(ServeError::DeadlineExceeded)
+            }
+            Err(RecvTimeoutError::Disconnected) => Err(ServeError::Internal("worker reply lost")),
+        }
+    }
+
+    /// Current queue depth.
+    pub fn queue_depth(&self) -> usize {
+        self.shared.state.lock().map(|s| s.queue.len()).unwrap_or(0)
+    }
+
+    /// Begins a graceful shutdown: stop admitting, let workers drain
+    /// every queued request (expired ones are rejected, live ones
+    /// served), then join the pool. Idempotent.
+    pub fn shutdown(&self) {
+        if let Ok(mut state) = self.shared.state.lock() {
+            state.shutdown = true;
+        }
+        self.shared.cvar.notify_all();
+        let handles: Vec<JoinHandle<()>> = match self.workers.lock() {
+            Ok(mut workers) => workers.drain(..).collect(),
+            Err(_) => return,
+        };
+        for handle in handles {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Scheduler {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let mut state = match shared.state.lock() {
+            Ok(state) => state,
+            Err(_) => return,
+        };
+        // Sleep until there is work or we are asked to exit; drain the
+        // queue fully before honouring shutdown.
+        loop {
+            if !state.queue.is_empty() {
+                break;
+            }
+            if state.shutdown {
+                return;
+            }
+            state = match shared.cvar.wait(state) {
+                Ok(state) => state,
+                Err(_) => return,
+            };
+        }
+
+        // Pop the oldest live request; reply to expired ones in place.
+        let first = loop {
+            match state.queue.pop_front() {
+                None => break None,
+                Some(p) => {
+                    shared.metrics.queue_pop();
+                    if Instant::now() >= p.deadline {
+                        reject_expired(shared, p);
+                    } else {
+                        break Some(p);
+                    }
+                }
+            }
+        };
+        let Some(first) = first else {
+            drop(state);
+            continue;
+        };
+
+        // Coalesce queued requests for the same model/bits key, waiting
+        // up to max_wait for stragglers.
+        let key = (first.req.model.clone(), first.req.bits);
+        let mut batch = vec![first];
+        let wait_until = Instant::now() + shared.config.max_wait;
+        loop {
+            let mut i = 0;
+            while i < state.queue.len() && batch.len() < shared.config.max_batch {
+                if state.queue[i].req.model == key.0 && state.queue[i].req.bits == key.1 {
+                    if let Some(p) = state.queue.remove(i) {
+                        shared.metrics.queue_pop();
+                        batch.push(p);
+                    }
+                } else {
+                    i += 1;
+                }
+            }
+            if batch.len() >= shared.config.max_batch || state.shutdown {
+                break;
+            }
+            let now = Instant::now();
+            if now >= wait_until {
+                break;
+            }
+            state = match shared.cvar.wait_timeout(state, wait_until - now) {
+                Ok((state, _)) => state,
+                Err(_) => return,
+            };
+        }
+        drop(state);
+
+        execute_batch(shared, &key.0, key.1, batch);
+    }
+}
+
+fn reject_expired(shared: &Shared, p: Pending) {
+    // Count before sending so the counter is visible by the time the
+    // receiver observes the reply; a failed send means the submitting
+    // side gave up (and counted its own timeout), so roll back to keep
+    // exactly one count per rejection.
+    shared.metrics.rejected_deadline.fetch_add(1, Ordering::Relaxed);
+    if p.tx.send(Err(ServeError::DeadlineExceeded)).is_err() {
+        shared.metrics.rejected_deadline.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+fn execute_batch(shared: &Shared, model: &str, bits: Option<u8>, batch: Vec<Pending>) {
+    let size = batch.len();
+    shared.metrics.record_batch(size);
+    let entry = match shared.registry.get(model, bits) {
+        Ok(entry) => entry,
+        Err(_) => {
+            for p in batch {
+                shared.metrics.encode_failed.fetch_add(1, Ordering::Relaxed);
+                let _ = p.tx.send(Err(ServeError::ModelNotFound { name: model.to_owned() }));
+            }
+            return;
+        }
+    };
+    for p in batch {
+        let start = Instant::now();
+        if start >= p.deadline {
+            reject_expired(shared, p);
+            continue;
+        }
+        let queue_us = start.duration_since(p.enqueued).as_micros() as u64;
+        match entry.model.encode(&p.req.ids, &p.req.type_ids) {
+            Ok(out) => {
+                let compute_us = start.elapsed().as_micros() as u64;
+                let dims = out.hidden.dims().to_vec();
+                let response = EncodeResponse {
+                    model: entry.key.clone(),
+                    hidden: out.hidden.into_vec(),
+                    hidden_dims: [dims[0], dims[1]],
+                    pooled: out.pooled.map(|t| t.into_vec()),
+                    batch_size: size,
+                    queue_us,
+                    compute_us,
+                };
+                // As in `reject_expired`: record before sending so the
+                // counters lead the reply, undo if the receiver is gone.
+                shared.metrics.record_encode_ok(queue_us + compute_us, queue_us);
+                if p.tx.send(Ok(response)).is_err() {
+                    shared.metrics.unrecord_encode_ok(queue_us + compute_us, queue_us);
+                }
+            }
+            Err(e) => {
+                shared.metrics.encode_failed.fetch_add(1, Ordering::Relaxed);
+                let _ = p.tx.send(Err(ServeError::Model(e)));
+            }
+        }
+    }
+}

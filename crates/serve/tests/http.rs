@@ -1,0 +1,149 @@
+//! End-to-end HTTP tests: raw-socket requests against a bound server,
+//! byte-identical encode results over the wire, error statuses, metrics
+//! exposition, and graceful shutdown via `POST /v1/shutdown`.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+use gobo::format::CompressedModel;
+use gobo::pipeline::{quantize_model, QuantizeOptions};
+use gobo_model::config::ModelConfig;
+use gobo_model::TransformerModel;
+use gobo_serve::json::{parse, Json};
+use gobo_serve::{Client, ServeCore, ServeOptions, Server};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn compressed(seed: u64) -> CompressedModel {
+    let config = ModelConfig::tiny("Http", 1, 16, 2, 40, 12).unwrap();
+    let model = TransformerModel::new(config, &mut StdRng::seed_from_u64(seed)).unwrap();
+    let outcome = quantize_model(&model, &QuantizeOptions::gobo(3).unwrap()).unwrap();
+    CompressedModel::new(&model, outcome.archive)
+}
+
+/// One raw HTTP/1.1 round trip; returns (status, body).
+fn request(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+    let message = format!(
+        "{method} {path} HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(message.as_bytes()).expect("write request");
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("read response");
+    let status: u16 = raw
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("bad status line in {raw:?}"));
+    let payload = raw.split_once("\r\n\r\n").map(|(_, b)| b.to_owned()).unwrap_or_default();
+    (status, payload)
+}
+
+#[test]
+fn http_round_trip_byte_identical_and_graceful_shutdown() {
+    let container = compressed(11);
+    let direct = container.decode().unwrap();
+
+    let core = ServeCore::start(ServeOptions::default());
+    let client = Client::new(Arc::clone(&core));
+    client.register("demo", &container).unwrap();
+    let server = Server::bind(Arc::clone(&core), "127.0.0.1:0").unwrap();
+    let addr = server.local_addr();
+    let serve_thread = std::thread::spawn(move || server.serve_until_shutdown());
+
+    // Model listing.
+    let (status, body) = request(addr, "GET", "/v1/models", "");
+    assert_eq!(status, 200);
+    let listing = parse(&body).unwrap();
+    let models = listing.get("models").and_then(Json::as_array).unwrap();
+    assert_eq!(models.len(), 1);
+    assert_eq!(models[0].get("name").and_then(Json::as_str), Some("demo"));
+    assert_eq!(models[0].get("bits").and_then(Json::as_f64), Some(3.0));
+
+    // Encode: the floats that come back over the wire must be
+    // bit-identical to a direct `TransformerModel::encode` call.
+    let ids = [1usize, 2, 3, 4];
+    let (status, body) = request(
+        addr,
+        "POST",
+        "/v1/encode",
+        "{\"model\":\"demo\",\"ids\":[1,2,3,4],\"type_ids\":[0,0,1,1]}",
+    );
+    assert_eq!(status, 200, "encode failed: {body}");
+    let value = parse(&body).unwrap();
+    assert_eq!(value.get("model").and_then(Json::as_str), Some("demo"));
+    let reference = direct.encode(&ids, &[0, 0, 1, 1]).unwrap();
+    let dims = value.get("hidden").and_then(|h| h.get("dims")).unwrap();
+    assert_eq!(dims.as_usize_array(), Some(vec![4, 16]));
+    let data = value.get("hidden").and_then(|h| h.get("data")).and_then(Json::as_array).unwrap();
+    let ref_hidden = reference.hidden.as_slice();
+    assert_eq!(data.len(), ref_hidden.len());
+    for (value, expected) in data.iter().zip(ref_hidden) {
+        let got = value.as_f64().unwrap() as f32;
+        assert_eq!(got.to_bits(), expected.to_bits());
+    }
+    let pooled = value.get("pooled").and_then(Json::as_array).unwrap();
+    let ref_pooled = reference.pooled.unwrap();
+    for (value, expected) in pooled.iter().zip(ref_pooled.as_slice()) {
+        let got = value.as_f64().unwrap() as f32;
+        assert_eq!(got.to_bits(), expected.to_bits());
+    }
+
+    // Error statuses: unknown model, malformed body, unknown route.
+    let (status, body) = request(addr, "POST", "/v1/encode", "{\"model\":\"ghost\",\"ids\":[1]}");
+    assert_eq!(status, 404);
+    assert_eq!(parse(&body).unwrap().get("error").and_then(Json::as_str), Some("model_not_found"));
+    let (status, _) = request(addr, "POST", "/v1/encode", "{\"model\":42}");
+    assert_eq!(status, 400);
+    let (status, _) = request(addr, "POST", "/v1/encode", "not json at all");
+    assert_eq!(status, 400);
+    let (status, _) = request(addr, "GET", "/v1/nothing-here", "");
+    assert_eq!(status, 404);
+
+    // Metrics: request/batch/queue counters must be live and non-zero.
+    let (status, metrics) = request(addr, "GET", "/metrics", "");
+    assert_eq!(status, 200);
+    for needle in [
+        "# TYPE gobo_http_requests_total counter",
+        "gobo_encode_ok_total 1",
+        "gobo_batch_size_max 1",
+        "gobo_registry_models 1",
+        "gobo_queue_depth 0",
+    ] {
+        assert!(metrics.contains(needle), "missing `{needle}` in:\n{metrics}");
+    }
+    let counter = |name: &str| -> u64 {
+        metrics
+            .lines()
+            .find_map(|l| l.strip_prefix(name).and_then(|r| r.strip_prefix(' ')))
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| panic!("missing metric {name}"))
+    };
+    assert!(counter("gobo_http_requests_total") >= 6);
+    assert!(counter("gobo_batches_total") >= 1);
+    assert!(counter("gobo_queue_depth_peak") >= 1);
+
+    // Graceful shutdown over HTTP: drain and exit.
+    let (status, body) = request(addr, "POST", "/v1/shutdown", "");
+    assert_eq!(status, 200);
+    assert_eq!(parse(&body).unwrap().get("status").and_then(Json::as_str), Some("draining"));
+    serve_thread.join().expect("server thread panicked");
+
+    // After shutdown the scheduler rejects new work.
+    match client.encode(gobo_serve::EncodeRequest::new("demo", vec![1])) {
+        Err(gobo_serve::ServeError::ShuttingDown) => {}
+        other => panic!("expected ShuttingDown, got {other:?}"),
+    }
+}
+
+#[test]
+fn request_shutdown_api_stops_server() {
+    let core = ServeCore::start(ServeOptions::default());
+    let server = Server::bind(Arc::clone(&core), "127.0.0.1:0").unwrap();
+    server.request_shutdown();
+    server.serve_until_shutdown(); // must return promptly, not hang
+}

@@ -56,6 +56,44 @@ pub enum Label {
     },
 }
 
+impl Label {
+    /// The NLI class this label carries.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TaskError::LabelKindMismatch`] for non-class labels.
+    pub fn as_class(&self) -> Result<usize, TaskError> {
+        match *self {
+            Label::Class(c) => Ok(c),
+            _ => Err(TaskError::LabelKindMismatch),
+        }
+    }
+
+    /// The similarity score this label carries.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TaskError::LabelKindMismatch`] for non-score labels.
+    pub fn as_score(&self) -> Result<f32, TaskError> {
+        match *self {
+            Label::Score(s) => Ok(s),
+            _ => Err(TaskError::LabelKindMismatch),
+        }
+    }
+
+    /// The `(start, end)` answer span this label carries.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TaskError::LabelKindMismatch`] for non-span labels.
+    pub fn as_span(&self) -> Result<(usize, usize), TaskError> {
+        match *self {
+            Label::Span { start, end } => Ok((start, end)),
+            _ => Err(TaskError::LabelKindMismatch),
+        }
+    }
+}
+
 /// One tokenized example.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Example {
@@ -350,13 +388,13 @@ mod tests {
     }
 
     #[test]
-    fn nli_labels_are_balanced_and_consistent() {
+    fn nli_labels_are_balanced_and_consistent() -> Result<(), TaskError> {
         let s = spec();
         let data = nli(&s, 99, &mut StdRng::seed_from_u64(1)).unwrap();
         assert_eq!(data.len(), 99);
         let mut counts = [0usize; 3];
         for ex in &data {
-            let Label::Class(c) = ex.label else { panic!("wrong label kind") };
+            let c = ex.label.as_class()?;
             counts[c] += 1;
             assert_eq!(ex.ids.len(), s.pair_len());
             assert_eq!(ex.ids[0], CLS);
@@ -374,6 +412,7 @@ mod tests {
             }
         }
         assert_eq!(counts, [33, 33, 33]);
+        Ok(())
     }
 
     #[test]
@@ -388,41 +427,38 @@ mod tests {
     }
 
     #[test]
-    fn sts_scores_span_full_range() {
+    fn sts_scores_span_full_range() -> Result<(), TaskError> {
         let s = spec();
         let data = sts(&s, 60, &mut StdRng::seed_from_u64(3)).unwrap();
-        let scores: Vec<f32> = data
-            .iter()
-            .map(|ex| match ex.label {
-                Label::Score(v) => v,
-                _ => panic!("wrong label kind"),
-            })
-            .collect();
+        let scores: Vec<f32> =
+            data.iter().map(|ex| ex.label.as_score()).collect::<Result<_, _>>()?;
         assert!(scores.contains(&0.0));
         assert!(scores.contains(&5.0));
         assert!(scores.iter().all(|&v| (0.0..=5.0).contains(&v)));
+        Ok(())
     }
 
     #[test]
-    fn sts_overlap_matches_score() {
+    fn sts_overlap_matches_score() -> Result<(), TaskError> {
         let s = spec();
         let data = sts(&s, 30, &mut StdRng::seed_from_u64(4)).unwrap();
         for ex in data {
-            let Label::Score(score) = ex.label else { panic!() };
+            let score = ex.label.as_score()?;
             let a_cluster = s.cluster_of(ex.ids[1]).unwrap();
             let b = &ex.ids[2 + s.sentence_len..];
             let shared = b.iter().filter(|&&t| s.cluster_of(t) == Some(a_cluster)).count();
             let expected = 5.0 * shared as f32 / s.sentence_len as f32;
             assert!((score - expected).abs() < 1e-6);
         }
+        Ok(())
     }
 
     #[test]
-    fn span_answers_point_at_question_token_runs() {
+    fn span_answers_point_at_question_token_runs() -> Result<(), TaskError> {
         let s = spec();
         let data = span(&s, 40, &mut StdRng::seed_from_u64(5)).unwrap();
         for ex in data {
-            let Label::Span { start, end } = ex.label else { panic!() };
+            let (start, end) = ex.label.as_span()?;
             let q = ex.ids[1];
             assert!(start <= end && end < ex.ids.len());
             for pos in start..=end {
@@ -435,6 +471,7 @@ mod tests {
                 }
             }
         }
+        Ok(())
     }
 
     #[test]
@@ -454,7 +491,7 @@ mod tests {
     }
 
     #[test]
-    fn noise_preserves_labels_and_shapes() {
+    fn noise_preserves_labels_and_shapes() -> Result<(), TaskError> {
         let s = spec().with_noise(0.4);
         let data = nli(&s, 30, &mut StdRng::seed_from_u64(21)).unwrap();
         for ex in &data {
@@ -464,7 +501,7 @@ mod tests {
         // Spans still point at runs of the question token under noise.
         let spans = span(&s, 30, &mut StdRng::seed_from_u64(22)).unwrap();
         for ex in spans {
-            let Label::Span { start, end } = ex.label else { panic!() };
+            let (start, end) = ex.label.as_span()?;
             let q = ex.ids[1];
             for pos in start..=end {
                 assert_eq!(ex.ids[pos], q);
@@ -475,6 +512,7 @@ mod tests {
                 }
             }
         }
+        Ok(())
     }
 
     #[test]

@@ -7,7 +7,7 @@
 use gobo_model::TransformerModel;
 use gobo_tensor::Tensor;
 
-use crate::data::{Example, Label, TaskKind};
+use crate::data::{Example, TaskKind};
 use crate::error::TaskError;
 use crate::heads::HeadWeights;
 use crate::metrics;
@@ -53,8 +53,7 @@ pub fn evaluate(
             let mut preds = Vec::with_capacity(dataset.len());
             let mut gold = Vec::with_capacity(dataset.len());
             for ex in dataset {
-                let Label::Class(c) = ex.label else { return Err(TaskError::LabelKindMismatch) };
-                gold.push(c);
+                gold.push(ex.label.as_class()?);
                 preds.push(classify(model, weight, bias, ex)?);
             }
             Ok(TaskScore {
@@ -67,8 +66,7 @@ pub fn evaluate(
             let mut preds = Vec::with_capacity(dataset.len());
             let mut gold = Vec::with_capacity(dataset.len());
             for ex in dataset {
-                let Label::Score(s) = ex.label else { return Err(TaskError::LabelKindMismatch) };
-                gold.push(s);
+                gold.push(ex.label.as_score()?);
                 preds.push(regress(model, weight, bias, ex)?);
             }
             Ok(TaskScore {
@@ -81,10 +79,7 @@ pub fn evaluate(
             let mut preds = Vec::with_capacity(dataset.len());
             let mut gold = Vec::with_capacity(dataset.len());
             for ex in dataset {
-                let Label::Span { start, end } = ex.label else {
-                    return Err(TaskError::LabelKindMismatch);
-                };
-                gold.push((start, end));
+                gold.push(ex.label.as_span()?);
                 preds.push(extract_span(
                     model,
                     start_weight,
