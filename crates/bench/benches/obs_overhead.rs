@@ -1,0 +1,68 @@
+//! Overhead of the observability layer on the quantization hot path.
+//!
+//! The contract in DESIGN.md §8 is that tracing **disabled** (the
+//! default) adds no measurable cost: a disabled `span!` is one relaxed
+//! atomic load and never evaluates its detail closure. These benches
+//! time the instrumented 3-bit GOBO layer encode with tracing off
+//! (compare against `fused_vs_scalar`'s `clustering_768x768_3bit`
+//! numbers), with tracing on, and the raw span/histogram primitives.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use gobo_model::config::ModelConfig;
+use gobo_model::spec::enumerate_fc_layers;
+use gobo_model::synth::{layer_distribution, synthesize_layer};
+use gobo_obs::Histogram;
+use gobo_quant::{QuantConfig, QuantMethod, QuantizedLayer};
+
+fn attention_layer() -> Vec<f32> {
+    let config = ModelConfig::bert_base();
+    let specs = enumerate_fc_layers(&config);
+    let dist = layer_distribution(&config, 0, specs.len());
+    synthesize_layer(&specs[0], &dist, 7)
+}
+
+fn bench_encode_overhead(c: &mut Criterion) {
+    let weights = attention_layer();
+    let config = QuantConfig::new(QuantMethod::Gobo, 3).expect("config");
+
+    let mut group = c.benchmark_group("obs_overhead_encode_768x768_3bit");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(weights.len() as u64));
+    gobo_obs::trace::disable();
+    group.bench_function("tracing_disabled", |b| {
+        b.iter(|| QuantizedLayer::encode(black_box(&weights), &config).expect("encode"))
+    });
+    gobo_obs::trace::enable();
+    group.bench_function("tracing_enabled", |b| {
+        b.iter(|| QuantizedLayer::encode(black_box(&weights), &config).expect("encode"))
+    });
+    gobo_obs::trace::disable();
+    gobo_obs::trace::reset();
+    group.finish();
+}
+
+fn bench_primitives(c: &mut Criterion) {
+    let mut group = c.benchmark_group("obs_primitives");
+
+    gobo_obs::trace::disable();
+    group.bench_function("span_disabled", |b| {
+        b.iter(|| {
+            let _span = gobo_obs::span!("bench.span", value = black_box(42));
+        })
+    });
+    gobo_obs::trace::enable();
+    group.bench_function("span_enabled", |b| {
+        b.iter(|| {
+            let _span = gobo_obs::span!("bench.span", value = black_box(42));
+        })
+    });
+    gobo_obs::trace::disable();
+    gobo_obs::trace::reset();
+
+    let hist = Histogram::new();
+    group.bench_function("histogram_observe", |b| b.iter(|| hist.observe(black_box(1234))));
+    group.finish();
+}
+
+criterion_group!(benches, bench_encode_overhead, bench_primitives);
+criterion_main!(benches);

@@ -50,6 +50,7 @@ USAGE:
   gobo quantize --input <model.gobor> --output <model.gobom>
                 [--bits N] [--method gobo|kmeans|linear]
                 [--embedding-bits N] [--threshold T]
+                [--telemetry-out telemetry.json] [--trace-out trace.json]
   gobo inspect  --input <model.gobor|model.gobom>
   gobo decode   --input <model.gobom> --output <model.gobor>
   gobo serve    --model <model.gobom> [--model <more.gobom> ...]
@@ -58,6 +59,10 @@ USAGE:
                 [--queue-capacity N] [--max-bytes N] [--max-models N]
   gobo bench-serve [--output BENCH_serve.json] [--layers N] [--hidden N]
                 [--bits N] [--clients N] [--requests N] [--seq-len N]
+                [--trace-out trace.json]
+  gobo trace    --out <trace.json> [--layers N] [--hidden N] [--heads N]
+                [--bits N] [--seed N]
+  gobo telemetry-check --input <telemetry.json>
 
 FORMATS:
   .gobor  raw FP32 model (gobo-model io format)
@@ -66,7 +71,15 @@ FORMATS:
 SERVING:
   `serve` decodes each .gobom once, then answers POST /v1/encode with
   dynamic batching; GET /v1/models lists residents, GET /metrics is
-  Prometheus text, POST /v1/shutdown drains and exits.";
+  Prometheus text (counters, gauges, and latency histograms), POST
+  /v1/shutdown drains and exits.
+
+OBSERVABILITY:
+  `--trace-out` writes Chrome trace-event JSON (chrome://tracing or
+  Perfetto); `trace` quantizes a synthetic BERT-base model under
+  tracing; `--telemetry-out` writes per-layer quantization telemetry
+  (outlier fraction, iterations, final L1, bin occupancy, wall time)
+  that `telemetry-check` validates.";
 
 /// Minimal flag parser: `--name value` pairs after the subcommand.
 pub(crate) struct Args {
@@ -135,6 +148,8 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "decode" => decode(&args),
         "serve" => crate::serve_cmd::serve(&args),
         "bench-serve" => crate::serve_cmd::bench_serve(&args),
+        "trace" => crate::obs_cmd::trace(&args),
+        "telemetry-check" => crate::obs_cmd::telemetry_check(&args),
         "help" | "--help" | "-h" => Ok(USAGE.to_owned()),
         other => Err(CliError::Usage(format!("unknown command `{other}`"))),
     }
@@ -181,14 +196,33 @@ fn quantize(args: &Args) -> Result<String, CliError> {
             .map_err(|_| CliError::Usage("flag --embedding-bits: not a number".into()))?;
         options = options.with_embedding_bits(eb).map_err(|e| CliError::Failed(e.to_string()))?;
     }
-    let outcome = quantize_model(&model, &options).map_err(|e| CliError::Failed(e.to_string()))?;
+    let trace_out = args.get("trace-out");
+    if trace_out.is_some() {
+        gobo_obs::trace::reset();
+        gobo_obs::trace::enable();
+    }
+    let outcome = quantize_model(&model, &options);
+    if trace_out.is_some() {
+        gobo_obs::trace::disable();
+    }
+    let outcome = outcome.map_err(|e| CliError::Failed(e.to_string()))?;
+    let mut extras = String::new();
+    if let Some(path) = trace_out {
+        std::fs::write(path, gobo_obs::trace::export_chrome_trace())?;
+        gobo_obs::trace::reset();
+        extras.push_str(&format!("\nchrome trace written to `{path}`"));
+    }
+    if let Some(path) = args.get("telemetry-out") {
+        std::fs::write(path, outcome.report.telemetry_json())?;
+        extras.push_str(&format!("\ntelemetry written to `{path}`"));
+    }
     let compressed = CompressedModel::new(&model, outcome.archive);
     let bytes = compressed.to_bytes();
     std::fs::write(output, &bytes)?;
     Ok(format!(
         "quantized `{input}` -> `{output}` with {method} at {bits} bits\n\
          quantized layers: {}, weight compression {:.2}x, outliers {:.3}%\n\
-         file size: {} bytes",
+         file size: {} bytes{extras}",
         outcome.report.layers.len(),
         outcome.report.compression_ratio(),
         outcome.report.outlier_fraction() * 100.0,

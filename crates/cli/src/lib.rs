@@ -17,6 +17,7 @@
 
 pub mod cmd;
 pub mod format;
+mod obs_cmd;
 mod serve_cmd;
 
 pub use cmd::{run, CliError};

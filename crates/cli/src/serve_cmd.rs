@@ -71,11 +71,23 @@ pub(crate) fn serve(args: &Args) -> Result<String, CliError> {
     if let Some(port_file) = args.get("port-file") {
         std::fs::write(port_file, format!("{}\n", local.port()))?;
     }
+    let trace_out = args.get("trace-out");
+    if trace_out.is_some() {
+        gobo_obs::trace::reset();
+        gobo_obs::trace::enable();
+    }
     // `run` only returns its string after the server exits, so the
     // address a caller needs to connect goes to stdout immediately.
     println!("gobo-serve listening on http://{local} (models: {})", loaded.join(", "));
     server.serve_until_shutdown();
-    Ok(format!("gobo-serve on {local} shut down after draining"))
+    let mut extras = String::new();
+    if let Some(path) = trace_out {
+        gobo_obs::trace::disable();
+        std::fs::write(path, gobo_obs::trace::export_chrome_trace())?;
+        gobo_obs::trace::reset();
+        extras.push_str(&format!("; chrome trace written to `{path}`"));
+    }
+    Ok(format!("gobo-serve on {local} shut down after draining{extras}"))
 }
 
 /// One measured throughput configuration for `bench-serve`.
@@ -84,6 +96,12 @@ struct BenchRow {
     requests: usize,
     elapsed_us: u64,
     latency_us_mean: f64,
+    /// p50/p95/p99 end-to-end latency from the server's
+    /// `gobo_serve_latency_us` histogram (queue wait + compute; the
+    /// warm-up request is included, as in the batch counters).
+    latency_us_p50: f64,
+    latency_us_p95: f64,
+    latency_us_p99: f64,
     batches: u64,
     batch_size_max: u64,
 }
@@ -99,6 +117,7 @@ pub(crate) fn bench_serve(args: &Args) -> Result<String, CliError> {
     let requests: usize = args.parse_num("requests", 128)?.max(clients);
     let seq_len: usize = args.parse_num("seq-len", 16)?.max(1);
     let seed: u64 = args.parse_num("seed", 0)?;
+    let trace_out = args.get("trace-out");
 
     let config = ModelConfig::tiny("BenchServe", layers, hidden, 4, 256, 64)
         .map_err(|e| CliError::Failed(format!("invalid bench geometry: {e}")))?;
@@ -109,6 +128,10 @@ pub(crate) fn bench_serve(args: &Args) -> Result<String, CliError> {
         quantize_model(&model, &quant_options).map_err(|e| CliError::Failed(e.to_string()))?;
     let compressed = CompressedModel::new(&model, outcome.archive);
 
+    if trace_out.is_some() {
+        gobo_obs::trace::reset();
+        gobo_obs::trace::enable();
+    }
     let mut rows = Vec::new();
     for max_batch in [1usize, 8, 32] {
         let core = ServeCore::start(ServeOptions {
@@ -159,11 +182,19 @@ pub(crate) fn bench_serve(args: &Args) -> Result<String, CliError> {
             requests: done,
             elapsed_us,
             latency_us_mean: latency_total as f64 / done as f64,
+            latency_us_p50: metrics.latency_us.quantile(0.50),
+            latency_us_p95: metrics.latency_us.quantile(0.95),
+            latency_us_p99: metrics.latency_us.quantile(0.99),
             // The warm-up request is included in these counters.
             batches: metrics.batches.load(std::sync::atomic::Ordering::Relaxed),
             batch_size_max: metrics.batch_size_max.load(std::sync::atomic::Ordering::Relaxed),
         });
         core.shutdown();
+    }
+    if let Some(path) = trace_out {
+        gobo_obs::trace::disable();
+        std::fs::write(path, gobo_obs::trace::export_chrome_trace())?;
+        gobo_obs::trace::reset();
     }
 
     let report = Json::obj(vec![
@@ -190,6 +221,9 @@ pub(crate) fn bench_serve(args: &Args) -> Result<String, CliError> {
                             ("elapsed_us", Json::Num(row.elapsed_us as f64)),
                             ("throughput_rps", Json::Num(rps)),
                             ("latency_us_mean", Json::Num(row.latency_us_mean)),
+                            ("latency_us_p50", Json::Num(row.latency_us_p50)),
+                            ("latency_us_p95", Json::Num(row.latency_us_p95)),
+                            ("latency_us_p99", Json::Num(row.latency_us_p99)),
                             ("batches", Json::Num(row.batches as f64)),
                             ("batch_size_max", Json::Num(row.batch_size_max as f64)),
                         ])
@@ -206,12 +240,22 @@ pub(crate) fn bench_serve(args: &Args) -> Result<String, CliError> {
     for row in &rows {
         let rps = row.requests as f64 / (row.elapsed_us as f64 / 1e6);
         summary.push_str(&format!(
-            "  max_batch {:>2}: {:>8.1} req/s, mean latency {:>8.0} us, \
-             {} batches (largest {})\n",
-            row.max_batch, rps, row.latency_us_mean, row.batches, row.batch_size_max
+            "  max_batch {:>2}: {:>8.1} req/s, latency us mean {:>7.0} \
+             p50 {:>7.0} p95 {:>7.0} p99 {:>7.0}, {} batches (largest {})\n",
+            row.max_batch,
+            rps,
+            row.latency_us_mean,
+            row.latency_us_p50,
+            row.latency_us_p95,
+            row.latency_us_p99,
+            row.batches,
+            row.batch_size_max
         ));
     }
     summary.push_str(&format!("report written to `{output}`"));
+    if let Some(path) = trace_out {
+        summary.push_str(&format!("\nchrome trace written to `{path}`"));
+    }
     Ok(summary)
 }
 
@@ -260,6 +304,11 @@ mod tests {
         assert_eq!(configs.len(), 3);
         for config in &configs {
             assert!(config.get("throughput_rps").and_then(|v| v.as_f64()).unwrap() > 0.0);
+            let p50 = config.get("latency_us_p50").and_then(|v| v.as_f64()).unwrap();
+            let p95 = config.get("latency_us_p95").and_then(|v| v.as_f64()).unwrap();
+            let p99 = config.get("latency_us_p99").and_then(|v| v.as_f64()).unwrap();
+            assert!(p50 > 0.0, "p50 {p50}");
+            assert!(p50 <= p95 && p95 <= p99, "quantiles out of order: {p50} {p95} {p99}");
         }
     }
 

@@ -24,6 +24,11 @@ where
     let mut order: Vec<usize> = (0..items.len()).collect();
     order.sort_by_key(|&i| std::cmp::Reverse(size_of(&items[i])));
 
+    // The map span lives on the calling thread and covers scheduling,
+    // the pool's execution, and the caller's help-first waiting; each
+    // task records its own span on whichever worker thread ran it, so a
+    // trace shows the work-stealing schedule laid out per thread.
+    let _map_span = gobo_obs::span!("gobo.par.map", tasks = items.len());
     let mut slots: Vec<Option<R>> = Vec::with_capacity(items.len());
     slots.resize_with(items.len(), || None);
     rayon::scope(|s| {
@@ -32,7 +37,10 @@ where
             let slot = refs[i].take().expect("each slot claimed once");
             let item = &items[i];
             let work = &work;
-            s.spawn(move |_| *slot = Some(work(item)));
+            s.spawn(move |_| {
+                let _task_span = gobo_obs::span!("gobo.par.task", index = i);
+                *slot = Some(work(item));
+            });
         }
     });
     slots.into_iter().map(|r| r.expect("worker filled slot")).collect()

@@ -160,18 +160,22 @@ pub fn quantize_model(
 
     // Quantize layers on the bounded global pool, biggest layers
     // first: each worker reads the source tensor and produces
-    // (name, decoded weights, compressed layer).
-    type LayerResult = Result<(String, Tensor, QuantizedLayer), GoboError>;
+    // (name, decoded weights, compressed layer, wall time).
+    let _model_span =
+        gobo_obs::span!("gobo.quantize_model", layers = targets.len(), method = options.method);
+    type LayerResult = Result<(String, Tensor, QuantizedLayer, u64), GoboError>;
     let results: Vec<LayerResult> = crate::par::par_map_largest_first(
         &targets,
         |(_, _, params)| *params,
         |(name, bits, _)| -> LayerResult {
+            let _span = gobo_obs::span!("gobo.quantize_layer", layer = name, bits = bits);
+            let started = std::time::Instant::now();
             let tensor = model.weight(name)?;
             let config = options.layer_config(*bits)?;
             let layer = QuantizedLayer::encode(tensor.as_slice(), &config)?;
             let decoded =
                 Tensor::from_vec(layer.decode(), tensor.dims()).map_err(ModelError::from)?;
-            Ok((name.clone(), decoded, layer))
+            Ok((name.clone(), decoded, layer, started.elapsed().as_micros() as u64))
         },
     );
 
@@ -179,9 +183,9 @@ pub fn quantize_model(
     let mut report = CompressionReport::new();
     let mut archive = ModelArchive::new();
     for result in results {
-        let (name, decoded, layer) = result?;
+        let (name, decoded, layer, wall_us) = result?;
         out.set_weight(&name, decoded)?;
-        report.push(LayerReport::from_layer(name.clone(), &layer));
+        report.push(LayerReport::from_layer(name.clone(), &layer).with_wall_us(wall_us));
         archive.push(name, layer)?;
     }
     Ok(QuantizedModel { model: out, report, archive })
@@ -330,6 +334,51 @@ mod tests {
             fc_only.weight("embeddings.word").unwrap()
         );
         assert_eq!(fc_only.weight("pooler").unwrap().sum(), 0.0);
+    }
+
+    #[test]
+    fn per_layer_wall_time_is_recorded() {
+        let model = tiny_model();
+        let outcome = quantize_model(&model, &QuantizeOptions::gobo(3).unwrap()).unwrap();
+        // Every layer carries its telemetry; at least the big FFN layers
+        // take measurable wall time even on a fast machine.
+        assert!(outcome.report.total_wall_us() > 0);
+        for layer in &outcome.report.layers {
+            assert!(layer.iterations >= 1, "{}", layer.name);
+            assert_eq!(
+                layer.bin_occupancy.iter().sum::<u64>() as usize,
+                layer.weights - layer.outliers
+            );
+        }
+    }
+
+    /// Tracing enabled: quantizing a model must record one
+    /// `gobo.quantize_layer` span per FC layer, nested inside the
+    /// pool's `gobo.par.task` spans on the worker threads. (Other tests
+    /// may quantize concurrently while the flag is up, so assertions
+    /// are set-inclusion, never exact counts.)
+    #[test]
+    fn tracing_records_one_span_per_layer() {
+        let model = tiny_model();
+        gobo_obs::trace::enable();
+        let outcome = quantize_model(&model, &QuantizeOptions::gobo(3).unwrap());
+        gobo_obs::trace::disable();
+        outcome.unwrap();
+        let events = gobo_obs::trace::take_events();
+        let layer_spans: Vec<&gobo_obs::trace::SpanEvent> =
+            events.iter().filter(|e| e.name == "gobo.quantize_layer").collect();
+        for spec in model.fc_layers() {
+            let needle = format!("layer={}", spec.name);
+            assert!(
+                layer_spans.iter().any(|e| e.detail.starts_with(&needle)),
+                "no span for {}",
+                spec.name
+            );
+        }
+        // Layer spans nest under the pool's task spans.
+        assert!(events.iter().any(|e| e.name == "gobo.par.task"));
+        assert!(layer_spans.iter().all(|e| e.depth >= 1), "layer spans must be nested");
+        assert!(events.iter().any(|e| e.name == "gobo.quantize_model"));
     }
 
     #[test]

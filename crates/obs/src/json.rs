@@ -1,0 +1,58 @@
+//! Minimal JSON value formatting shared by the trace and telemetry
+//! exporters: string escaping per RFC 8259 and float formatting that
+//! never produces `NaN`/`Infinity` literals (both invalid JSON).
+
+/// Renders `s` as a quoted JSON string with all mandatory escapes.
+pub fn string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Renders a finite `f64` as a JSON number; non-finite values become
+/// `null` (JSON has no NaN/Infinity).
+pub fn number(v: f64) -> String {
+    if !v.is_finite() {
+        return "null".to_owned();
+    }
+    // `{}` on f64 is shortest-round-trip in Rust, which is valid JSON
+    // except that it can omit a fractional part — that is still a valid
+    // JSON number.
+    format!("{v}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_quotes_backslashes_and_controls() {
+        assert_eq!(string("plain"), "\"plain\"");
+        assert_eq!(string("a\"b"), "\"a\\\"b\"");
+        assert_eq!(string("a\\b"), "\"a\\\\b\"");
+        assert_eq!(string("a\nb\tc"), "\"a\\nb\\tc\"");
+        assert_eq!(string("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn numbers_round_trip_and_nonfinite_is_null() {
+        assert_eq!(number(3.0), "3");
+        assert_eq!(number(0.25), "0.25");
+        assert_eq!(number(f64::NAN), "null");
+        assert_eq!(number(f64::INFINITY), "null");
+    }
+}

@@ -1,0 +1,497 @@
+//! Span tracing: per-thread span stacks over a lock-free event buffer,
+//! exported as Chrome trace-event JSON.
+//!
+//! # Model
+//!
+//! A [`Span`] is an RAII guard created by the [`span!`](crate::span)
+//! macro: entering captures a timestamp and the thread's current stack
+//! depth, dropping records one *complete* event (name, optional detail,
+//! thread id, depth, start, duration) into a global buffer. Nesting is
+//! purely lexical — spans on one thread form a stack, and Chrome's
+//! trace viewer reconstructs the flame graph per thread from the time
+//! intervals.
+//!
+//! # Recording cost
+//!
+//! Tracing is **disabled by default**. A span created while disabled is
+//! a single relaxed atomic load and constructs nothing (the detail
+//! closure is never called). While enabled, recording one event is two
+//! monotonic-clock reads, one `fetch_add` to claim a slot in a
+//! fixed-capacity event buffer, and one slot write — no locks on the
+//! hot path. When the buffer fills, further events are counted in
+//! [`dropped_events`] and discarded rather than blocking or reallocating.
+//!
+//! # Export
+//!
+//! [`export_chrome_trace`] renders the buffered events as a Chrome
+//! trace-event JSON array (`ph:"X"` complete events plus `ph:"M"`
+//! thread-name metadata). Save it to a file and open it in
+//! `chrome://tracing` or <https://ui.perfetto.dev>.
+
+use std::cell::{Cell, RefCell};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+use crate::json;
+
+/// Default event-buffer capacity (events beyond it are dropped).
+pub const DEFAULT_CAPACITY: usize = 1 << 16;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static GENERATION: AtomicU64 = AtomicU64::new(0);
+static NEXT_TID: AtomicU32 = AtomicU32::new(0);
+
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+fn thread_names() -> &'static Mutex<Vec<(u32, String)>> {
+    static NAMES: OnceLock<Mutex<Vec<(u32, String)>>> = OnceLock::new();
+    NAMES.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+fn ring_slot() -> &'static Mutex<Arc<Ring>> {
+    static RING: OnceLock<Mutex<Arc<Ring>>> = OnceLock::new();
+    RING.get_or_init(|| Mutex::new(Arc::new(Ring::new(DEFAULT_CAPACITY))))
+}
+
+/// One recorded span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanEvent {
+    /// Static span name (e.g. `"gobo.cluster"`).
+    pub name: &'static str,
+    /// Preformatted `key=value` arguments; empty when the span had none.
+    pub detail: String,
+    /// Small dense per-thread id (assigned on each thread's first span).
+    pub tid: u32,
+    /// Stack depth at entry (0 = no enclosing span on this thread).
+    pub depth: u32,
+    /// Microseconds since the process trace epoch at entry.
+    pub start_us: u64,
+    /// Span duration in microseconds.
+    pub dur_us: u64,
+}
+
+struct Slot {
+    ready: AtomicBool,
+    data: std::cell::UnsafeCell<Option<SpanEvent>>,
+}
+
+/// Fixed-capacity write-once event buffer. Writers claim slots with one
+/// `fetch_add`; a slot is published by its `ready` flag (release store,
+/// acquire load), so readers never observe a partially written event.
+struct Ring {
+    slots: Box<[Slot]>,
+    cursor: AtomicUsize,
+    dropped: AtomicU64,
+}
+
+// SAFETY: each slot is written at most once, by the unique thread that
+// claimed its index via `cursor.fetch_add`; readers only dereference a
+// slot after `ready` is observed `true` with Acquire ordering, which
+// synchronizes with the writer's Release store.
+unsafe impl Sync for Ring {}
+unsafe impl Send for Ring {}
+
+impl Ring {
+    fn new(capacity: usize) -> Self {
+        let mut slots = Vec::with_capacity(capacity);
+        slots.resize_with(capacity, || Slot {
+            ready: AtomicBool::new(false),
+            data: std::cell::UnsafeCell::new(None),
+        });
+        Ring {
+            slots: slots.into_boxed_slice(),
+            cursor: AtomicUsize::new(0),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    fn push(&self, event: SpanEvent) {
+        let idx = self.cursor.fetch_add(1, Ordering::Relaxed);
+        match self.slots.get(idx) {
+            Some(slot) => {
+                // SAFETY: `idx` was claimed exclusively by this thread.
+                unsafe { *slot.data.get() = Some(event) };
+                slot.ready.store(true, Ordering::Release);
+            }
+            None => {
+                self.dropped.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    fn collect(&self) -> Vec<SpanEvent> {
+        let end = self.cursor.load(Ordering::Acquire).min(self.slots.len());
+        let mut out = Vec::with_capacity(end);
+        for slot in &self.slots[..end] {
+            if slot.ready.load(Ordering::Acquire) {
+                // SAFETY: `ready` was set after the write completed.
+                if let Some(event) = unsafe { (*slot.data.get()).clone() } {
+                    out.push(event);
+                }
+            }
+        }
+        out
+    }
+}
+
+thread_local! {
+    static TID: Cell<u32> = const { Cell::new(u32::MAX) };
+    static DEPTH: Cell<u32> = const { Cell::new(0) };
+    static CACHED_RING: RefCell<Option<(u64, Arc<Ring>)>> = const { RefCell::new(None) };
+}
+
+fn current_tid() -> u32 {
+    TID.with(|cell| {
+        let tid = cell.get();
+        if tid != u32::MAX {
+            return tid;
+        }
+        let tid = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+        cell.set(tid);
+        let name =
+            std::thread::current().name().map_or_else(|| format!("thread-{tid}"), str::to_owned);
+        if let Ok(mut names) = thread_names().lock() {
+            names.push((tid, name));
+        }
+        tid
+    })
+}
+
+/// Fetches this thread's cached handle to the current event buffer,
+/// refreshing it (one mutex lock) only when [`reset`]/[`take_events`]
+/// installed a new generation since the last span on this thread.
+fn current_ring() -> Arc<Ring> {
+    let generation = GENERATION.load(Ordering::Acquire);
+    CACHED_RING.with(|cell| {
+        let mut cached = cell.borrow_mut();
+        match cached.as_ref() {
+            Some((cached_generation, ring)) if *cached_generation == generation => Arc::clone(ring),
+            _ => {
+                let ring = Arc::clone(&ring_slot().lock().expect("trace ring lock"));
+                *cached = Some((generation, Arc::clone(&ring)));
+                ring
+            }
+        }
+    })
+}
+
+/// Turns recording on. Idempotent; the event buffer keeps whatever it
+/// already holds (call [`reset`] for a clean slate).
+pub fn enable() {
+    epoch(); // pin the epoch no later than the first enable
+    ENABLED.store(true, Ordering::Release);
+}
+
+/// Turns recording off. Spans currently on the stack still record on
+/// drop (their guards were armed at entry); new spans become no-ops.
+pub fn disable() {
+    ENABLED.store(false, Ordering::Release);
+}
+
+/// Whether spans are currently being recorded.
+pub fn is_enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Installs a fresh, empty event buffer with `capacity` slots and
+/// discards the old one. In-flight spans from before the reset may
+/// still write to the old buffer; those events vanish with it.
+pub fn reset_with_capacity(capacity: usize) {
+    let mut slot = ring_slot().lock().expect("trace ring lock");
+    *slot = Arc::new(Ring::new(capacity));
+    GENERATION.fetch_add(1, Ordering::Release);
+}
+
+/// [`reset_with_capacity`] at the default capacity.
+pub fn reset() {
+    reset_with_capacity(DEFAULT_CAPACITY);
+}
+
+/// Events dropped because the current buffer was full.
+pub fn dropped_events() -> u64 {
+    ring_slot().lock().expect("trace ring lock").dropped.load(Ordering::Relaxed)
+}
+
+/// Snapshots every recorded event without clearing the buffer, sorted
+/// by thread then start time (deeper spans after their parents).
+pub fn snapshot_events() -> Vec<SpanEvent> {
+    let ring = Arc::clone(&ring_slot().lock().expect("trace ring lock"));
+    let mut events = ring.collect();
+    events.sort_by_key(|e| (e.tid, e.start_us, e.depth));
+    events
+}
+
+/// Removes and returns every recorded event (same order as
+/// [`snapshot_events`]), leaving a fresh buffer of the same capacity.
+pub fn take_events() -> Vec<SpanEvent> {
+    let ring = {
+        let mut slot = ring_slot().lock().expect("trace ring lock");
+        let capacity = slot.slots.len();
+        let old = Arc::clone(&slot);
+        *slot = Arc::new(Ring::new(capacity));
+        GENERATION.fetch_add(1, Ordering::Release);
+        old
+    };
+    let mut events = ring.collect();
+    events.sort_by_key(|e| (e.tid, e.start_us, e.depth));
+    events
+}
+
+/// An RAII span guard: created armed by [`span!`](crate::span) when
+/// tracing is enabled, records one event when dropped.
+#[derive(Debug)]
+pub struct Span {
+    name: &'static str,
+    detail: String,
+    tid: u32,
+    depth: u32,
+    start: Instant,
+    armed: bool,
+}
+
+impl Span {
+    /// Enters a span. `detail` is only evaluated when tracing is
+    /// enabled; prefer the [`span!`](crate::span) macro, which builds
+    /// the closure from `key = value` arguments.
+    pub fn enter(name: &'static str, detail: impl FnOnce() -> String) -> Span {
+        if !is_enabled() {
+            return Span {
+                name,
+                detail: String::new(),
+                tid: 0,
+                depth: 0,
+                start: epoch(),
+                armed: false,
+            };
+        }
+        let tid = current_tid();
+        let depth = DEPTH.with(|d| {
+            let depth = d.get();
+            d.set(depth + 1);
+            depth
+        });
+        Span { name, detail: detail(), tid, depth, start: Instant::now(), armed: true }
+    }
+
+    /// Whether this span will record an event on drop.
+    pub fn is_armed(&self) -> bool {
+        self.armed
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if !self.armed {
+            return;
+        }
+        DEPTH.with(|d| d.set(d.get().saturating_sub(1)));
+        let start_us = self.start.duration_since(epoch()).as_micros() as u64;
+        let dur_us = self.start.elapsed().as_micros() as u64;
+        current_ring().push(SpanEvent {
+            name: self.name,
+            detail: std::mem::take(&mut self.detail),
+            tid: self.tid,
+            depth: self.depth,
+            start_us,
+            dur_us,
+        });
+    }
+}
+
+/// Enters a span recording scope timing under `name`, with optional
+/// `key = value` arguments (formatted with `Display`, evaluated only
+/// when tracing is enabled). Bind the result or the span closes
+/// immediately:
+///
+/// ```
+/// # use gobo_obs::span;
+/// let _span = span!("gobo.cluster", layer = "encoder.0.attention.query", bits = 3);
+/// ```
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::trace::Span::enter($name, String::new)
+    };
+    ($name:expr, $($key:ident = $value:expr),+ $(,)?) => {
+        $crate::trace::Span::enter($name, || {
+            let mut detail = String::new();
+            $(
+                {
+                    use std::fmt::Write as _;
+                    if !detail.is_empty() {
+                        detail.push(' ');
+                    }
+                    let _ = write!(detail, concat!(stringify!($key), "={}"), $value);
+                }
+            )+
+            detail
+        })
+    };
+}
+
+/// Renders every buffered event as Chrome trace-event JSON (the array
+/// form): one `ph:"M"` thread-name metadata record per thread followed
+/// by one `ph:"X"` complete event per span. The buffer is left intact.
+pub fn export_chrome_trace() -> String {
+    let events = snapshot_events();
+    let mut seen_tids: Vec<u32> = events.iter().map(|e| e.tid).collect();
+    seen_tids.sort_unstable();
+    seen_tids.dedup();
+
+    let mut out = String::with_capacity(64 + events.len() * 96);
+    out.push('[');
+    let mut first = true;
+    let emit = |out: &mut String, first: &mut bool| {
+        if !*first {
+            out.push(',');
+        }
+        *first = false;
+        out.push('\n');
+    };
+
+    if let Ok(names) = thread_names().lock() {
+        for &(tid, ref name) in names.iter() {
+            if !seen_tids.contains(&tid) {
+                continue;
+            }
+            emit(&mut out, &mut first);
+            out.push_str(&format!(
+                "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{tid},\
+                 \"args\":{{\"name\":{}}}}}",
+                json::string(name)
+            ));
+        }
+    }
+    for event in &events {
+        emit(&mut out, &mut first);
+        out.push_str(&format!(
+            "{{\"name\":{},\"cat\":\"gobo\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\
+             \"pid\":1,\"tid\":{},\"args\":{{\"depth\":{}",
+            json::string(event.name),
+            event.start_us,
+            event.dur_us,
+            event.tid,
+            event.depth,
+        ));
+        if !event.detail.is_empty() {
+            out.push_str(&format!(",\"detail\":{}", json::string(&event.detail)));
+        }
+        out.push_str("}}");
+    }
+    out.push_str("\n]\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The trace buffer is process-global, so every test that records
+    /// runs under this lock to avoid interleaving with its neighbours.
+    fn test_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    #[test]
+    fn disabled_spans_record_nothing_and_skip_detail() {
+        let _guard = test_lock();
+        disable();
+        reset();
+        let mut evaluated = false;
+        {
+            let span = Span::enter("test.noop", || {
+                evaluated = true;
+                String::new()
+            });
+            assert!(!span.is_armed());
+        }
+        assert!(!evaluated, "detail closure ran while disabled");
+        assert!(snapshot_events().is_empty());
+    }
+
+    #[test]
+    fn spans_nest_and_record_depth() {
+        let _guard = test_lock();
+        enable();
+        reset();
+        {
+            let _outer = span!("test.outer", step = 1);
+            let _inner = span!("test.inner");
+        }
+        disable();
+        let events = take_events();
+        assert_eq!(events.len(), 2);
+        let outer = events.iter().find(|e| e.name == "test.outer").unwrap();
+        let inner = events.iter().find(|e| e.name == "test.inner").unwrap();
+        assert_eq!(outer.depth, 0);
+        assert_eq!(inner.depth, 1);
+        assert_eq!(outer.detail, "step=1");
+        // The inner interval is contained in the outer one.
+        assert!(inner.start_us >= outer.start_us);
+        assert!(inner.start_us + inner.dur_us <= outer.start_us + outer.dur_us);
+    }
+
+    #[test]
+    fn events_from_other_threads_carry_distinct_tids() {
+        let _guard = test_lock();
+        enable();
+        reset();
+        let main_tid = {
+            let _span = span!("test.main");
+            current_tid()
+        };
+        let worker_tid = std::thread::Builder::new()
+            .name("obs-test-worker".into())
+            .spawn(|| {
+                let _span = span!("test.worker");
+                current_tid()
+            })
+            .unwrap()
+            .join()
+            .unwrap();
+        disable();
+        assert_ne!(main_tid, worker_tid);
+        let events = take_events();
+        assert!(events.iter().any(|e| e.name == "test.main" && e.tid == main_tid));
+        assert!(events.iter().any(|e| e.name == "test.worker" && e.tid == worker_tid));
+    }
+
+    #[test]
+    fn full_buffer_drops_instead_of_blocking() {
+        let _guard = test_lock();
+        enable();
+        reset_with_capacity(4);
+        for i in 0..10 {
+            let _span = span!("test.flood", i = i);
+        }
+        disable();
+        assert!(dropped_events() >= 6);
+        let events = take_events();
+        assert_eq!(events.len(), 4);
+        reset();
+    }
+
+    #[test]
+    fn chrome_export_contains_thread_metadata_and_complete_events() {
+        let _guard = test_lock();
+        enable();
+        reset();
+        {
+            let _span = span!("test.export", layer = "encoder.0", bits = 3);
+        }
+        disable();
+        let out = export_chrome_trace();
+        assert!(out.starts_with('['));
+        assert!(out.trim_end().ends_with(']'));
+        assert!(out.contains("\"ph\":\"M\""), "{out}");
+        assert!(out.contains("\"ph\":\"X\""), "{out}");
+        assert!(out.contains("\"name\":\"test.export\""), "{out}");
+        assert!(out.contains("layer=encoder.0 bits=3"), "{out}");
+        take_events();
+    }
+}

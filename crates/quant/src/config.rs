@@ -31,6 +31,16 @@ impl QuantMethod {
             QuantMethod::Linear => "Linear",
         }
     }
+
+    /// Lowercase machine-readable identifier, matching the CLI's
+    /// `--method` argument and the telemetry JSON `method` field.
+    pub fn slug(&self) -> &'static str {
+        match self {
+            QuantMethod::Gobo => "gobo",
+            QuantMethod::KMeans => "kmeans",
+            QuantMethod::Linear => "linear",
+        }
+    }
 }
 
 impl std::fmt::Display for QuantMethod {

@@ -72,10 +72,13 @@ impl QuantizedLayer {
     /// [`OutlierSplit::detect`] and the per-policy `quantize_g`
     /// functions.
     pub fn encode(weights: &[f32], config: &QuantConfig) -> Result<Self, QuantError> {
-        let split = if config.detect_outliers() {
-            OutlierSplit::detect(weights, config.outlier_threshold())?
-        } else {
-            OutlierSplit::all_gaussian(weights)?
+        let split = {
+            let _span = gobo_obs::span!("gobo.outlier", weights = weights.len());
+            if config.detect_outliers() {
+                OutlierSplit::detect(weights, config.outlier_threshold())?
+            } else {
+                OutlierSplit::all_gaussian(weights)?
+            }
         };
         Self::encode_split(&split, config)
     }
@@ -90,16 +93,27 @@ impl QuantizedLayer {
     /// Propagates clustering failures from the configured policy.
     pub fn encode_split(split: &OutlierSplit, config: &QuantConfig) -> Result<Self, QuantError> {
         let clusters = config.clusters();
-        let clustering = match config.method() {
-            QuantMethod::Gobo => {
-                gobo::quantize_g(split.g_values(), clusters, config.max_iterations())?
+        let clustering = {
+            let _span = gobo_obs::span!(
+                "gobo.cluster",
+                method = config.method(),
+                bits = config.bits(),
+                g = split.g_values().len()
+            );
+            match config.method() {
+                QuantMethod::Gobo => {
+                    gobo::quantize_g(split.g_values(), clusters, config.max_iterations())?
+                }
+                QuantMethod::KMeans => {
+                    kmeans::quantize_g(split.g_values(), clusters, config.max_iterations())?
+                }
+                QuantMethod::Linear => linear::quantize_g(split.g_values(), clusters)?,
             }
-            QuantMethod::KMeans => {
-                kmeans::quantize_g(split.g_values(), clusters, config.max_iterations())?
-            }
-            QuantMethod::Linear => linear::quantize_g(split.g_values(), clusters)?,
         };
-        let packed_indices = packing::pack(&clustering.assignments, config.bits())?;
+        let packed_indices = {
+            let _span = gobo_obs::span!("gobo.pack", bits = config.bits());
+            packing::pack(&clustering.assignments, config.bits())?
+        };
         Ok(QuantizedLayer {
             method: config.method(),
             bits: config.bits(),
@@ -169,6 +183,21 @@ impl QuantizedLayer {
     /// Per-iteration convergence trace of the clustering run.
     pub fn trace(&self) -> &ConvergenceTrace {
         &self.trace
+    }
+
+    /// Codebook bin occupancy: how many G-group weights map to each
+    /// centroid, parallel to [`QuantizedLayer::codebook`]'s centroids.
+    /// GOBO's equal-population initialization starts these balanced;
+    /// the telemetry reports where iteration moved them.
+    pub fn bin_occupancy(&self) -> Vec<u64> {
+        let g_count = self.total - self.outlier_values.len();
+        let assignments = packing::unpack(&self.packed_indices, self.bits, g_count)
+            .expect("internally consistent payload");
+        let mut counts = vec![0u64; self.codebook.len()];
+        for a in assignments {
+            counts[a as usize] += 1;
+        }
+        counts
     }
 
     /// The packed G-group index bytes (LSB-first, see
@@ -386,6 +415,31 @@ mod tests {
         let a = QuantizedLayer::encode_split(&split, &cfg(QuantMethod::Gobo, 3)).unwrap();
         let b = QuantizedLayer::encode_split(&split, &cfg(QuantMethod::KMeans, 3)).unwrap();
         assert_eq!(a.outlier_count(), b.outlier_count());
+    }
+
+    #[test]
+    fn bin_occupancy_counts_every_g_weight() {
+        let w = gaussian_with_outliers(10_000);
+        for method in [QuantMethod::Gobo, QuantMethod::KMeans, QuantMethod::Linear] {
+            let layer = QuantizedLayer::encode(&w, &cfg(method, 3)).unwrap();
+            let occupancy = layer.bin_occupancy();
+            assert_eq!(occupancy.len(), layer.codebook().len(), "{method}");
+            assert_eq!(
+                occupancy.iter().sum::<u64>() as usize,
+                layer.total() - layer.outlier_count(),
+                "{method}"
+            );
+            // Occupancy must agree with a decode-side recount.
+            let centroids = layer.codebook().centroids().to_vec();
+            let g_count = layer.total() - layer.outlier_count();
+            let assignments =
+                crate::packing::unpack(layer.packed_indices(), layer.bits(), g_count).unwrap();
+            let mut recount = vec![0u64; centroids.len()];
+            for a in assignments {
+                recount[a as usize] += 1;
+            }
+            assert_eq!(occupancy, recount, "{method}");
+        }
     }
 
     #[test]

@@ -182,6 +182,8 @@ fn handle_connection(core: &ServeCore, signal: &ShutdownSignal, stream: TcpStrea
     match read_request(&mut reader) {
         Ok(Some(request)) => {
             core.metrics().http_requests.fetch_add(1, Ordering::Relaxed);
+            let _span =
+                gobo_obs::span!("http.request", method = request.method, path = request.path);
             let (status, content_type, body, shutdown_after) = route(core, &request);
             let _ = write_response(&mut stream, status, content_type, body.as_bytes());
             if shutdown_after {

@@ -1,13 +1,16 @@
-//! Serving metrics: lock-free counters rendered in Prometheus text
-//! exposition format at `GET /metrics`.
+//! Serving metrics: lock-free counters and latency histograms rendered
+//! in Prometheus text exposition format at `GET /metrics`.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
-/// Counter/gauge set shared by the scheduler, registry, and front end.
+use gobo_obs::Histogram;
+
+/// Counter/gauge/histogram set shared by the scheduler, registry, and
+/// front end.
 ///
-/// All fields are monotone counters except `queue_depth` (a gauge) —
-/// everything is updated with relaxed atomics since no cross-field
-/// consistency is required.
+/// All fields are monotone counters except `queue_depth` (a gauge) and
+/// the two latency [`Histogram`]s — everything is updated with relaxed
+/// atomics since no cross-field consistency is required.
 #[derive(Debug, Default)]
 pub struct Metrics {
     /// Total HTTP requests accepted by the front end (all routes).
@@ -34,10 +37,13 @@ pub struct Metrics {
     pub batched_requests: AtomicU64,
     /// Largest batch executed so far.
     pub batch_size_max: AtomicU64,
-    /// Σ end-to-end latency of completed encodes, microseconds.
-    pub latency_us_sum: AtomicU64,
-    /// Σ time completed encodes spent queued, microseconds.
-    pub queue_wait_us_sum: AtomicU64,
+    /// End-to-end latency of completed encodes, microseconds. Rendered
+    /// as the `gobo_serve_latency_us` histogram (its `_sum` series
+    /// carries what the old `gobo_latency_us_sum` counter did).
+    pub latency_us: Histogram,
+    /// Time completed encodes spent queued, microseconds. Rendered as
+    /// the `gobo_serve_queue_wait_us` histogram.
+    pub queue_wait_us: Histogram,
     /// Models currently resident in the registry (gauge).
     pub registry_models: AtomicU64,
     /// Decoded bytes currently resident in the registry (gauge).
@@ -74,16 +80,16 @@ impl Metrics {
     /// latencies.
     pub fn record_encode_ok(&self, latency_us: u64, queue_wait_us: u64) {
         self.encode_ok.fetch_add(1, Ordering::Relaxed);
-        self.latency_us_sum.fetch_add(latency_us, Ordering::Relaxed);
-        self.queue_wait_us_sum.fetch_add(queue_wait_us, Ordering::Relaxed);
+        self.latency_us.observe(latency_us);
+        self.queue_wait_us.observe(queue_wait_us);
     }
 
     /// Reverses one [`Metrics::record_encode_ok`] — used when the reply
     /// could not be delivered after the counters were already bumped.
     pub fn unrecord_encode_ok(&self, latency_us: u64, queue_wait_us: u64) {
         self.encode_ok.fetch_sub(1, Ordering::Relaxed);
-        self.latency_us_sum.fetch_sub(latency_us, Ordering::Relaxed);
-        self.queue_wait_us_sum.fetch_sub(queue_wait_us, Ordering::Relaxed);
+        self.latency_us.unobserve(latency_us);
+        self.queue_wait_us.unobserve(queue_wait_us);
     }
 
     /// Renders the Prometheus text exposition.
@@ -146,16 +152,6 @@ impl Metrics {
             self.queue_depth_peak.load(Ordering::Relaxed),
         );
         counter(
-            "latency_us_sum",
-            "sum of end-to-end encode latencies (us)",
-            self.latency_us_sum.load(Ordering::Relaxed),
-        );
-        counter(
-            "queue_wait_us_sum",
-            "sum of queue-wait times of completed encodes (us)",
-            self.queue_wait_us_sum.load(Ordering::Relaxed),
-        );
-        counter(
             "registry_evictions_total",
             "models evicted under the registry byte budget",
             self.registry_evictions.load(Ordering::Relaxed),
@@ -179,6 +175,18 @@ impl Metrics {
             "registry_bytes",
             "decoded bytes resident in the registry",
             self.registry_bytes.load(Ordering::Relaxed),
+        );
+        self.latency_us.render_prometheus(
+            "gobo_serve_latency_us",
+            "end-to-end encode latency (us)",
+            &[],
+            &mut out,
+        );
+        self.queue_wait_us.render_prometheus(
+            "gobo_serve_queue_wait_us",
+            "queue-wait time of completed encodes (us)",
+            &[],
+            &mut out,
         );
         out
     }
@@ -205,9 +213,51 @@ mod tests {
         assert!(text.contains("gobo_batches_total 2"));
         assert!(text.contains("gobo_batched_requests_total 11"));
         assert!(text.contains("gobo_batch_size_max 7"));
-        assert!(text.contains("gobo_latency_us_sum 1500"));
-        assert!(text.contains("gobo_queue_wait_us_sum 300"));
+        assert!(text.contains("gobo_serve_latency_us_sum 1500"));
+        assert!(text.contains("gobo_serve_latency_us_count 1"));
+        assert!(text.contains("gobo_serve_queue_wait_us_sum 300"));
+        assert!(text.contains("gobo_serve_latency_us_bucket{le=\"2000\"} 1"));
+        assert!(text.contains("gobo_serve_latency_us_bucket{le=\"+Inf\"} 1"));
         // Prometheus exposition shape: HELP+TYPE precede every sample.
         assert_eq!(text.matches("# TYPE").count(), text.matches("# HELP").count());
+    }
+
+    #[test]
+    fn unrecord_reverses_histograms() {
+        let m = Metrics::new();
+        m.record_encode_ok(1500, 300);
+        m.record_encode_ok(80, 10);
+        m.unrecord_encode_ok(1500, 300);
+        assert_eq!(m.latency_us.count(), 1);
+        assert_eq!(m.latency_us.sum(), 80);
+        assert_eq!(m.queue_wait_us.sum(), 10);
+        let text = m.render();
+        assert!(text.contains("gobo_serve_latency_us_bucket{le=\"+Inf\"} 1"));
+    }
+
+    /// The queue-depth high-water mark must survive racing pushes: a
+    /// plain load-compare-store would lose updates, `fetch_max` cannot.
+    #[test]
+    fn queue_depth_peak_is_exact_under_contention() {
+        use std::sync::Arc;
+        let m = Arc::new(Metrics::new());
+        let threads = 8;
+        let per_thread = 1000;
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let m = Arc::clone(&m);
+                std::thread::spawn(move || {
+                    for _ in 0..per_thread {
+                        m.queue_push();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        // Nothing popped, so the peak equals the final depth exactly.
+        assert_eq!(m.queue_depth.load(Ordering::Relaxed), threads * per_thread);
+        assert_eq!(m.queue_depth_peak.load(Ordering::Relaxed), threads * per_thread);
     }
 }

@@ -333,6 +333,7 @@ fn reject_expired(shared: &Shared, p: Pending) {
 
 fn execute_batch(shared: &Shared, model: &str, bits: Option<u8>, batch: Vec<Pending>) {
     let size = batch.len();
+    let _batch_span = gobo_obs::span!("serve.batch", model = model, size = size);
     shared.metrics.record_batch(size);
     let entry = match shared.registry.get(model, bits) {
         Ok(entry) => entry,
@@ -351,6 +352,7 @@ fn execute_batch(shared: &Shared, model: &str, bits: Option<u8>, batch: Vec<Pend
             continue;
         }
         let queue_us = start.duration_since(p.enqueued).as_micros() as u64;
+        let _encode_span = gobo_obs::span!("serve.encode", tokens = p.req.ids.len());
         match entry.model.encode(&p.req.ids, &p.req.type_ids) {
             Ok(out) => {
                 let compute_us = start.elapsed().as_micros() as u64;
