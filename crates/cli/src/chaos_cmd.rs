@@ -1,0 +1,373 @@
+//! `gobo chaos`: scripted fault scenarios against an in-process server.
+//!
+//! Each scenario arms deterministic `gobo-fault` failpoints (or
+//! corrupts container bytes directly), drives a workload, and checks
+//! that the stack *degrades* instead of *failing*: injected faults may
+//! fail their own requests, but nothing hangs, nothing takes the
+//! process down, and a corrupted model is rejected rather than
+//! silently served with wrong weights.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use gobo::pipeline::{quantize_model, QuantizeOptions};
+use gobo_model::config::ModelConfig;
+use gobo_model::TransformerModel;
+use gobo_serve::{Client, EncodeRequest, RegistryConfig, SchedulerConfig, ServeCore, ServeOptions};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::cmd::{Args, CliError};
+use crate::format::CompressedModel;
+
+const ALL_SCENARIOS: [&str; 3] = ["worker-panic", "corrupt-model", "queue-overload"];
+
+/// Outcome of one scenario: pass/fail plus human-readable evidence.
+struct Scenario {
+    name: &'static str,
+    passed: bool,
+    lines: Vec<String>,
+}
+
+/// `gobo chaos`: run the requested scenarios, report, and exit
+/// non-zero if any scenario saw a hang, a process-level crash, or a
+/// silently-wrong result.
+pub(crate) fn chaos(args: &Args) -> Result<String, CliError> {
+    let mut scenarios = args.get_all("scenario");
+    if scenarios.is_empty() {
+        scenarios = ALL_SCENARIOS.to_vec();
+    }
+    let requests: usize = args.parse_num("requests", 500)?.max(16);
+    let corruptions: usize = args.parse_num("corruptions", 10_000)?.max(1);
+    let seed: u64 = args.parse_num("seed", 0)?;
+    gobo_fault::install_panic_silencer();
+    let mut out = String::new();
+    let mut failures = 0usize;
+    for name in scenarios {
+        gobo_fault::reset();
+        let result = match name {
+            "worker-panic" => worker_panic(requests, seed),
+            "corrupt-model" => corrupt_model(corruptions, seed),
+            "queue-overload" => queue_overload(requests, seed),
+            other => {
+                return Err(CliError::Usage(format!(
+                    "unknown scenario `{other}` (have: {})",
+                    ALL_SCENARIOS.join(", ")
+                )))
+            }
+        };
+        gobo_fault::reset();
+        let scenario = result?;
+        out.push_str(&format!(
+            "scenario {:<14} {}\n",
+            scenario.name,
+            if scenario.passed { "PASS (degraded, not failed)" } else { "FAIL" }
+        ));
+        for line in &scenario.lines {
+            out.push_str(&format!("  {line}\n"));
+        }
+        if !scenario.passed {
+            failures += 1;
+        }
+    }
+    if failures > 0 {
+        Err(CliError::Failed(format!("{out}{failures} chaos scenario(s) FAILED")))
+    } else {
+        out.push_str("all chaos scenarios passed: faults degraded service, nothing hung or lied");
+        Ok(out)
+    }
+}
+
+/// A small but non-trivial quantized model shared by the scenarios.
+fn build_compressed(seed: u64) -> Result<CompressedModel, CliError> {
+    let config = ModelConfig::tiny("Chaos", 2, 48, 4, 256, 64)
+        .map_err(|e| CliError::Failed(format!("invalid chaos geometry: {e}")))?;
+    let model = TransformerModel::new(config, &mut StdRng::seed_from_u64(seed))
+        .map_err(|e| CliError::Failed(e.to_string()))?;
+    let options = QuantizeOptions::gobo(3).map_err(|e| CliError::Failed(e.to_string()))?;
+    let outcome = quantize_model(&model, &options).map_err(|e| CliError::Failed(e.to_string()))?;
+    Ok(CompressedModel::new(&model, outcome.archive))
+}
+
+/// Workers panic on every 5th `serve.encode`. The run must complete
+/// with only panic-hit batches failing (as `worker_panic`), the pool
+/// must respawn, and throughput must stay within 2x of fault-free.
+fn worker_panic(requests: usize, seed: u64) -> Result<Scenario, CliError> {
+    let compressed = build_compressed(seed)?;
+    let run = |faulted: bool| -> Result<(usize, Vec<&'static str>, u64, Duration), CliError> {
+        let core = ServeCore::start(ServeOptions {
+            registry: RegistryConfig::default(),
+            scheduler: SchedulerConfig {
+                workers: 2,
+                queue_capacity: requests + 64,
+                // Generous deadline: the scenario proves requests fail
+                // *fast* via WorkerPanic, not via deadline expiry.
+                default_deadline: Duration::from_secs(60),
+                ..SchedulerConfig::default()
+            },
+        });
+        let client = Client::new(Arc::clone(&core));
+        client.register("chaos", &compressed).map_err(|e| CliError::Failed(e.to_string()))?;
+        client
+            .encode(EncodeRequest::new("chaos", vec![1, 2, 3]))
+            .map_err(|e| CliError::Failed(e.to_string()))?;
+        if faulted {
+            gobo_fault::configure_str("serve.encode=panic(every=5)")
+                .map_err(|e| CliError::Failed(e.to_string()))?;
+        }
+        let threads = 8usize;
+        let per_thread = requests / threads;
+        let started = Instant::now();
+        let mut joins = Vec::new();
+        for t in 0..threads {
+            let client = client.clone();
+            joins.push(std::thread::spawn(move || {
+                let mut ok = 0usize;
+                let mut failed: Vec<&'static str> = Vec::new();
+                for r in 0..per_thread {
+                    let ids: Vec<usize> = (0..16).map(|k| 1 + (t * 31 + r * 7 + k) % 250).collect();
+                    match client.encode(EncodeRequest::new("chaos", ids)) {
+                        Ok(_) => ok += 1,
+                        Err(e) => failed.push(e.code()),
+                    }
+                }
+                (ok, failed)
+            }));
+        }
+        let mut ok = 0usize;
+        let mut failed = Vec::new();
+        for join in joins {
+            let (o, f) =
+                join.join().map_err(|_| CliError::Failed("chaos client panicked".into()))?;
+            ok += o;
+            failed.extend(f);
+        }
+        let elapsed = started.elapsed();
+        gobo_fault::reset();
+        let respawns = core.metrics().worker_respawns.load(Ordering::Relaxed);
+        core.shutdown();
+        Ok((ok, failed, respawns, elapsed))
+    };
+
+    let (base_ok, base_failed, _, base_elapsed) = run(false)?;
+    let (ok, failed, respawns, elapsed) = run(true)?;
+    let non_injected: Vec<&str> =
+        failed.iter().copied().filter(|code| *code != "worker_panic").collect();
+    // 2x the fault-free run, plus fixed slack for respawn backoff
+    // quantisation on fast baselines.
+    let budget = base_elapsed * 2 + Duration::from_millis(500);
+    let passed = base_failed.is_empty()
+        && ok > 0
+        && !failed.is_empty()
+        && non_injected.is_empty()
+        && respawns > 0
+        && elapsed <= budget;
+    Ok(Scenario {
+        name: "worker-panic",
+        passed,
+        lines: vec![
+            format!(
+                "fault-free: {base_ok}/{} ok, {} failed, {:?}",
+                base_ok + base_failed.len(),
+                base_failed.len(),
+                base_elapsed
+            ),
+            format!(
+                "serve.encode=panic(every=5): {ok} ok, {} failed (all worker_panic: {}), {:?}",
+                failed.len(),
+                non_injected.is_empty(),
+                elapsed
+            ),
+            format!("worker respawns: {respawns} (must be > 0)"),
+            format!(
+                "throughput budget 2x+slack: {:?} <= {:?}: {}",
+                elapsed,
+                budget,
+                elapsed <= budget
+            ),
+        ],
+    })
+}
+
+/// Seeded single-byte corruptions and truncations of a `.gobom` file:
+/// every mutation must be rejected or parse to byte-identical content
+/// — never panic, never yield different weights. A v1 (checksum-free)
+/// file must still load, counted as unverified.
+fn corrupt_model(corruptions: usize, seed: u64) -> Result<Scenario, CliError> {
+    let compressed = build_compressed(seed)?;
+    let reference = compressed.to_bytes();
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xC0DE);
+    let mut rejected = 0usize;
+    let mut benign = 0usize;
+    let mut silent = 0usize;
+    let mut panics = 0usize;
+    for _ in 0..corruptions {
+        let mut bytes = reference.clone();
+        let pos = rng.gen_range(0..bytes.len());
+        let mask = rng.gen_range(1..=255u8);
+        bytes[pos] ^= mask;
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            CompressedModel::from_bytes(&bytes).map(|m| m.to_bytes())
+        }));
+        match outcome {
+            Err(_) => panics += 1,
+            Ok(Err(_)) => rejected += 1,
+            // Re-encoding to the canonical v2 bytes proves the parse
+            // saw exactly the original content (e.g. a version-byte
+            // flip downgrading to an equivalent v1 parse).
+            Ok(Ok(reencoded)) if reencoded == reference => benign += 1,
+            Ok(Ok(_)) => silent += 1,
+        }
+    }
+    let mut truncations_ok = true;
+    for cut in [0usize, 1, 4, 5, reference.len() / 2, reference.len() - 1] {
+        match catch_unwind(AssertUnwindSafe(|| CompressedModel::from_bytes(&reference[..cut]))) {
+            Ok(Err(_)) => {}
+            Ok(Ok(_)) => truncations_ok = false,
+            Err(_) => {
+                panics += 1;
+                truncations_ok = false;
+            }
+        }
+    }
+    // The untouched v2 file still loads and serves.
+    let serves = {
+        let core = ServeCore::start(ServeOptions::default());
+        let client = Client::new(Arc::clone(&core));
+        let ok = client.register("intact", &compressed).is_ok()
+            && client.encode(EncodeRequest::new("intact", vec![1, 2, 3])).is_ok();
+        core.shutdown();
+        ok
+    };
+    // A legacy v1 file loads (warned, counted) with identical content.
+    let unverified_before = gobo_quant::container::unverified_loads();
+    let v1_roundtrip = CompressedModel::from_bytes(&compressed.to_bytes_v1())
+        .map(|m| m.to_bytes() == reference)
+        .unwrap_or(false);
+    let v1_counted = gobo_quant::container::unverified_loads() > unverified_before;
+    let passed =
+        panics == 0 && silent == 0 && truncations_ok && serves && v1_roundtrip && v1_counted;
+    Ok(Scenario {
+        name: "corrupt-model",
+        passed,
+        lines: vec![
+            format!(
+                "{corruptions} single-byte corruptions: {rejected} rejected, {benign} benign, \
+                 {silent} silently wrong (must be 0), {panics} panics (must be 0)"
+            ),
+            format!("truncations rejected: {truncations_ok}"),
+            format!("intact v2 model still serves: {serves}"),
+            format!(
+                "v1 file loads content-identical: {v1_roundtrip}, counted unverified: {v1_counted}"
+            ),
+        ],
+    })
+}
+
+/// A tiny queue plus slowed batches under concurrent load: every
+/// request must resolve as ok, queue_full, or deadline_exceeded — no
+/// hangs, no other failures — and the server must serve normally once
+/// the fault is cleared.
+fn queue_overload(requests: usize, seed: u64) -> Result<Scenario, CliError> {
+    let compressed = build_compressed(seed)?;
+    let core = ServeCore::start(ServeOptions {
+        registry: RegistryConfig::default(),
+        scheduler: SchedulerConfig {
+            workers: 2,
+            queue_capacity: 8,
+            default_deadline: Duration::from_millis(250),
+            ..SchedulerConfig::default()
+        },
+    });
+    let client = Client::new(Arc::clone(&core));
+    client.register("chaos", &compressed).map_err(|e| CliError::Failed(e.to_string()))?;
+    client
+        .encode(EncodeRequest::new("chaos", vec![1, 2, 3]))
+        .map_err(|e| CliError::Failed(e.to_string()))?;
+    gobo_fault::configure_str("serve.batch=delay(ms=20)")
+        .map_err(|e| CliError::Failed(e.to_string()))?;
+    let total = requests.min(200);
+    let threads = 16usize;
+    let per_thread = (total / threads).max(1);
+    let started = Instant::now();
+    let mut joins = Vec::new();
+    for t in 0..threads {
+        let client = client.clone();
+        joins.push(std::thread::spawn(move || {
+            let mut codes: Vec<&'static str> = Vec::new();
+            for r in 0..per_thread {
+                let ids: Vec<usize> = (0..8).map(|k| 1 + (t * 13 + r * 5 + k) % 250).collect();
+                codes.push(match client.encode(EncodeRequest::new("chaos", ids)) {
+                    Ok(_) => "ok",
+                    Err(e) => e.code(),
+                });
+            }
+            codes
+        }));
+    }
+    let mut ok = 0usize;
+    let mut shed = 0usize;
+    let mut other: Vec<&'static str> = Vec::new();
+    for join in joins {
+        for code in join.join().map_err(|_| CliError::Failed("chaos client panicked".into()))? {
+            match code {
+                "ok" => ok += 1,
+                "queue_full" | "deadline_exceeded" => shed += 1,
+                unexpected => other.push(unexpected),
+            }
+        }
+    }
+    let elapsed = started.elapsed();
+    gobo_fault::reset();
+    let recovered = client.encode(EncodeRequest::new("chaos", vec![1, 2, 3])).is_ok();
+    core.shutdown();
+    let passed = other.is_empty() && ok > 0 && recovered;
+    Ok(Scenario {
+        name: "queue-overload",
+        passed,
+        lines: vec![
+            format!(
+                "{} requests through an 8-slot queue with serve.batch=delay(ms=20): \
+                 {ok} ok, {shed} shed (queue_full/deadline_exceeded), {} unexpected ({:?})",
+                per_thread * threads,
+                other.len(),
+                other
+            ),
+            format!("elapsed {elapsed:?}, no request hung past its deadline"),
+            format!("serves normally after faults cleared: {recovered}"),
+        ],
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::cmd::run_str;
+
+    /// Only the corruption scenario runs in unit tests: it arms no
+    /// global failpoints, so it cannot interfere with other tests
+    /// sharing this process.
+    #[test]
+    fn chaos_corrupt_model_scenario_passes() {
+        let msg = run_str(&[
+            "chaos",
+            "--scenario",
+            "corrupt-model",
+            "--corruptions",
+            "200",
+            "--seed",
+            "7",
+        ])
+        .unwrap();
+        assert!(msg.contains("corrupt-model"), "{msg}");
+        assert!(msg.contains("PASS"), "{msg}");
+        assert!(msg.contains("0 silently wrong"), "{msg}");
+    }
+
+    #[test]
+    fn chaos_rejects_unknown_scenario() {
+        let err = run_str(&["chaos", "--scenario", "meteor-strike"]).unwrap_err();
+        assert!(err.to_string().contains("unknown scenario"), "{err}");
+    }
+}

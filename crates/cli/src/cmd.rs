@@ -4,7 +4,7 @@ use std::fmt;
 
 use gobo::pipeline::{quantize_model, QuantizeOptions};
 use gobo_model::config::ModelConfig;
-use gobo_model::io::{load_model, save_model};
+use gobo_model::io::{atomic_write, load_model, save_model};
 use gobo_model::TransformerModel;
 use gobo_quant::QuantMethod;
 use rand::rngs::StdRng;
@@ -57,6 +57,9 @@ USAGE:
                 [--name NAME ...] [--addr HOST:PORT] [--port-file PATH]
                 [--workers N] [--max-batch N] [--max-wait-us N]
                 [--queue-capacity N] [--max-bytes N] [--max-models N]
+                [--max-body-bytes N] [--failpoints SPEC]
+  gobo chaos    [--scenario worker-panic|corrupt-model|queue-overload]...
+                [--requests N] [--corruptions N] [--seed N]
   gobo bench-serve [--output BENCH_serve.json] [--layers N] [--hidden N]
                 [--bits N] [--clients N] [--requests N] [--seq-len N]
                 [--trace-out trace.json]
@@ -73,6 +76,16 @@ SERVING:
   dynamic batching; GET /v1/models lists residents, GET /metrics is
   Prometheus text (counters, gauges, and latency histograms), POST
   /v1/shutdown drains and exits.
+
+FAULT INJECTION:
+  `chaos` runs scripted fault scenarios against an in-process server
+  (workers panicking mid-batch, corrupt models on disk, queue
+  overload) and reports degraded-but-correct vs failed behaviour;
+  `--scenario` repeats, default is all scenarios. `serve` accepts
+  `--failpoints \"name=action(args)[;...]\"` (or the GOBO_FAILPOINTS
+  environment variable) to arm deterministic failpoints, e.g.
+  `serve.encode=panic(every=5)`, and `--max-body-bytes` to cap request
+  bodies (default 4 MiB; larger requests get 413).
 
 OBSERVABILITY:
   `--trace-out` writes Chrome trace-event JSON (chrome://tracing or
@@ -148,6 +161,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "decode" => decode(&args),
         "serve" => crate::serve_cmd::serve(&args),
         "bench-serve" => crate::serve_cmd::bench_serve(&args),
+        "chaos" => crate::chaos_cmd::chaos(&args),
         "trace" => crate::obs_cmd::trace(&args),
         "telemetry-check" => crate::obs_cmd::telemetry_check(&args),
         "help" | "--help" | "-h" => Ok(USAGE.to_owned()),
@@ -165,7 +179,7 @@ fn demo(args: &Args) -> Result<String, CliError> {
     let model = TransformerModel::new(config, &mut StdRng::seed_from_u64(seed))
         .map_err(|e| CliError::Failed(e.to_string()))?;
     let bytes = save_model(&model);
-    std::fs::write(output, &bytes)?;
+    atomic_write(std::path::Path::new(output), &bytes)?;
     Ok(format!("wrote demo model `{output}`: {} ({} bytes)", model.config(), bytes.len()))
 }
 
@@ -218,7 +232,7 @@ fn quantize(args: &Args) -> Result<String, CliError> {
     }
     let compressed = CompressedModel::new(&model, outcome.archive);
     let bytes = compressed.to_bytes();
-    std::fs::write(output, &bytes)?;
+    atomic_write(std::path::Path::new(output), &bytes)?;
     Ok(format!(
         "quantized `{input}` -> `{output}` with {method} at {bits} bits\n\
          quantized layers: {}, weight compression {:.2}x, outliers {:.3}%\n\
@@ -284,7 +298,7 @@ fn decode(args: &Args) -> Result<String, CliError> {
         .map_err(|e| CliError::Failed(format!("{input}: {e}")))?;
     let model = compressed.decode().map_err(|e| CliError::Failed(e.to_string()))?;
     let raw = save_model(&model);
-    std::fs::write(output, &raw)?;
+    atomic_write(std::path::Path::new(output), &raw)?;
     Ok(format!(
         "decoded `{input}` ({} bytes) -> `{output}` ({} bytes, FP32)",
         bytes.len(),

@@ -15,6 +15,7 @@
 
 #![deny(missing_docs)]
 
+mod chaos_cmd;
 pub mod cmd;
 pub mod format;
 mod obs_cmd;

@@ -8,7 +8,8 @@ use gobo_model::config::ModelConfig;
 use gobo_model::TransformerModel;
 use gobo_serve::json::Json;
 use gobo_serve::{
-    Client, EncodeRequest, RegistryConfig, SchedulerConfig, ServeCore, ServeOptions, Server,
+    Client, EncodeRequest, HttpOptions, RegistryConfig, SchedulerConfig, ServeCore, ServeOptions,
+    Server,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -39,6 +40,20 @@ pub(crate) fn serve(args: &Args) -> Result<String, CliError> {
     }
     let names = args.get_all("name");
     let addr = args.get("addr").unwrap_or("127.0.0.1:7070");
+    // Arm failpoints before any model is loaded so `registry.load` /
+    // `registry.decode` faults cover the startup path too. The
+    // environment variable applies first; `--failpoints` overrides.
+    let env_failpoints = gobo_fault::configure_from_env()
+        .map_err(|e| CliError::Usage(format!("{}: {e}", gobo_fault::ENV_VAR)))?;
+    let mut armed = env_failpoints;
+    if let Some(spec) = args.get("failpoints") {
+        armed += gobo_fault::configure_str(spec)
+            .map_err(|e| CliError::Usage(format!("--failpoints: {e}")))?;
+    }
+    if armed > 0 {
+        gobo_fault::install_panic_silencer();
+        eprintln!("gobo-serve: {armed} failpoint(s) armed");
+    }
     let registry_defaults = RegistryConfig::default();
     let options = ServeOptions {
         registry: RegistryConfig {
@@ -65,7 +80,10 @@ pub(crate) fn serve(args: &Args) -> Result<String, CliError> {
         loaded.push(entry.key.to_string());
     }
 
-    let server = Server::bind(Arc::clone(&core), addr)
+    let http_options = HttpOptions {
+        max_body: args.parse_num("max-body-bytes", HttpOptions::default().max_body)?,
+    };
+    let server = Server::bind_with(Arc::clone(&core), addr, http_options)
         .map_err(|e| CliError::Failed(format!("cannot bind `{addr}`: {e}")))?;
     let local = server.local_addr();
     if let Some(port_file) = args.get("port-file") {

@@ -6,7 +6,14 @@
 //!             carrying config + aux tensors + placeholder weights of length 0? —
 //!             see below)
 //!       | archive_len:u32 | archive (gobo-quant container format)
+//!       | crc:u32            (v2: CRC32 of every preceding byte)
 //! ```
+//!
+//! Format **v2** seals the whole file with a trailing CRC32 (on top of
+//! the per-layer and per-entry checksums inside the archive), so any
+//! single-byte corruption of a `.gobom` on disk is rejected before a
+//! single weight is interpreted. v1 files (no checksum) still load,
+//! with a warning on stderr.
 //!
 //! To avoid duplicating tensor serialization, the "configuration and
 //! auxiliary parameters" section is a *partial* raw model in
@@ -23,8 +30,10 @@ use gobo_tensor::Tensor;
 
 /// Magic prefix of a compressed model file.
 pub const COMPRESSED_MAGIC: u32 = u32::from_le_bytes(*b"GOBM");
-/// Current compressed-model format version.
-pub const COMPRESSED_FORMAT_VERSION: u8 = 1;
+/// Current compressed-model format version: whole-file trailing CRC32.
+pub const COMPRESSED_FORMAT_VERSION: u8 = 2;
+/// The pre-checksum compressed-model format, still readable.
+pub const COMPRESSED_LEGACY_VERSION: u8 = 1;
 
 /// Error raised by compressed-model (de)serialization.
 #[derive(Debug)]
@@ -107,29 +116,71 @@ impl CompressedModel {
         Ok(model)
     }
 
-    /// Serializes the compressed model. Weights present in the archive
-    /// are omitted from the skeleton section entirely.
+    /// Serializes the compressed model (v2: whole-file trailing CRC32).
+    /// Weights present in the archive are omitted from the skeleton
+    /// section entirely.
     pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = self.body_bytes(COMPRESSED_FORMAT_VERSION, &self.archive.to_bytes());
+        let crc = gobo_quant::integrity::crc32(&out);
+        out.extend_from_slice(&crc.to_le_bytes());
+        out
+    }
+
+    /// Serializes in the legacy v1 (checksum-less) layout, with a v1
+    /// archive inside. For compatibility tests only.
+    pub fn to_bytes_v1(&self) -> Vec<u8> {
+        self.body_bytes(COMPRESSED_LEGACY_VERSION, &self.archive.to_bytes_v1())
+    }
+
+    fn body_bytes(&self, version: u8, archive: &[u8]) -> Vec<u8> {
         let raw = save_model_with(&self.skeleton, |name| self.archive.get(name).is_none());
-        let archive = self.archive.to_bytes();
-        let mut out = Vec::with_capacity(raw.len() + archive.len() + 16);
+        let mut out = Vec::with_capacity(raw.len() + archive.len() + 20);
         out.extend_from_slice(&COMPRESSED_MAGIC.to_le_bytes());
-        out.push(COMPRESSED_FORMAT_VERSION);
+        out.push(version);
         out.extend_from_slice(&[0u8; 3]);
         out.extend_from_slice(&(raw.len() as u32).to_le_bytes());
         out.extend_from_slice(&raw);
         out.extend_from_slice(&(archive.len() as u32).to_le_bytes());
-        out.extend_from_slice(&archive);
+        out.extend_from_slice(archive);
         out
     }
 
-    /// Deserializes a compressed model.
+    /// Deserializes a compressed model. v2 files are rejected on
+    /// checksum mismatch before any field past the version byte is
+    /// interpreted; v1 files load with a warning on stderr.
     ///
     /// # Errors
     ///
     /// Returns [`FormatError::Corrupt`] for structural problems and
     /// propagates model/container failures.
     pub fn from_bytes(data: &[u8]) -> Result<Self, FormatError> {
+        if data.len() < 5 {
+            return Err(FormatError::Corrupt("truncated file"));
+        }
+        let magic = u32::from_le_bytes(data[..4].try_into().expect("4 bytes"));
+        if magic != COMPRESSED_MAGIC {
+            return Err(FormatError::Corrupt("bad magic"));
+        }
+        let data = match data[4] {
+            COMPRESSED_LEGACY_VERSION => {
+                eprintln!(
+                    "gobo: warning: compressed model is format v1 (no checksum); \
+                     integrity unverified"
+                );
+                data
+            }
+            COMPRESSED_FORMAT_VERSION => {
+                let Some(body_len) = data.len().checked_sub(4).filter(|&n| n >= 5) else {
+                    return Err(FormatError::Corrupt("truncated file"));
+                };
+                let stored = u32::from_le_bytes(data[body_len..].try_into().expect("4 bytes"));
+                if gobo_quant::integrity::crc32(&data[..body_len]) != stored {
+                    return Err(FormatError::Corrupt("file checksum mismatch"));
+                }
+                &data[..body_len]
+            }
+            _ => return Err(FormatError::Corrupt("unsupported version")),
+        };
         let take = |pos: &mut usize, n: usize| -> Result<&[u8], FormatError> {
             let end = pos
                 .checked_add(n)
@@ -139,14 +190,7 @@ impl CompressedModel {
             *pos = end;
             Ok(out)
         };
-        let mut pos = 0usize;
-        let magic = u32::from_le_bytes(take(&mut pos, 4)?.try_into().expect("4 bytes"));
-        if magic != COMPRESSED_MAGIC {
-            return Err(FormatError::Corrupt("bad magic"));
-        }
-        if take(&mut pos, 1)?[0] != COMPRESSED_FORMAT_VERSION {
-            return Err(FormatError::Corrupt("unsupported version"));
-        }
+        let mut pos = 5usize; // magic + version, already checked
         let _pad = take(&mut pos, 3)?;
         let raw_len = u32::from_le_bytes(take(&mut pos, 4)?.try_into().expect("4 bytes")) as usize;
         let (skeleton, provided) = load_model_partial(take(&mut pos, raw_len)?)?;
@@ -245,5 +289,30 @@ mod tests {
         let mut bad = bytes;
         bad.push(0);
         assert!(CompressedModel::from_bytes(&bad).is_err());
+    }
+
+    #[test]
+    fn v2_checksum_catches_single_byte_flips() {
+        let (_, compressed) = quantized();
+        let bytes = compressed.to_bytes();
+        // Sample positions across the whole file (header, skeleton,
+        // archive, trailing CRC itself).
+        for pos in (0..bytes.len()).step_by(bytes.len() / 64 + 1) {
+            let mut bad = bytes.clone();
+            bad[pos] ^= 0x40;
+            assert!(CompressedModel::from_bytes(&bad).is_err(), "flip at byte {pos} undetected");
+        }
+    }
+
+    #[test]
+    fn legacy_v1_file_still_loads() {
+        let (_, compressed) = quantized();
+        let v1 = compressed.to_bytes_v1();
+        let restored = CompressedModel::from_bytes(&v1).unwrap();
+        let decoded = restored.decode().unwrap();
+        let reference = compressed.decode().unwrap();
+        for spec in reference.fc_layers() {
+            assert_eq!(decoded.weight(&spec.name).unwrap(), reference.weight(&spec.name).unwrap());
+        }
     }
 }

@@ -1,0 +1,130 @@
+//! Parser for failpoint spec strings (`name=action(args)`), used by
+//! [`configure_str`](crate::configure_str) and the `GOBO_FAILPOINTS`
+//! environment variable.
+
+use std::time::Duration;
+
+use crate::{FaultAction, Policy, Trigger};
+
+/// A malformed failpoint spec entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpecError {
+    /// The spec entry that failed to parse.
+    pub entry: String,
+    /// What was wrong with it.
+    pub reason: String,
+}
+
+impl std::fmt::Display for SpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "bad failpoint spec `{}`: {}", self.entry, self.reason)
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+fn err(entry: &str, reason: impl Into<String>) -> SpecError {
+    SpecError { entry: entry.to_owned(), reason: reason.into() }
+}
+
+/// Parses one `name=policy` entry. `Ok((name, None))` means `off`
+/// (clear the point).
+pub(crate) fn parse_entry(entry: &str) -> Result<(&str, Option<Policy>), SpecError> {
+    let (name, policy) =
+        entry.split_once('=').ok_or_else(|| err(entry, "expected `name=policy`"))?;
+    let (name, policy) = (name.trim(), policy.trim());
+    if name.is_empty() {
+        return Err(err(entry, "empty failpoint name"));
+    }
+    if policy.eq_ignore_ascii_case("off") {
+        return Ok((name, None));
+    }
+
+    let (action_word, args) = match policy.split_once('(') {
+        Some((word, rest)) => {
+            let inner = rest.strip_suffix(')').ok_or_else(|| err(entry, "unclosed `(`"))?;
+            (word.trim(), parse_args(entry, inner)?)
+        }
+        None => (policy, Vec::new()),
+    };
+
+    let mut delay: Option<Duration> = None;
+    let mut trigger = Trigger::Always;
+    let mut p: Option<f64> = None;
+    let mut seed: u64 = 0;
+    for (key, value) in &args {
+        match key.as_str() {
+            "ms" => {
+                let v: u64 = value
+                    .parse()
+                    .map_err(|_| err(entry, format!("`ms={value}` is not an integer")))?;
+                delay = Some(Duration::from_millis(v));
+            }
+            "us" => {
+                let v: u64 = value
+                    .parse()
+                    .map_err(|_| err(entry, format!("`us={value}` is not an integer")))?;
+                delay = Some(Duration::from_micros(v));
+            }
+            "every" => {
+                let v: u64 = value
+                    .parse()
+                    .map_err(|_| err(entry, format!("`every={value}` is not an integer")))?;
+                if v == 0 {
+                    return Err(err(entry, "`every` must be >= 1"));
+                }
+                trigger = Trigger::EveryNth(v);
+            }
+            "p" => {
+                let v: f64 = value
+                    .parse()
+                    .map_err(|_| err(entry, format!("`p={value}` is not a number")))?;
+                if !(0.0..=1.0).contains(&v) {
+                    return Err(err(entry, "`p` must be in [0, 1]"));
+                }
+                p = Some(v);
+            }
+            "seed" => {
+                seed = value
+                    .parse()
+                    .map_err(|_| err(entry, format!("`seed={value}` is not an integer")))?;
+            }
+            other => return Err(err(entry, format!("unknown argument `{other}`"))),
+        }
+    }
+    if let Some(p) = p {
+        trigger = Trigger::Probability { p, seed };
+    }
+
+    let action = match action_word {
+        "error" => FaultAction::Error,
+        "panic" => FaultAction::Panic,
+        "delay" => {
+            FaultAction::Delay(delay.ok_or_else(|| err(entry, "`delay` needs `ms=` or `us=`"))?)
+        }
+        other => {
+            return Err(err(
+                entry,
+                format!("unknown action `{other}` (expected off|error|panic|delay)"),
+            ))
+        }
+    };
+    if delay.is_some() && !matches!(action, FaultAction::Delay(_)) {
+        return Err(err(entry, "`ms`/`us` only apply to `delay`"));
+    }
+    Ok((name, Some(Policy { action, trigger })))
+}
+
+fn parse_args(entry: &str, inner: &str) -> Result<Vec<(String, String)>, SpecError> {
+    inner
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(|pair| {
+            let (k, v) = pair
+                .split_once('=')
+                .ok_or_else(|| err(entry, format!("argument `{pair}` is not `key=value`")))?;
+            Ok((k.trim().to_owned(), v.trim().to_owned()))
+        })
+        .collect()
+}

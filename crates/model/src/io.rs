@@ -195,6 +195,10 @@ pub fn load_model(data: &[u8]) -> Result<TransformerModel, ModelError> {
 pub fn load_model_partial(
     data: &[u8],
 ) -> Result<(TransformerModel, std::collections::BTreeSet<String>), ModelError> {
+    gobo_fault::fail_point!(
+        "model.io.load",
+        ModelError::InvalidInput { what: "injected model.io.load fault" }
+    );
     let mut r = Reader { data, pos: 0 };
     if r.u32()? != MODEL_MAGIC {
         return Err(ModelError::InvalidInput { what: "bad model magic" });
@@ -252,6 +256,53 @@ pub fn load_model_partial(
         return Err(ModelError::InvalidInput { what: "trailing bytes in model file" });
     }
     Ok((model, seen))
+}
+
+/// Writes `bytes` to `path` atomically: the data goes to a sibling
+/// temporary file, is fsynced, and is renamed over the target, so a
+/// crash or power cut mid-write leaves either the old file or the new
+/// file — never a torn half of both. Model and container artifacts are
+/// the unit that crosses machine boundaries; partial writes are exactly
+/// where silent corruption enters, so every CLI write path uses this.
+///
+/// # Errors
+///
+/// Propagates I/O failures; the temporary file is removed on error.
+pub fn atomic_write(path: &std::path::Path, bytes: &[u8]) -> std::io::Result<()> {
+    use std::io::Write;
+    gobo_fault::fail_point!(
+        "model.io.write",
+        std::io::Error::other("injected model.io.write fault")
+    );
+    let dir = path.parent().filter(|d| !d.as_os_str().is_empty());
+    let file_name = path
+        .file_name()
+        .ok_or_else(|| std::io::Error::other("atomic_write target has no file name"))?;
+    let mut tmp_name = file_name.to_owned();
+    tmp_name.push(format!(".tmp.{}", std::process::id()));
+    let tmp = match dir {
+        Some(d) => d.join(&tmp_name),
+        None => std::path::PathBuf::from(&tmp_name),
+    };
+    let write = (|| {
+        let mut file = std::fs::File::create(&tmp)?;
+        file.write_all(bytes)?;
+        file.sync_all()?;
+        drop(file);
+        std::fs::rename(&tmp, path)
+    })();
+    if let Err(e) = write {
+        let _ = std::fs::remove_file(&tmp);
+        return Err(e);
+    }
+    // Persist the rename itself; failures here are non-fatal (the data
+    // is durable, only the directory entry might replay after a crash).
+    if let Some(d) = dir {
+        if let Ok(dir_file) = std::fs::File::open(d) {
+            let _ = dir_file.sync_all();
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]

@@ -16,15 +16,29 @@
 //!          | outlier_positions:[u32; outliers]
 //!          | outlier_values:[f32; outliers]
 //!          | packed_indices:[u8; ceil((total-outliers)*bits/8)]
+//!          | crc:u32                       (v2: CRC32 of all preceding bytes)
 //! archive := magic:u32 "GOBa" | version:u8 | pad:[u8;3] | entries:u32
-//!          | entry*   (entry := name_len:u16 | name:utf8 | layer_len:u32 | layer)
+//!          | header_crc:u32                (v2: CRC32 of the 12 header bytes)
+//!          | entry*
+//! entry   := name_len:u16 | name:utf8 | layer_len:u32 | layer
+//!          | crc:u32                       (v2: CRC32 of the entry's bytes)
 //! ```
+//!
+//! Format **v2** seals each layer and each archive entry with a CRC32
+//! ([`crate::integrity`]) verified *before* any field is interpreted,
+//! so a bit-flip in `packed_indices` or the codebook can no longer
+//! decode to silently-wrong weights. Writers always emit v2; v1
+//! payloads (no checksum) remain readable but are counted by
+//! [`unverified_loads`] and warned about at archive granularity.
+
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use bytes::{BufMut, Bytes, BytesMut};
 
 use crate::codebook::{Codebook, ConvergenceTrace};
 use crate::config::QuantMethod;
 use crate::error::QuantError;
+use crate::integrity::crc32;
 use crate::layer::QuantizedLayer;
 use crate::packing;
 
@@ -32,8 +46,27 @@ use crate::packing;
 pub const LAYER_MAGIC: u32 = u32::from_le_bytes(*b"GOBq");
 /// Magic prefix of a serialized archive.
 pub const ARCHIVE_MAGIC: u32 = u32::from_le_bytes(*b"GOBa");
-/// Current format version.
-pub const FORMAT_VERSION: u8 = 1;
+/// Current format version: CRC32 per layer and per archive entry.
+pub const FORMAT_VERSION: u8 = 2;
+/// The pre-checksum format, still readable (but unverifiable).
+pub const LEGACY_FORMAT_VERSION: u8 = 1;
+
+/// Count of v1 (checksum-less) objects loaded by this process.
+static UNVERIFIED: AtomicU64 = AtomicU64::new(0);
+
+/// Number of legacy v1 layers/archives this process has deserialized.
+/// v1 payloads carry no checksum, so their integrity cannot be
+/// verified; re-encode with a current writer to upgrade them.
+pub fn unverified_loads() -> u64 {
+    UNVERIFIED.load(Ordering::Relaxed)
+}
+
+fn note_unverified(what: &str, warn: bool) {
+    UNVERIFIED.fetch_add(1, Ordering::Relaxed);
+    if warn {
+        eprintln!("gobo-quant: warning: {what} is format v1 (no checksum); integrity unverified");
+    }
+}
 
 fn method_tag(method: QuantMethod) -> u8 {
     match method {
@@ -96,11 +129,10 @@ impl<'a> Reader<'a> {
 }
 
 impl QuantizedLayer {
-    /// Serializes the layer to the container format.
-    pub fn to_bytes(&self) -> Bytes {
-        let mut out = BytesMut::with_capacity(self.compressed_bytes() + 16);
+    fn body_bytes(&self, version: u8) -> BytesMut {
+        let mut out = BytesMut::with_capacity(self.compressed_bytes() + 24);
         out.put_u32_le(LAYER_MAGIC);
-        out.put_u8(FORMAT_VERSION);
+        out.put_u8(version);
         out.put_u8(method_tag(self.method()));
         out.put_u8(self.bits());
         out.put_u8(0); // padding / reserved
@@ -118,27 +150,76 @@ impl QuantizedLayer {
             out.put_f32_le(v);
         }
         out.put_slice(self.packed_indices());
+        out
+    }
+
+    /// Serializes the layer to the container format (v2: trailing CRC32
+    /// over everything preceding it).
+    pub fn to_bytes(&self) -> Bytes {
+        let mut out = self.body_bytes(FORMAT_VERSION);
+        let crc = crc32(&out);
+        out.put_u32_le(crc);
         out.freeze()
     }
 
+    /// Serializes the layer in the legacy v1 (checksum-less) format.
+    /// Exists so compatibility tests can fabricate old artifacts; new
+    /// code should always write [`QuantizedLayer::to_bytes`].
+    pub fn to_bytes_v1(&self) -> Bytes {
+        self.body_bytes(LEGACY_FORMAT_VERSION).freeze()
+    }
+
     /// Deserializes a layer from the container format.
+    ///
+    /// v2 payloads are checksum-verified before any field is
+    /// interpreted; v1 payloads parse as before but count toward
+    /// [`unverified_loads`].
     ///
     /// The convergence trace is a quantization-time artifact and is not
     /// stored; deserialized layers carry an empty trace.
     ///
     /// # Errors
     ///
-    /// Returns [`QuantError::CorruptPayload`] for wrong magic/version,
-    /// truncation, inconsistent counts, non-finite codebooks, or
-    /// unsorted outlier positions.
+    /// Returns [`QuantError::CorruptPayload`] for wrong magic, unknown
+    /// versions, checksum mismatch, truncation, inconsistent counts,
+    /// non-finite codebooks, or unsorted outlier positions.
     pub fn from_bytes(data: &[u8]) -> Result<Self, QuantError> {
+        gobo_fault::fail_point!(
+            "container.layer.parse",
+            QuantError::CorruptPayload { what: "injected container.layer.parse fault" }
+        );
         let mut r = Reader::new(data);
         if r.u32()? != LAYER_MAGIC {
             return Err(QuantError::CorruptPayload { what: "bad layer magic" });
         }
-        if r.u8()? != FORMAT_VERSION {
-            return Err(QuantError::CorruptPayload { what: "unsupported version" });
+        match r.u8()? {
+            LEGACY_FORMAT_VERSION => {
+                // v1 historically tolerated trailing bytes; keep that.
+                note_unverified("layer", false);
+                Self::parse_body(&mut r)
+            }
+            FORMAT_VERSION => {
+                let Some(body_len) = data.len().checked_sub(4).filter(|&n| n >= 5) else {
+                    return Err(QuantError::CorruptPayload { what: "truncated payload" });
+                };
+                let stored = u32::from_le_bytes(data[body_len..].try_into().expect("4 bytes"));
+                if crc32(&data[..body_len]) != stored {
+                    return Err(QuantError::CorruptPayload { what: "layer checksum mismatch" });
+                }
+                let mut r = Reader::new(&data[..body_len]);
+                let _header = r.take(5)?; // magic + version, already checked
+                let layer = Self::parse_body(&mut r)?;
+                if r.remaining() != 0 {
+                    return Err(QuantError::CorruptPayload { what: "trailing bytes after layer" });
+                }
+                Ok(layer)
+            }
+            _ => Err(QuantError::CorruptPayload { what: "unsupported version" }),
         }
+    }
+
+    /// Parses the layer fields following the magic+version prefix.
+    fn parse_body(r: &mut Reader<'_>) -> Result<Self, QuantError> {
         let method = method_from_tag(r.u8()?)?;
         let bits = r.u8()?;
         if !(1..=8).contains(&bits) {
@@ -258,20 +339,48 @@ impl ModelArchive {
         self.entries.iter().map(|(n, l)| (n.as_str(), l))
     }
 
-    /// Total serialized size in bytes.
+    /// Total serialized size in bytes (v2 layout: each entry carries a
+    /// trailing CRC32).
     pub fn serialized_bytes(&self) -> usize {
-        12 + self.entries.iter().map(|(n, l)| 2 + n.len() + 4 + l.to_bytes().len()).sum::<usize>()
+        16 + self
+            .entries
+            .iter()
+            .map(|(n, l)| 2 + n.len() + 4 + l.to_bytes().len() + 4)
+            .sum::<usize>()
     }
 
-    /// Serializes the archive.
+    /// Serializes the archive (v2: a CRC32 seals every entry).
     pub fn to_bytes(&self) -> Bytes {
         let mut out = BytesMut::with_capacity(self.serialized_bytes());
         out.put_u32_le(ARCHIVE_MAGIC);
         out.put_u8(FORMAT_VERSION);
         out.put_slice(&[0u8; 3]);
         out.put_u32_le(self.entries.len() as u32);
+        let header_crc = crc32(&out);
+        out.put_u32_le(header_crc);
         for (name, layer) in &self.entries {
+            let entry_start = out.len();
             let payload = layer.to_bytes();
+            out.put_u16_le(name.len() as u16);
+            out.put_slice(name.as_bytes());
+            out.put_u32_le(payload.len() as u32);
+            out.put_slice(&payload);
+            let crc = crc32(&out[entry_start..]);
+            out.put_u32_le(crc);
+        }
+        out.freeze()
+    }
+
+    /// Serializes the archive in the legacy v1 (checksum-less) format,
+    /// v1 layer payloads included. For compatibility tests only.
+    pub fn to_bytes_v1(&self) -> Bytes {
+        let mut out = BytesMut::new();
+        out.put_u32_le(ARCHIVE_MAGIC);
+        out.put_u8(LEGACY_FORMAT_VERSION);
+        out.put_slice(&[0u8; 3]);
+        out.put_u32_le(self.entries.len() as u32);
+        for (name, layer) in &self.entries {
+            let payload = layer.to_bytes_v1();
             out.put_u16_le(name.len() as u16);
             out.put_slice(name.as_bytes());
             out.put_u32_le(payload.len() as u32);
@@ -280,30 +389,53 @@ impl ModelArchive {
         out.freeze()
     }
 
-    /// Deserializes an archive.
+    /// Deserializes an archive. v2 entries are checksum-verified before
+    /// their layer payloads are parsed; v1 archives load with a warning
+    /// on stderr and count toward [`unverified_loads`].
     ///
     /// # Errors
     ///
-    /// Returns [`QuantError::CorruptPayload`] for wrong magic/version,
-    /// truncation, invalid UTF-8 names, or corrupt layer payloads.
+    /// Returns [`QuantError::CorruptPayload`] for wrong magic, unknown
+    /// versions, entry checksum mismatch, truncation, invalid UTF-8
+    /// names, or corrupt layer payloads.
     pub fn from_bytes(data: &[u8]) -> Result<Self, QuantError> {
+        gobo_fault::fail_point!(
+            "container.archive.parse",
+            QuantError::CorruptPayload { what: "injected container.archive.parse fault" }
+        );
         let mut r = Reader::new(data);
         if r.u32()? != ARCHIVE_MAGIC {
             return Err(QuantError::CorruptPayload { what: "bad archive magic" });
         }
-        if r.u8()? != FORMAT_VERSION {
-            return Err(QuantError::CorruptPayload { what: "unsupported version" });
-        }
+        let verified = match r.u8()? {
+            LEGACY_FORMAT_VERSION => {
+                note_unverified("archive", true);
+                false
+            }
+            FORMAT_VERSION => true,
+            _ => return Err(QuantError::CorruptPayload { what: "unsupported version" }),
+        };
         let _pad = r.take(3)?;
         let count = r.u32()? as usize;
+        if verified && r.u32()? != crc32(&data[..12]) {
+            return Err(QuantError::CorruptPayload { what: "archive header checksum mismatch" });
+        }
         let mut archive = ModelArchive::new();
         for _ in 0..count {
+            let entry_start = r.pos;
             let name_len = r.u16()? as usize;
             let name = std::str::from_utf8(r.take(name_len)?)
                 .map_err(|_| QuantError::CorruptPayload { what: "layer name not utf-8" })?
                 .to_owned();
             let layer_len = r.u32()? as usize;
-            let layer = QuantizedLayer::from_bytes(r.take(layer_len)?)?;
+            let layer_bytes = r.take(layer_len)?;
+            if verified {
+                let stored = r.u32()?;
+                if crc32(&data[entry_start..r.pos - 4]) != stored {
+                    return Err(QuantError::CorruptPayload { what: "entry checksum mismatch" });
+                }
+            }
+            let layer = QuantizedLayer::from_bytes(layer_bytes)?;
             archive.push(name, layer)?;
         }
         if r.remaining() != 0 {
@@ -443,5 +575,51 @@ mod tests {
         let archive = ModelArchive::new();
         let restored = ModelArchive::from_bytes(&archive.to_bytes()).unwrap();
         assert!(restored.is_empty());
+    }
+
+    #[test]
+    fn legacy_v1_payloads_still_load_and_are_counted() {
+        let layer = sample_layer(300, 3);
+        let before = unverified_loads();
+        let restored = QuantizedLayer::from_bytes(&layer.to_bytes_v1()).unwrap();
+        assert_eq!(restored.decode(), layer.decode());
+
+        let mut archive = ModelArchive::new();
+        archive.push("a", sample_layer(200, 3)).unwrap();
+        archive.push("b", sample_layer(150, 4)).unwrap();
+        let restored = ModelArchive::from_bytes(&archive.to_bytes_v1()).unwrap();
+        assert_eq!(restored.len(), 2);
+        assert_eq!(restored.get("a").unwrap().decode(), archive.get("a").unwrap().decode());
+        // 1 standalone layer + 1 archive + 2 layers inside it.
+        assert!(unverified_loads() >= before + 4);
+    }
+
+    #[test]
+    fn v2_checksum_catches_every_single_byte_flip() {
+        let layer = sample_layer(120, 3);
+        let bytes = layer.to_bytes();
+        for pos in 0..bytes.len() {
+            let mut bad = bytes.to_vec();
+            bad[pos] ^= 0x40;
+            assert!(QuantizedLayer::from_bytes(&bad).is_err(), "flip at byte {pos} undetected");
+        }
+
+        let mut archive = ModelArchive::new();
+        archive.push("x", sample_layer(90, 3)).unwrap();
+        let bytes = archive.to_bytes();
+        for pos in 0..bytes.len() {
+            let mut bad = bytes.to_vec();
+            bad[pos] ^= 0x40;
+            assert!(ModelArchive::from_bytes(&bad).is_err(), "flip at byte {pos} undetected");
+        }
+    }
+
+    #[test]
+    fn v2_rejects_trailing_bytes_after_layer() {
+        let layer = sample_layer(64, 3);
+        let mut bytes = layer.to_bytes().to_vec();
+        // Appending garbage invalidates the trailing CRC position.
+        bytes.extend_from_slice(&[1, 2, 3]);
+        assert!(QuantizedLayer::from_bytes(&bytes).is_err());
     }
 }

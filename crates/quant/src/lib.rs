@@ -54,6 +54,7 @@ pub mod entropy;
 pub mod error;
 pub mod gobo;
 pub mod init;
+pub mod integrity;
 pub mod kernel;
 pub mod kmeans;
 pub mod layer;

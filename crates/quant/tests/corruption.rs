@@ -1,0 +1,171 @@
+//! Corruption-resistance tests for the v2 container format.
+//!
+//! The property under test: an arbitrary single-byte mutation or
+//! truncation of a serialized layer or archive must be *rejected or
+//! harmless* — parsing never panics, and an `Ok` parse must see
+//! exactly the original content (re-encoding to canonical v2 bytes
+//! reproduces the uncorrupted input). GOBO's decoded model is a
+//! drop-in FP32 replacement, so silently-wrong weights are strictly
+//! worse than a load failure.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use gobo_quant::container::ModelArchive;
+use gobo_quant::integrity::crc32;
+use gobo_quant::layer::QuantizedLayer;
+use gobo_quant::{QuantConfig, QuantMethod};
+use proptest::prelude::*;
+
+fn sample_layer(n: usize, bits: u8) -> QuantizedLayer {
+    let mut w: Vec<f32> = (0..n)
+        .map(|i| ((i as f32) * 0.11).sin() * 0.05 + ((i as f32) * 0.007).cos() * 0.02)
+        .collect();
+    if n > 50 {
+        w[3] = 1.5;
+        w[n / 2] = -1.2;
+    }
+    QuantizedLayer::encode(&w, &QuantConfig::new(QuantMethod::Gobo, bits).unwrap()).unwrap()
+}
+
+fn sample_archive() -> ModelArchive {
+    let mut archive = ModelArchive::new();
+    archive.push("encoder.0.attention.query", sample_layer(700, 3)).unwrap();
+    archive.push("encoder.0.attention.key", sample_layer(350, 4)).unwrap();
+    archive.push("pooler", sample_layer(123, 2)).unwrap();
+    archive
+}
+
+/// Applies one mutation and classifies the parse. Returns an error
+/// string describing the violation, if any.
+fn check_layer_mutation(reference: &[u8], pos: usize, mask: u8) -> Result<(), String> {
+    let mut bytes = reference.to_vec();
+    bytes[pos] ^= mask;
+    let outcome =
+        catch_unwind(AssertUnwindSafe(|| QuantizedLayer::from_bytes(&bytes).map(|l| l.to_bytes())));
+    match outcome {
+        Err(_) => Err(format!("panic at byte {pos} mask {mask:#04x}")),
+        Ok(Err(_)) => Ok(()),
+        Ok(Ok(reencoded)) if reencoded.as_ref() == reference => Ok(()),
+        Ok(Ok(_)) => Err(format!("silently different parse at byte {pos} mask {mask:#04x}")),
+    }
+}
+
+fn check_archive_mutation(reference: &[u8], pos: usize, mask: u8) -> Result<(), String> {
+    let mut bytes = reference.to_vec();
+    bytes[pos] ^= mask;
+    let outcome =
+        catch_unwind(AssertUnwindSafe(|| ModelArchive::from_bytes(&bytes).map(|a| a.to_bytes())));
+    match outcome {
+        Err(_) => Err(format!("panic at byte {pos} mask {mask:#04x}")),
+        Ok(Err(_)) => Ok(()),
+        Ok(Ok(reencoded)) if reencoded.as_ref() == reference => Ok(()),
+        Ok(Ok(_)) => Err(format!("silently different parse at byte {pos} mask {mask:#04x}")),
+    }
+}
+
+proptest! {
+    #[test]
+    fn layer_single_byte_mutations_never_lie(
+        // n stays above 2^bits + outliers so every width quantizes.
+        n in 300usize..800,
+        bits in 1u8..=8,
+        pos_seed in any::<u64>(),
+        mask in 1u8..=255,
+    ) {
+        let reference = sample_layer(n, bits).to_bytes();
+        let pos = (pos_seed % reference.len() as u64) as usize;
+        if let Err(violation) = check_layer_mutation(&reference, pos, mask) {
+            prop_assert!(false, "{}", violation);
+        }
+    }
+
+    #[test]
+    fn archive_single_byte_mutations_never_lie(pos_seed in any::<u64>(), mask in 1u8..=255) {
+        let reference = sample_archive().to_bytes();
+        let pos = (pos_seed % reference.len() as u64) as usize;
+        if let Err(violation) = check_archive_mutation(&reference, pos, mask) {
+            prop_assert!(false, "{}", violation);
+        }
+    }
+
+    #[test]
+    fn layer_truncations_always_rejected(n in 300usize..700, bits in 1u8..=8, cut_seed in any::<u64>()) {
+        let reference = sample_layer(n, bits).to_bytes();
+        let cut = (cut_seed % reference.len() as u64) as usize;
+        let outcome = catch_unwind(AssertUnwindSafe(|| QuantizedLayer::from_bytes(&reference[..cut])));
+        match outcome {
+            Err(_) => prop_assert!(false, "panic on truncation to {} bytes", cut),
+            Ok(parsed) => prop_assert!(parsed.is_err(), "truncation to {} bytes accepted", cut),
+        }
+    }
+}
+
+/// Exhaustive sweep on one representative layer and archive: every
+/// byte position, three masks each. Complements the randomized
+/// proptests with full positional coverage.
+#[test]
+fn exhaustive_single_byte_sweep() {
+    let layer = sample_layer(257, 3).to_bytes();
+    let archive = sample_archive().to_bytes();
+    for pos in 0..layer.len() {
+        for mask in [0x01u8, 0x40, 0xFF] {
+            if let Err(violation) = check_layer_mutation(&layer, pos, mask) {
+                panic!("layer: {violation}");
+            }
+        }
+    }
+    for pos in 0..archive.len() {
+        for mask in [0x01u8, 0x40, 0xFF] {
+            if let Err(violation) = check_archive_mutation(&archive, pos, mask) {
+                panic!("archive: {violation}");
+            }
+        }
+    }
+}
+
+/// Every truncation of an archive is rejected without a panic.
+#[test]
+fn archive_truncations_always_rejected() {
+    let reference = sample_archive().to_bytes();
+    for cut in 0..reference.len() {
+        let outcome =
+            catch_unwind(AssertUnwindSafe(|| ModelArchive::from_bytes(&reference[..cut])));
+        match outcome {
+            Err(_) => panic!("panic on truncation to {cut} bytes"),
+            Ok(parsed) => assert!(parsed.is_err(), "truncation to {cut} bytes accepted"),
+        }
+    }
+}
+
+/// The trailing CRC in a v2 layer is the IEEE CRC-32 of everything
+/// before it, matches the canonical check value, and round-trips.
+#[test]
+fn crc_round_trip_golden() {
+    // CRC-32 (IEEE 802.3, reflected 0xEDB88320) check value.
+    assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+
+    let bytes = sample_layer(200, 3).to_bytes();
+    let body_len = bytes.len() - 4;
+    let stored = u32::from_le_bytes(bytes[body_len..].try_into().unwrap());
+    assert_eq!(stored, crc32(&bytes[..body_len]), "trailing CRC covers the serialized body");
+    let restored = QuantizedLayer::from_bytes(&bytes).unwrap();
+    assert_eq!(restored.to_bytes(), bytes, "round-trip is byte-stable");
+
+    let archive_bytes = sample_archive().to_bytes();
+    let restored = ModelArchive::from_bytes(&archive_bytes).unwrap();
+    assert_eq!(restored.to_bytes(), archive_bytes, "archive round-trip is byte-stable");
+}
+
+/// v1 (checksum-free) payloads still parse, decode identically to
+/// their v2 siblings, and are counted as unverified loads.
+#[test]
+fn v1_payloads_parse_and_are_counted() {
+    let layer = sample_layer(300, 4);
+    let archive = sample_archive();
+    let before = gobo_quant::container::unverified_loads();
+    let from_v1 = QuantizedLayer::from_bytes(&layer.to_bytes_v1()).unwrap();
+    assert_eq!(from_v1.decode(), layer.decode());
+    let archive_from_v1 = ModelArchive::from_bytes(&archive.to_bytes_v1()).unwrap();
+    assert_eq!(archive_from_v1.to_bytes(), archive.to_bytes());
+    assert!(gobo_quant::container::unverified_loads() > before);
+}

@@ -32,6 +32,9 @@ pub enum ServeError {
     Format(FormatError),
     /// Reading a model file from disk failed.
     Io(String),
+    /// A worker thread panicked while executing the batch carrying this
+    /// request; the worker is respawned and only this batch fails.
+    WorkerPanic,
     /// An internal invariant broke (worker channel dropped, poisoned
     /// lock).
     Internal(&'static str),
@@ -46,7 +49,10 @@ impl ServeError {
             ServeError::DeadlineExceeded => 504,
             ServeError::ShuttingDown => 503,
             ServeError::BadRequest(_) | ServeError::Model(_) => 400,
-            ServeError::Format(_) | ServeError::Io(_) | ServeError::Internal(_) => 500,
+            ServeError::Format(_)
+            | ServeError::Io(_)
+            | ServeError::WorkerPanic
+            | ServeError::Internal(_) => 500,
         }
     }
 
@@ -61,6 +67,7 @@ impl ServeError {
             ServeError::Model(_) => "invalid_input",
             ServeError::Format(_) => "corrupt_model",
             ServeError::Io(_) => "io_error",
+            ServeError::WorkerPanic => "worker_panic",
             ServeError::Internal(_) => "internal",
         }
     }
@@ -77,6 +84,9 @@ impl fmt::Display for ServeError {
             ServeError::Model(e) => write!(f, "inference rejected input: {e}"),
             ServeError::Format(e) => write!(f, "model container failure: {e}"),
             ServeError::Io(msg) => write!(f, "i/o failure: {msg}"),
+            ServeError::WorkerPanic => {
+                write!(f, "worker panicked while executing this request's batch")
+            }
             ServeError::Internal(what) => write!(f, "internal failure: {what}"),
         }
     }
@@ -116,6 +126,8 @@ mod tests {
         assert_eq!(ServeError::ModelNotFound { name: "x".into() }.http_status(), 404);
         assert_eq!(ServeError::BadRequest("no".into()).http_status(), 400);
         assert_eq!(ServeError::Internal("x").http_status(), 500);
+        assert_eq!(ServeError::WorkerPanic.http_status(), 500);
+        assert_eq!(ServeError::WorkerPanic.code(), "worker_panic");
         assert_eq!(ServeError::QueueFull.code(), "queue_full");
         assert!(ServeError::ModelNotFound { name: "m".into() }.to_string().contains("`m`"));
     }

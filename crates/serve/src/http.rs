@@ -25,12 +25,34 @@ use crate::error::ServeError;
 use crate::json::{parse, Json};
 use crate::scheduler::EncodeRequest;
 
-/// Largest accepted request body.
-const MAX_BODY: usize = 16 << 20;
 /// Largest accepted request line or header line.
 const MAX_LINE: usize = 8 << 10;
 /// Poll interval of the non-blocking accept loop.
 const ACCEPT_POLL: Duration = Duration::from_millis(5);
+
+/// Front-end tunables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HttpOptions {
+    /// Largest accepted request body in bytes. Requests advertising a
+    /// larger `Content-Length` are rejected with `413 Payload Too
+    /// Large` *before* the body is read, and counted in the
+    /// `rejected_body_too_large` metric.
+    pub max_body: usize,
+}
+
+impl Default for HttpOptions {
+    fn default() -> Self {
+        HttpOptions { max_body: 4 << 20 }
+    }
+}
+
+/// Why a request could not be parsed.
+enum HttpError {
+    /// Malformed request: answered with 400.
+    Bad(String),
+    /// Body over [`HttpOptions::max_body`]: answered with 413.
+    TooLarge { declared: usize, limit: usize },
+}
 
 struct ShutdownSignal {
     requested: Mutex<bool>,
@@ -67,13 +89,26 @@ pub struct Server {
 }
 
 impl Server {
-    /// Binds `addr` (use port 0 for an ephemeral port) and starts
-    /// accepting.
+    /// Binds `addr` (use port 0 for an ephemeral port) with default
+    /// [`HttpOptions`] and starts accepting.
     ///
     /// # Errors
     ///
     /// Propagates socket failures.
     pub fn bind(core: Arc<ServeCore>, addr: &str) -> std::io::Result<Server> {
+        Self::bind_with(core, addr, HttpOptions::default())
+    }
+
+    /// Binds `addr` with explicit [`HttpOptions`] and starts accepting.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket failures.
+    pub fn bind_with(
+        core: Arc<ServeCore>,
+        addr: &str,
+        options: HttpOptions,
+    ) -> std::io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         let local_addr = listener.local_addr()?;
@@ -94,7 +129,7 @@ impl Server {
                             let core = Arc::clone(&core);
                             let signal = Arc::clone(&signal);
                             let handle = std::thread::spawn(move || {
-                                handle_connection(&core, &signal, stream);
+                                handle_connection(&core, &signal, options, stream);
                             });
                             if let Ok(mut conns) = connections.lock() {
                                 // Reap finished handlers so the vector
@@ -171,7 +206,12 @@ struct Request {
     body: Vec<u8>,
 }
 
-fn handle_connection(core: &ServeCore, signal: &ShutdownSignal, stream: TcpStream) {
+fn handle_connection(
+    core: &ServeCore,
+    signal: &ShutdownSignal,
+    options: HttpOptions,
+    stream: TcpStream,
+) {
     let _ = stream.set_nodelay(true);
     let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
     let mut reader = BufReader::new(match stream.try_clone() {
@@ -179,7 +219,7 @@ fn handle_connection(core: &ServeCore, signal: &ShutdownSignal, stream: TcpStrea
         Err(_) => return,
     });
     let mut stream = stream;
-    match read_request(&mut reader) {
+    match read_request(&mut reader, options.max_body) {
         Ok(Some(request)) => {
             core.metrics().http_requests.fetch_add(1, Ordering::Relaxed);
             let _span =
@@ -191,66 +231,83 @@ fn handle_connection(core: &ServeCore, signal: &ShutdownSignal, stream: TcpStrea
             }
         }
         Ok(None) => {} // client closed without sending anything
-        Err(msg) => {
+        Err(HttpError::TooLarge { declared, limit }) => {
+            core.metrics().rejected_body_too_large.fetch_add(1, Ordering::Relaxed);
+            let body = error_body(
+                413,
+                "body_too_large",
+                &format!("request body of {declared} bytes exceeds the {limit}-byte limit"),
+            );
+            let _ = write_response(&mut stream, 413, "application/json", body.as_bytes());
+        }
+        Err(HttpError::Bad(msg)) => {
             let body = error_body(400, "bad_request", &msg);
             let _ = write_response(&mut stream, 400, "application/json", body.as_bytes());
         }
     }
 }
 
-fn read_request(reader: &mut BufReader<TcpStream>) -> Result<Option<Request>, String> {
+fn read_request(
+    reader: &mut BufReader<TcpStream>,
+    max_body: usize,
+) -> Result<Option<Request>, HttpError> {
+    let bad = |msg: String| HttpError::Bad(msg);
     let request_line = match read_line(reader)? {
         Some(line) => line,
         None => return Ok(None),
     };
     let mut parts = request_line.split_whitespace();
-    let method = parts.next().ok_or("empty request line")?.to_owned();
-    let path = parts.next().ok_or("request line missing path")?.to_owned();
-    let version = parts.next().ok_or("request line missing version")?;
+    let method = parts.next().ok_or_else(|| bad("empty request line".into()))?.to_owned();
+    let path = parts.next().ok_or_else(|| bad("request line missing path".into()))?.to_owned();
+    let version = parts.next().ok_or_else(|| bad("request line missing version".into()))?;
     if !version.starts_with("HTTP/1.") {
-        return Err(format!("unsupported protocol `{version}`"));
+        return Err(bad(format!("unsupported protocol `{version}`")));
     }
 
     let mut content_length = 0usize;
     loop {
-        let line = read_line(reader)?.ok_or("connection closed inside headers")?;
+        let line =
+            read_line(reader)?.ok_or_else(|| bad("connection closed inside headers".into()))?;
         if line.is_empty() {
             break;
         }
         let Some((name, value)) = line.split_once(':') else {
-            return Err(format!("malformed header `{line}`"));
+            return Err(bad(format!("malformed header `{line}`")));
         };
         if name.eq_ignore_ascii_case("content-length") {
             content_length = value
                 .trim()
                 .parse()
-                .map_err(|_| format!("bad content-length `{}`", value.trim()))?;
-            if content_length > MAX_BODY {
-                return Err("body too large".into());
+                .map_err(|_| bad(format!("bad content-length `{}`", value.trim())))?;
+            // Reject before allocating or reading a single body byte.
+            if content_length > max_body {
+                return Err(HttpError::TooLarge { declared: content_length, limit: max_body });
             }
         }
     }
 
     let mut body = vec![0u8; content_length];
-    reader.read_exact(&mut body).map_err(|e| format!("truncated body: {e}"))?;
+    reader.read_exact(&mut body).map_err(|e| bad(format!("truncated body: {e}")))?;
     Ok(Some(Request { method, path, body }))
 }
 
 /// Reads one CRLF- (or LF-) terminated line; `None` on clean EOF.
-fn read_line(reader: &mut BufReader<TcpStream>) -> Result<Option<String>, String> {
+fn read_line(reader: &mut BufReader<TcpStream>) -> Result<Option<String>, HttpError> {
     let mut line = Vec::new();
     let mut limited = reader.take(MAX_LINE as u64);
-    let n = limited.read_until(b'\n', &mut line).map_err(|e| format!("read failure: {e}"))?;
+    let n = limited
+        .read_until(b'\n', &mut line)
+        .map_err(|e| HttpError::Bad(format!("read failure: {e}")))?;
     if n == 0 {
         return Ok(None);
     }
     if line.last() != Some(&b'\n') {
-        return Err("header line too long".into());
+        return Err(HttpError::Bad("header line too long".into()));
     }
     while matches!(line.last(), Some(b'\n' | b'\r')) {
         line.pop();
     }
-    String::from_utf8(line).map(Some).map_err(|_| "header not utf-8".into())
+    String::from_utf8(line).map(Some).map_err(|_| HttpError::Bad("header not utf-8".into()))
 }
 
 fn route(core: &ServeCore, request: &Request) -> (u16, &'static str, String, bool) {
@@ -370,6 +427,7 @@ fn write_response(
         200 => "OK",
         400 => "Bad Request",
         404 => "Not Found",
+        413 => "Payload Too Large",
         429 => "Too Many Requests",
         503 => "Service Unavailable",
         504 => "Gateway Timeout",

@@ -65,7 +65,7 @@ pub mod scheduler;
 
 pub use crate::core::{Client, ServeCore, ServeOptions};
 pub use error::ServeError;
-pub use http::Server;
+pub use http::{HttpOptions, Server};
 pub use metrics::Metrics;
 pub use registry::{ModelEntry, ModelKey, ModelRegistry, RegistryConfig};
 pub use scheduler::{EncodeRequest, EncodeResponse, Scheduler, SchedulerConfig};

@@ -27,6 +27,12 @@ pub struct Metrics {
     pub rejected_shutdown: AtomicU64,
     /// Requests that failed inference (invalid input, unknown model).
     pub encode_failed: AtomicU64,
+    /// HTTP requests rejected because their body exceeded the limit.
+    pub rejected_body_too_large: AtomicU64,
+    /// Worker threads lost to a panic during batch execution.
+    pub worker_panics: AtomicU64,
+    /// Worker threads respawned by the supervisor after a panic.
+    pub worker_respawns: AtomicU64,
     /// Current admission-queue depth (gauge).
     pub queue_depth: AtomicU64,
     /// High-water mark of the admission queue.
@@ -134,6 +140,21 @@ impl Metrics {
             "encode_failed_total",
             "encode requests that failed inference",
             self.encode_failed.load(Ordering::Relaxed),
+        );
+        counter(
+            "rejected_body_too_large_total",
+            "HTTP requests rejected for an oversized body",
+            self.rejected_body_too_large.load(Ordering::Relaxed),
+        );
+        counter(
+            "worker_panics_total",
+            "worker threads lost to a panic during batch execution",
+            self.worker_panics.load(Ordering::Relaxed),
+        );
+        counter(
+            "worker_respawns_total",
+            "worker threads respawned after a panic",
+            self.worker_respawns.load(Ordering::Relaxed),
         );
         counter("batches_total", "worker batches executed", self.batches.load(Ordering::Relaxed));
         counter(

@@ -10,7 +10,7 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::Ordering;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 use gobo::format::CompressedModel;
 use gobo_model::TransformerModel;
@@ -92,6 +92,15 @@ impl ModelRegistry {
         }
     }
 
+    /// Locks the cache state, recovering from poisoning: every mutation
+    /// of `Inner` is a sequence of individually-complete map operations
+    /// (a panic in between at worst loses a recency stamp, which reads
+    /// default to 0), so a poisoned lock must not take the registry —
+    /// and with it every model — out of service.
+    fn lock_inner(&self) -> MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
     /// Loads a `.gobom` container from disk and registers it under
     /// `name`. Returns the resident entry.
     ///
@@ -100,6 +109,10 @@ impl ModelRegistry {
     /// Returns [`ServeError::Io`] for unreadable files and
     /// [`ServeError::Format`] for corrupt containers.
     pub fn load_file(&self, name: &str, path: &str) -> Result<Arc<ModelEntry>, ServeError> {
+        gobo_fault::fail_point!(
+            "registry.load",
+            ServeError::Io("injected registry.load fault".to_owned())
+        );
         let bytes = std::fs::read(path).map_err(|e| ServeError::Io(format!("{path}: {e}")))?;
         let compressed = CompressedModel::from_bytes(&bytes)?;
         self.insert(name, &compressed)
@@ -116,6 +129,10 @@ impl ModelRegistry {
         name: &str,
         compressed: &CompressedModel,
     ) -> Result<Arc<ModelEntry>, ServeError> {
+        gobo_fault::fail_point!(
+            "registry.decode",
+            ServeError::Internal("injected registry.decode fault")
+        );
         let model = compressed.decode()?;
         let bits = compressed.archive.iter().map(|(_, l)| l.bits()).max().unwrap_or(32);
         let decoded_bytes = model_bytes(&model);
@@ -127,7 +144,7 @@ impl ModelRegistry {
             quantized_layers: compressed.archive.len(),
         });
 
-        let mut inner = self.inner.lock().map_err(|_| ServeError::Internal("registry lock"))?;
+        let mut inner = self.lock_inner();
         inner.tick += 1;
         let tick = inner.tick;
         inner.entries.insert(entry.key.clone(), Arc::clone(&entry));
@@ -144,42 +161,40 @@ impl ModelRegistry {
     ///
     /// Returns [`ServeError::ModelNotFound`] when nothing matches.
     pub fn get(&self, name: &str, bits: Option<u8>) -> Result<Arc<ModelEntry>, ServeError> {
-        let mut inner = self.inner.lock().map_err(|_| ServeError::Internal("registry lock"))?;
-        let key = inner
+        let mut inner = self.lock_inner();
+        let entry = inner
             .entries
-            .keys()
-            .filter(|k| k.name == name && bits.is_none_or(|b| k.bits == b))
-            .max_by_key(|k| inner.recency.get(k).copied().unwrap_or(0))
-            .cloned()
+            .iter()
+            .filter(|(k, _)| k.name == name && bits.is_none_or(|b| k.bits == b))
+            .max_by_key(|(k, _)| inner.recency.get(k).copied().unwrap_or(0))
+            .map(|(k, e)| (k.clone(), Arc::clone(e)))
             .ok_or_else(|| ServeError::ModelNotFound { name: name.to_owned() })?;
         inner.tick += 1;
         let tick = inner.tick;
-        inner.recency.insert(key.clone(), tick);
-        Ok(Arc::clone(&inner.entries[&key]))
+        inner.recency.insert(entry.0, tick);
+        Ok(entry.1)
     }
 
     /// Snapshot of the resident entries, most recently used first.
     pub fn list(&self) -> Vec<Arc<ModelEntry>> {
-        let inner = match self.inner.lock() {
-            Ok(inner) => inner,
-            Err(_) => return Vec::new(),
-        };
-        let mut keys: Vec<&ModelKey> = inner.entries.keys().collect();
-        keys.sort_by_key(|k| std::cmp::Reverse(inner.recency.get(*k).copied().unwrap_or(0)));
-        keys.into_iter().map(|k| Arc::clone(&inner.entries[k])).collect()
+        let inner = self.lock_inner();
+        let mut entries: Vec<(u64, Arc<ModelEntry>)> = inner
+            .entries
+            .iter()
+            .map(|(k, e)| (inner.recency.get(k).copied().unwrap_or(0), Arc::clone(e)))
+            .collect();
+        entries.sort_by_key(|(recency, _)| std::cmp::Reverse(*recency));
+        entries.into_iter().map(|(_, e)| e).collect()
     }
 
     /// Total decoded bytes currently resident.
     pub fn resident_bytes(&self) -> usize {
-        self.inner
-            .lock()
-            .map(|inner| inner.entries.values().map(|e| e.decoded_bytes).sum())
-            .unwrap_or(0)
+        self.lock_inner().entries.values().map(|e| e.decoded_bytes).sum()
     }
 
     /// Number of resident models.
     pub fn len(&self) -> usize {
-        self.inner.lock().map(|inner| inner.entries.len()).unwrap_or(0)
+        self.lock_inner().entries.len()
     }
 
     /// Returns `true` when no model is resident.

@@ -18,12 +18,30 @@
 //! the deadline with a receive timeout so callers never hang on an
 //! overloaded server.
 //!
+//! # Self-healing
+//!
+//! Workers run every batch under [`std::panic::catch_unwind`]: a panic
+//! mid-batch (a model bug, or an injected `serve.encode` /
+//! `serve.batch` failpoint) fails only that batch's requests with
+//! [`ServeError::WorkerPanic`] — clients get HTTP 500, never a hang.
+//! The panicked worker thread is treated as suspect and exits; a
+//! supervisor thread detects the death, counts it in
+//! `worker_panics_total`, and respawns the slot under a capped
+//! exponential backoff (5 ms doubling to 250 ms). The backoff resets
+//! when a worker made progress — answered at least one request, or
+//! survived a full second — so a data-dependent panic costs one base
+//! delay while a crash-looping worker (dies before answering anything)
+//! backs off exponentially. Every respawn records
+//! `worker_respawns_total` and a `serve.respawn` span. The pool
+//! therefore converges back to its configured size instead of silently
+//! shrinking.
+//!
 //! [`TransformerModel::encode`]: gobo_model::TransformerModel::encode
 
 use std::collections::VecDeque;
 use std::sync::atomic::Ordering;
 use std::sync::mpsc::{sync_channel, Receiver, RecvTimeoutError, SyncSender};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -124,14 +142,69 @@ struct Shared {
     cvar: Condvar,
 }
 
-/// The admission queue + worker pool.
+impl Shared {
+    /// Locks the scheduler state, recovering from poisoning: a worker
+    /// that panicked while holding the lock only ever leaves the queue
+    /// in a popped-or-not state, both of which are valid, so the
+    /// recovered guard is safe to use and one panic cannot wedge the
+    /// whole scheduler.
+    fn lock_state(&self) -> MutexGuard<'_, State> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// How a worker thread ended.
+enum WorkerExit {
+    /// Graceful: shutdown was requested and the queue is drained.
+    Shutdown,
+    /// The worker caught a panic in batch execution and exited so a
+    /// fresh thread can replace it.
+    Panicked {
+        /// Whether the worker answered at least one request in its
+        /// lifetime. A worker that made progress before panicking hit a
+        /// data-dependent fault and respawns at base backoff; one that
+        /// dies without answering anything is crash-looping and earns
+        /// escalating strikes.
+        progressed: bool,
+    },
+}
+
+struct WorkerSlot {
+    handle: JoinHandle<WorkerExit>,
+    spawned: Instant,
+    /// Consecutive short-lived respawns; drives the backoff.
+    strikes: u32,
+}
+
+/// Supervisor slot state.
+enum Slot {
+    Running(WorkerSlot),
+    /// Dead; respawn no earlier than `at`.
+    Pending {
+        at: Instant,
+        strikes: u32,
+    },
+    /// Exited for good (graceful shutdown).
+    Done,
+}
+
+/// Smallest delay before respawning a panicked worker.
+const RESPAWN_BACKOFF_BASE: Duration = Duration::from_millis(5);
+/// Largest delay between respawn attempts.
+const RESPAWN_BACKOFF_CAP: Duration = Duration::from_millis(250);
+/// A worker surviving this long resets its backoff.
+const RESPAWN_HEALTHY_AFTER: Duration = Duration::from_secs(1);
+/// Supervisor poll interval while workers are healthy.
+const SUPERVISOR_POLL: Duration = Duration::from_millis(2);
+
+/// The admission queue + worker pool + supervisor.
 pub struct Scheduler {
     shared: Arc<Shared>,
-    workers: Mutex<Vec<JoinHandle<()>>>,
+    supervisor: Mutex<Option<JoinHandle<()>>>,
 }
 
 impl Scheduler {
-    /// Starts the worker pool.
+    /// Starts the worker pool and its supervisor.
     pub fn start(
         config: SchedulerConfig,
         registry: Arc<ModelRegistry>,
@@ -144,16 +217,14 @@ impl Scheduler {
             state: Mutex::new(State { queue: VecDeque::new(), shutdown: false }),
             cvar: Condvar::new(),
         });
-        let workers = (0..config.workers.max(1))
-            .map(|i| {
-                let shared = Arc::clone(&shared);
-                std::thread::Builder::new()
-                    .name(format!("gobo-serve-worker-{i}"))
-                    .spawn(move || worker_loop(&shared))
-                    .expect("spawn worker")
-            })
-            .collect();
-        Scheduler { shared, workers: Mutex::new(workers) }
+        let supervisor = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("gobo-serve-supervisor".to_owned())
+                .spawn(move || supervisor_loop(&shared))
+                .ok()
+        };
+        Scheduler { shared, supervisor: Mutex::new(supervisor) }
     }
 
     /// The scheduler's configuration.
@@ -170,14 +241,17 @@ impl Scheduler {
     /// [`ServeError::QueueFull`] at capacity, [`ServeError::ShuttingDown`]
     /// after [`Scheduler::shutdown`] began.
     pub fn submit(&self, req: EncodeRequest) -> Result<Receiver<Reply>, ServeError> {
+        gobo_fault::fail_point!(
+            "serve.admission",
+            ServeError::Internal("injected admission fault")
+        );
         let metrics = &self.shared.metrics;
         metrics.encode_requests.fetch_add(1, Ordering::Relaxed);
         let now = Instant::now();
         let deadline = now + req.deadline.unwrap_or(self.shared.config.default_deadline);
         let (tx, rx) = sync_channel(1);
         {
-            let mut state =
-                self.shared.state.lock().map_err(|_| ServeError::Internal("scheduler lock"))?;
+            let mut state = self.shared.lock_state();
             if state.shutdown {
                 metrics.rejected_shutdown.fetch_add(1, Ordering::Relaxed);
                 return Err(ServeError::ShuttingDown);
@@ -218,22 +292,17 @@ impl Scheduler {
 
     /// Current queue depth.
     pub fn queue_depth(&self) -> usize {
-        self.shared.state.lock().map(|s| s.queue.len()).unwrap_or(0)
+        self.shared.lock_state().queue.len()
     }
 
     /// Begins a graceful shutdown: stop admitting, let workers drain
     /// every queued request (expired ones are rejected, live ones
-    /// served), then join the pool. Idempotent.
+    /// served), then join the pool via the supervisor. Idempotent.
     pub fn shutdown(&self) {
-        if let Ok(mut state) = self.shared.state.lock() {
-            state.shutdown = true;
-        }
+        self.shared.lock_state().shutdown = true;
         self.shared.cvar.notify_all();
-        let handles: Vec<JoinHandle<()>> = match self.workers.lock() {
-            Ok(mut workers) => workers.drain(..).collect(),
-            Err(_) => return,
-        };
-        for handle in handles {
+        let handle = self.supervisor.lock().unwrap_or_else(PoisonError::into_inner).take();
+        if let Some(handle) = handle {
             let _ = handle.join();
         }
     }
@@ -245,12 +314,143 @@ impl Drop for Scheduler {
     }
 }
 
-fn worker_loop(shared: &Shared) {
+fn spawn_worker(shared: &Arc<Shared>, index: usize, strikes: u32) -> std::io::Result<WorkerSlot> {
+    let shared = Arc::clone(shared);
+    let handle = std::thread::Builder::new()
+        .name(format!("gobo-serve-worker-{index}"))
+        .spawn(move || worker_main(&shared))?;
+    Ok(WorkerSlot { handle, spawned: Instant::now(), strikes })
+}
+
+fn respawn_backoff(strikes: u32) -> Duration {
+    RESPAWN_BACKOFF_BASE.saturating_mul(1u32 << strikes.min(8)).min(RESPAWN_BACKOFF_CAP)
+}
+
+/// Owns the worker pool: spawns the configured number of workers, polls
+/// for deaths, and respawns panicked slots with a capped exponential
+/// backoff. On shutdown it joins every worker, then drains whatever is
+/// left in the queue with [`ServeError::ShuttingDown`] so no submitter
+/// is ever left hanging — even if every worker died.
+fn supervisor_loop(shared: &Arc<Shared>) {
+    let mut slots: Vec<Slot> = (0..shared.config.workers.max(1))
+        .map(|i| match spawn_worker(shared, i, 0) {
+            Ok(slot) => Slot::Running(slot),
+            Err(_) => Slot::Pending { at: Instant::now() + RESPAWN_BACKOFF_BASE, strikes: 1 },
+        })
+        .collect();
     loop {
-        let mut state = match shared.state.lock() {
-            Ok(state) => state,
-            Err(_) => return,
+        let draining = shared.lock_state().shutdown;
+        for (i, slot) in slots.iter_mut().enumerate() {
+            match slot {
+                Slot::Done => {}
+                Slot::Running(ws) if draining || ws.handle.is_finished() => {
+                    // While draining, block on the worker instead of
+                    // polling: it exits once the queue is empty.
+                    let Slot::Running(ws) = std::mem::replace(slot, Slot::Done) else {
+                        unreachable!()
+                    };
+                    let lifetime = ws.spawned.elapsed();
+                    let exit = match ws.handle.join() {
+                        Ok(exit) => exit,
+                        Err(_) => {
+                            // A panic that escaped catch_unwind (e.g.
+                            // inside the batching machinery itself).
+                            shared.metrics.worker_panics.fetch_add(1, Ordering::Relaxed);
+                            WorkerExit::Panicked { progressed: false }
+                        }
+                    };
+                    match exit {
+                        WorkerExit::Shutdown => {}
+                        WorkerExit::Panicked { progressed } if !draining => {
+                            let strikes = if progressed || lifetime >= RESPAWN_HEALTHY_AFTER {
+                                0
+                            } else {
+                                ws.strikes.saturating_add(1)
+                            };
+                            *slot = Slot::Pending {
+                                at: Instant::now() + respawn_backoff(strikes),
+                                strikes,
+                            };
+                        }
+                        // Draining: the final queue sweep below answers
+                        // anything the dead worker left behind.
+                        WorkerExit::Panicked { .. } => {}
+                    }
+                }
+                Slot::Running(_) => {}
+                Slot::Pending { .. } if draining => *slot = Slot::Done,
+                Slot::Pending { at, strikes } if *at <= Instant::now() => {
+                    let _span = gobo_obs::span!("serve.respawn", worker = i, strikes = *strikes);
+                    match spawn_worker(shared, i, *strikes) {
+                        Ok(ws) => {
+                            shared.metrics.worker_respawns.fetch_add(1, Ordering::Relaxed);
+                            *slot = Slot::Running(ws);
+                        }
+                        Err(_) => {
+                            let strikes = strikes.saturating_add(1);
+                            *slot = Slot::Pending {
+                                at: Instant::now() + respawn_backoff(strikes),
+                                strikes,
+                            };
+                        }
+                    }
+                }
+                Slot::Pending { .. } => {}
+            }
+        }
+        if slots.iter().all(|s| matches!(s, Slot::Done)) {
+            break;
+        }
+        std::thread::sleep(SUPERVISOR_POLL);
+    }
+    // Safety net: if workers died during drain, requests may still be
+    // queued. Reject them explicitly rather than dropping the senders.
+    let mut state = shared.lock_state();
+    while let Some(p) = state.queue.pop_front() {
+        shared.metrics.queue_pop();
+        shared.metrics.rejected_shutdown.fetch_add(1, Ordering::Relaxed);
+        let _ = p.tx.send(Err(ServeError::ShuttingDown));
+    }
+}
+
+/// Worker body: pull a batch, execute it under `catch_unwind`. A caught
+/// panic fails the batch's remaining requests with
+/// [`ServeError::WorkerPanic`] and ends this thread — the thread's
+/// stack is suspect after an arbitrary panic, so the supervisor
+/// replaces it with a fresh one.
+fn worker_main(shared: &Shared) -> WorkerExit {
+    let mut answered: usize = 0;
+    loop {
+        let Some((key, mut batch)) = next_batch(shared) else {
+            return WorkerExit::Shutdown;
         };
+        let before = batch.len();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            execute_batch(shared, &key.0, key.1, &mut batch);
+        }));
+        if result.is_err() {
+            // `execute_batch` keeps each request in the batch until its
+            // reply is computed, so everything removed was answered.
+            answered += before - batch.len();
+            shared.metrics.worker_panics.fetch_add(1, Ordering::Relaxed);
+            for p in batch.drain(..) {
+                shared.metrics.encode_failed.fetch_add(1, Ordering::Relaxed);
+                let _ = p.tx.send(Err(ServeError::WorkerPanic));
+            }
+            return WorkerExit::Panicked { progressed: answered > 0 };
+        }
+        answered += before;
+    }
+}
+
+type BatchKey = (String, Option<u8>);
+
+/// Blocks until there is work, then pops the oldest live request and
+/// coalesces same-key requests up to `max_batch`/`max_wait`. Returns
+/// `None` when shutdown is requested and the queue is drained.
+fn next_batch(shared: &Shared) -> Option<(BatchKey, Vec<Pending>)> {
+    loop {
+        let mut state = shared.lock_state();
         // Sleep until there is work or we are asked to exit; drain the
         // queue fully before honouring shutdown.
         loop {
@@ -258,12 +458,9 @@ fn worker_loop(shared: &Shared) {
                 break;
             }
             if state.shutdown {
-                return;
+                return None;
             }
-            state = match shared.cvar.wait(state) {
-                Ok(state) => state,
-                Err(_) => return,
-            };
+            state = shared.cvar.wait(state).unwrap_or_else(PoisonError::into_inner);
         }
 
         // Pop the oldest live request; reply to expired ones in place.
@@ -281,7 +478,6 @@ fn worker_loop(shared: &Shared) {
             }
         };
         let Some(first) = first else {
-            drop(state);
             continue;
         };
 
@@ -309,14 +505,13 @@ fn worker_loop(shared: &Shared) {
             if now >= wait_until {
                 break;
             }
-            state = match shared.cvar.wait_timeout(state, wait_until - now) {
-                Ok((state, _)) => state,
-                Err(_) => return,
-            };
+            let (next, _) = shared
+                .cvar
+                .wait_timeout(state, wait_until - now)
+                .unwrap_or_else(PoisonError::into_inner);
+            state = next;
         }
-        drop(state);
-
-        execute_batch(shared, &key.0, key.1, batch);
+        return Some((key, batch));
     }
 }
 
@@ -331,36 +526,52 @@ fn reject_expired(shared: &Shared, p: Pending) {
     }
 }
 
-fn execute_batch(shared: &Shared, model: &str, bits: Option<u8>, batch: Vec<Pending>) {
+/// Executes a batch. Each request stays in `batch` until its reply is
+/// computed — the caller keeps ownership of `batch` so that, if this
+/// function panics (including via the `serve.batch` / `serve.encode`
+/// failpoints), every unanswered request — including the one whose
+/// encode fired the panic — can still be failed explicitly instead of
+/// its reply channel being silently dropped.
+fn execute_batch(shared: &Shared, model: &str, bits: Option<u8>, batch: &mut Vec<Pending>) {
     let size = batch.len();
     let _batch_span = gobo_obs::span!("serve.batch", model = model, size = size);
+    gobo_fault::fail_point!("serve.batch");
     shared.metrics.record_batch(size);
     let entry = match shared.registry.get(model, bits) {
         Ok(entry) => entry,
         Err(_) => {
-            for p in batch {
+            for p in batch.drain(..) {
                 shared.metrics.encode_failed.fetch_add(1, Ordering::Relaxed);
                 let _ = p.tx.send(Err(ServeError::ModelNotFound { name: model.to_owned() }));
             }
             return;
         }
     };
-    for p in batch {
+    while let Some(front) = batch.first() {
         let start = Instant::now();
-        if start >= p.deadline {
+        if start >= front.deadline {
+            let p = batch.remove(0);
             reject_expired(shared, p);
             continue;
         }
-        let queue_us = start.duration_since(p.enqueued).as_micros() as u64;
-        let _encode_span = gobo_obs::span!("serve.encode", tokens = p.req.ids.len());
-        match entry.model.encode(&p.req.ids, &p.req.type_ids) {
+        let queue_us = start.duration_since(front.enqueued).as_micros() as u64;
+        let _encode_span = gobo_obs::span!("serve.encode", tokens = front.req.ids.len());
+        gobo_fault::fail_point!("serve.encode");
+        let result = entry.model.encode(&front.req.ids, &front.req.type_ids);
+        let p = batch.remove(0);
+        match result {
             Ok(out) => {
                 let compute_us = start.elapsed().as_micros() as u64;
                 let dims = out.hidden.dims().to_vec();
+                let [d0, d1] = dims[..] else {
+                    shared.metrics.encode_failed.fetch_add(1, Ordering::Relaxed);
+                    let _ = p.tx.send(Err(ServeError::Internal("hidden state is not rank 2")));
+                    continue;
+                };
                 let response = EncodeResponse {
                     model: entry.key.clone(),
                     hidden: out.hidden.into_vec(),
-                    hidden_dims: [dims[0], dims[1]],
+                    hidden_dims: [d0, d1],
                     pooled: out.pooled.map(|t| t.into_vec()),
                     batch_size: size,
                     queue_us,

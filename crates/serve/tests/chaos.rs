@@ -1,0 +1,194 @@
+//! Fault-injection integration tests for the serve stack.
+//!
+//! `gobo-fault`'s failpoint registry is process-global, so every test
+//! here serializes on one mutex and resets the registry on entry and
+//! exit — a panicking test cannot leave faults armed for its
+//! neighbours.
+
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::time::{Duration, Instant};
+
+use gobo::format::CompressedModel;
+use gobo::pipeline::{quantize_model, QuantizeOptions};
+use gobo_model::config::ModelConfig;
+use gobo_model::TransformerModel;
+use gobo_serve::{
+    Client, EncodeRequest, RegistryConfig, SchedulerConfig, ServeCore, ServeError, ServeOptions,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+static FAULT_LOCK: Mutex<()> = Mutex::new(());
+
+/// Serializes failpoint use across tests and guarantees a clean
+/// registry on both entry and exit (even if the test panics).
+struct FaultGuard(#[allow(dead_code)] MutexGuard<'static, ()>);
+
+impl FaultGuard {
+    fn lock() -> Self {
+        gobo_fault::install_panic_silencer();
+        let guard = FAULT_LOCK.lock().unwrap_or_else(PoisonError::into_inner);
+        gobo_fault::reset();
+        FaultGuard(guard)
+    }
+}
+
+impl Drop for FaultGuard {
+    fn drop(&mut self) {
+        gobo_fault::reset();
+    }
+}
+
+fn compressed(seed: u64) -> CompressedModel {
+    let config = ModelConfig::tiny("Chaos", 1, 16, 2, 40, 12).unwrap();
+    let model = TransformerModel::new(config, &mut StdRng::seed_from_u64(seed)).unwrap();
+    let outcome = quantize_model(&model, &QuantizeOptions::gobo(3).unwrap()).unwrap();
+    CompressedModel::new(&model, outcome.archive)
+}
+
+fn start_core(workers: usize) -> Arc<ServeCore> {
+    ServeCore::start(ServeOptions {
+        registry: RegistryConfig::default(),
+        scheduler: SchedulerConfig {
+            workers,
+            default_deadline: Duration::from_secs(10),
+            ..SchedulerConfig::default()
+        },
+    })
+}
+
+/// A single sequential client means batch size 1, so `every=5` maps
+/// exactly onto requests 5, 10, 15, … — the run is fully
+/// deterministic: 20% of requests fail as `WorkerPanic`, the rest
+/// succeed, nothing hangs, and the pool respawns back to size.
+#[test]
+fn panic_every_fifth_encode_fails_only_injected_requests() {
+    let _guard = FaultGuard::lock();
+    let core = start_core(2);
+    let client = Client::new(Arc::clone(&core));
+    client.register("chaos", &compressed(3)).unwrap();
+    client.encode(EncodeRequest::new("chaos", vec![1, 2, 3])).unwrap();
+
+    gobo_fault::configure_str("serve.encode=panic(every=5)").unwrap();
+    let mut ok = 0usize;
+    let mut panicked = 0usize;
+    for r in 0..100usize {
+        match client.encode(EncodeRequest::new("chaos", vec![1 + r % 30, 2, 3])) {
+            Ok(_) => ok += 1,
+            Err(ServeError::WorkerPanic) => panicked += 1,
+            Err(other) => panic!("request {r}: unexpected error {other}"),
+        }
+    }
+    assert_eq!(ok, 80);
+    assert_eq!(panicked, 20);
+    assert_eq!(core.metrics().worker_panics.load(Ordering::Relaxed), 20);
+
+    // Respawns trail the panics (supervisor poll + backoff); wait
+    // bounded for the counter, then confirm the pool still serves.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while core.metrics().worker_respawns.load(Ordering::Relaxed) == 0 {
+        assert!(Instant::now() < deadline, "no worker respawn within 5s");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    gobo_fault::reset();
+    client.encode(EncodeRequest::new("chaos", vec![4, 5, 6])).unwrap();
+    core.shutdown();
+}
+
+/// An armed `serve.admission` failpoint rejects at submit time without
+/// touching a worker.
+#[test]
+fn admission_failpoint_rejects_before_queueing() {
+    let _guard = FaultGuard::lock();
+    let core = start_core(1);
+    let client = Client::new(Arc::clone(&core));
+    client.register("chaos", &compressed(4)).unwrap();
+
+    gobo_fault::configure_str("serve.admission=error").unwrap();
+    let err = client.encode(EncodeRequest::new("chaos", vec![1, 2, 3])).unwrap_err();
+    assert_eq!(err.code(), "internal");
+    assert!(err.to_string().contains("injected admission fault"), "{err}");
+
+    gobo_fault::reset();
+    client.encode(EncodeRequest::new("chaos", vec![1, 2, 3])).unwrap();
+    core.shutdown();
+}
+
+/// `registry.decode=error` turns model registration into a clean
+/// `ServeError` instead of a cache entry.
+#[test]
+fn registry_decode_failpoint_fails_registration() {
+    let _guard = FaultGuard::lock();
+    let core = start_core(1);
+    let client = Client::new(Arc::clone(&core));
+
+    gobo_fault::configure_str("registry.decode=error").unwrap();
+    let err = client.register("chaos", &compressed(5)).unwrap_err();
+    assert_eq!(err.code(), "internal");
+    assert_eq!(gobo_fault::fires("registry.decode"), 1);
+
+    gobo_fault::reset();
+    client.register("chaos", &compressed(5)).unwrap();
+    client.encode(EncodeRequest::new("chaos", vec![1, 2, 3])).unwrap();
+    core.shutdown();
+}
+
+/// A `delay` failpoint slows the batch path without failing anything.
+#[test]
+fn delay_failpoint_slows_but_serves() {
+    let _guard = FaultGuard::lock();
+    let core = start_core(1);
+    let client = Client::new(Arc::clone(&core));
+    client.register("chaos", &compressed(6)).unwrap();
+    client.encode(EncodeRequest::new("chaos", vec![1, 2, 3])).unwrap();
+
+    gobo_fault::configure_str("serve.batch=delay(ms=30)").unwrap();
+    let started = Instant::now();
+    client.encode(EncodeRequest::new("chaos", vec![1, 2, 3])).unwrap();
+    assert!(started.elapsed() >= Duration::from_millis(30));
+    core.shutdown();
+}
+
+/// A panicking worker never takes an unrelated queued batch with it:
+/// concurrent requests against a panic-prone pool resolve as either
+/// success or `WorkerPanic` — no hangs, no other errors — and the
+/// metrics agree with the client-side tally.
+#[test]
+fn concurrent_load_under_panics_degrades_cleanly() {
+    let _guard = FaultGuard::lock();
+    let core = start_core(2);
+    let client = Client::new(Arc::clone(&core));
+    client.register("chaos", &compressed(7)).unwrap();
+    client.encode(EncodeRequest::new("chaos", vec![1, 2, 3])).unwrap();
+
+    gobo_fault::configure_str("serve.encode=panic(every=7)").unwrap();
+    let mut joins = Vec::new();
+    for t in 0..4usize {
+        let client = client.clone();
+        joins.push(std::thread::spawn(move || {
+            let mut ok = 0usize;
+            let mut panicked = 0usize;
+            for r in 0..30usize {
+                match client.encode(EncodeRequest::new("chaos", vec![1 + (t + r) % 30, 2])) {
+                    Ok(_) => ok += 1,
+                    Err(ServeError::WorkerPanic) => panicked += 1,
+                    Err(other) => panic!("unexpected error {other}"),
+                }
+            }
+            (ok, panicked)
+        }));
+    }
+    let mut ok = 0usize;
+    let mut panicked = 0usize;
+    for join in joins {
+        let (o, p) = join.join().unwrap();
+        ok += o;
+        panicked += p;
+    }
+    assert_eq!(ok + panicked, 120);
+    assert!(ok > 0, "some requests must succeed");
+    assert!(panicked > 0, "the failpoint must have fired");
+    assert!(core.metrics().worker_panics.load(Ordering::Relaxed) > 0, "panics must be counted");
+    core.shutdown();
+}

@@ -147,3 +147,42 @@ fn request_shutdown_api_stops_server() {
     server.request_shutdown();
     server.serve_until_shutdown(); // must return promptly, not hang
 }
+
+/// Bodies over the configured cap are refused with `413` before the
+/// server reads them, counted in `rejected_body_too_large_total`, and
+/// the connection keeps serving within-limit requests.
+#[test]
+fn oversized_body_rejected_with_413() {
+    let core = ServeCore::start(ServeOptions::default());
+    let client = Client::new(Arc::clone(&core));
+    client.register("demo", &compressed(13)).unwrap();
+    let server = Server::bind_with(
+        Arc::clone(&core),
+        "127.0.0.1:0",
+        gobo_serve::HttpOptions { max_body: 256 },
+    )
+    .unwrap();
+    let addr = server.local_addr();
+    let serve_thread = std::thread::spawn(move || server.serve_until_shutdown());
+
+    let huge = format!("{{\"model\":\"demo\",\"ids\":[{}]}}", vec!["1"; 300].join(","));
+    assert!(huge.len() > 256);
+    let (status, body) = request(addr, "POST", "/v1/encode", &huge);
+    assert_eq!(status, 413);
+    assert!(body.contains("body_too_large"), "{body}");
+
+    // A small request on a fresh connection still works.
+    let (status, _) = request(addr, "POST", "/v1/encode", "{\"model\":\"demo\",\"ids\":[1,2]}");
+    assert_eq!(status, 200);
+
+    let (_, metrics) = request(addr, "GET", "/metrics", "");
+    let line = metrics
+        .lines()
+        .find(|l| l.starts_with("gobo_rejected_body_too_large_total"))
+        .expect("missing body-too-large counter");
+    assert_eq!(line.split_whitespace().nth(1), Some("1"), "{line}");
+
+    let (status, _) = request(addr, "POST", "/v1/shutdown", "");
+    assert_eq!(status, 200);
+    serve_thread.join().unwrap();
+}
