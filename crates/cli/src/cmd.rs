@@ -153,6 +153,11 @@ impl Args {
 pub fn run(args: &[String]) -> Result<String, CliError> {
     let (command, rest) =
         args.split_first().ok_or_else(|| CliError::Usage("no command given".into()))?;
+    // `lint` takes boolean flags, which the strict `--flag value`
+    // grammar below cannot express; it parses its own arguments.
+    if command == "lint" {
+        return crate::lint_cmd::lint(rest);
+    }
     let args = Args::parse(rest)?;
     match command.as_str() {
         "demo" => demo(&args),

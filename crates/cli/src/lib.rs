@@ -18,6 +18,7 @@
 mod chaos_cmd;
 pub mod cmd;
 pub mod format;
+mod lint_cmd;
 mod obs_cmd;
 mod serve_cmd;
 

@@ -1,0 +1,240 @@
+//! Deterministic interleaving exploration for small concurrent
+//! protocols.
+//!
+//! A protocol under test is modeled as a set of *thread programs* that
+//! mutate cloneable shared state in discrete atomic steps. The explorer
+//! enumerates **every** interleaving of those steps (depth-first, with
+//! state cloning at each branch point), invoking a caller-supplied
+//! check on each terminal state. For thread counts where exhaustive
+//! enumeration explodes, a seeded splitmix64 sampler draws random
+//! schedules reproducibly.
+//!
+//! This is a miniature, dependency-free take on shuttle/loom-style
+//! model checking: steps are the granularity of atomicity, so shared
+//! state should expose exactly the operations that are atomic in the
+//! real implementation (for example, one `fetch_add` or one store — not
+//! a whole read-modify-write sequence, which must be split across
+//! steps to model the race).
+
+/// One thread of a modeled protocol. `step` executes the thread's next
+/// atomic action against the shared state; `is_done` reports whether
+/// the thread has finished. Programs are cloned at every branch point,
+/// so keep per-thread state small.
+pub trait Program<S>: Clone {
+    /// Executes the next atomic step. Called only while `!is_done()`.
+    fn step(&mut self, shared: &mut S);
+    /// Whether this thread has no more steps.
+    fn is_done(&self) -> bool;
+}
+
+/// Exhaustively explores every interleaving of `threads` from the
+/// initial `shared` state, calling `on_final(final_state, schedule)`
+/// at each terminal state. The schedule is the sequence of thread
+/// indices stepped, for diagnostics. Returns the number of complete
+/// schedules explored.
+pub fn explore_exhaustive<S, P>(
+    shared: &S,
+    threads: &[P],
+    mut on_final: impl FnMut(&S, &[usize]),
+) -> u64
+where
+    S: Clone,
+    P: Program<S>,
+{
+    let mut schedule = Vec::new();
+    let mut count = 0;
+    dfs(shared, threads, &mut schedule, &mut on_final, &mut count);
+    count
+}
+
+fn dfs<S, P>(
+    shared: &S,
+    threads: &[P],
+    schedule: &mut Vec<usize>,
+    on_final: &mut impl FnMut(&S, &[usize]),
+    count: &mut u64,
+) where
+    S: Clone,
+    P: Program<S>,
+{
+    let mut any_runnable = false;
+    for (i, thread) in threads.iter().enumerate() {
+        if thread.is_done() {
+            continue;
+        }
+        any_runnable = true;
+        let mut next_shared = shared.clone();
+        let mut next_threads = threads.to_vec();
+        next_threads[i].step(&mut next_shared);
+        schedule.push(i);
+        dfs(&next_shared, &next_threads, schedule, on_final, count);
+        schedule.pop();
+    }
+    if !any_runnable {
+        *count += 1;
+        on_final(shared, schedule);
+    }
+}
+
+/// Draws `samples` random schedules (seeded, reproducible) and calls
+/// `on_final` on each terminal state. Use when the thread count makes
+/// exhaustive enumeration intractable. Returns `samples`.
+pub fn explore_sampled<S, P>(
+    shared: &S,
+    threads: &[P],
+    seed: u64,
+    samples: u64,
+    mut on_final: impl FnMut(&S, &[usize]),
+) -> u64
+where
+    S: Clone,
+    P: Program<S>,
+{
+    let mut rng = SplitMix64::new(seed);
+    for _ in 0..samples {
+        let mut state = shared.clone();
+        let mut live = threads.to_vec();
+        let mut schedule = Vec::new();
+        loop {
+            let runnable: Vec<usize> =
+                live.iter().enumerate().filter(|(_, t)| !t.is_done()).map(|(i, _)| i).collect();
+            if runnable.is_empty() {
+                break;
+            }
+            let pick = runnable[rng.below(runnable.len() as u64) as usize];
+            live[pick].step(&mut state);
+            schedule.push(pick);
+        }
+        on_final(&state, &schedule);
+    }
+    samples
+}
+
+/// splitmix64: tiny, fast, reproducible PRNG (public-domain algorithm
+/// by Sebastiano Vigna). Good enough for schedule sampling; not for
+/// cryptography.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Seeds the generator.
+    pub fn new(seed: u64) -> SplitMix64 {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `0..n` (`n > 0`).
+    pub fn below(&mut self, n: u64) -> u64 {
+        // Modulo bias is irrelevant at schedule-sampling scale.
+        self.next_u64() % n.max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A thread that increments the counter `steps` times, one
+    /// fetch_add-style atomic step each.
+    #[derive(Clone)]
+    struct Inc {
+        steps: usize,
+    }
+
+    impl Program<u64> for Inc {
+        fn step(&mut self, shared: &mut u64) {
+            *shared += 1;
+            self.steps -= 1;
+        }
+        fn is_done(&self) -> bool {
+            self.steps == 0
+        }
+    }
+
+    #[test]
+    fn exhaustive_counts_all_interleavings() {
+        // Two threads of two steps each: C(4, 2) = 6 schedules.
+        let count = explore_exhaustive(&0u64, &[Inc { steps: 2 }, Inc { steps: 2 }], |s, _| {
+            assert_eq!(*s, 4);
+        });
+        assert_eq!(count, 6);
+        // Three threads of one step each: 3! = 6 schedules.
+        let count = explore_exhaustive(
+            &0u64,
+            &[Inc { steps: 1 }, Inc { steps: 1 }, Inc { steps: 1 }],
+            |s, _| {
+                assert_eq!(*s, 3);
+            },
+        );
+        assert_eq!(count, 6);
+    }
+
+    /// A non-atomic read-modify-write: load in one step, store the
+    /// stale value + 1 in the next. The classic lost-update race.
+    #[derive(Clone)]
+    struct RacyInc {
+        loaded: Option<u64>,
+        done: bool,
+    }
+
+    impl Program<u64> for RacyInc {
+        fn step(&mut self, shared: &mut u64) {
+            match self.loaded.take() {
+                None => self.loaded = Some(*shared),
+                Some(v) => {
+                    *shared = v + 1;
+                    self.done = true;
+                }
+            }
+        }
+        fn is_done(&self) -> bool {
+            self.done
+        }
+    }
+
+    #[test]
+    fn exhaustive_exploration_finds_the_lost_update() {
+        let fresh = || RacyInc { loaded: None, done: false };
+        let mut lost = 0;
+        let total = explore_exhaustive(&0u64, &[fresh(), fresh()], |s, _| {
+            assert!(*s == 1 || *s == 2);
+            if *s == 1 {
+                lost += 1;
+            }
+        });
+        assert_eq!(total, 6);
+        // 4 of the 6 interleavings overlap the two load/store pairs and
+        // lose an update — the explorer must surface them.
+        assert_eq!(lost, 4);
+    }
+
+    #[test]
+    fn sampling_is_deterministic_and_covers_schedules() {
+        let fresh = || RacyInc { loaded: None, done: false };
+        let mut finals_a = Vec::new();
+        explore_sampled(&0u64, &[fresh(), fresh()], 42, 64, |s, _| finals_a.push(*s));
+        let mut finals_b = Vec::new();
+        explore_sampled(&0u64, &[fresh(), fresh()], 42, 64, |s, _| finals_b.push(*s));
+        assert_eq!(finals_a, finals_b, "same seed must reproduce the same schedules");
+        assert!(finals_a.contains(&1), "sampler should hit the racy schedule");
+        assert!(finals_a.contains(&2), "sampler should hit the serial schedule");
+    }
+
+    #[test]
+    fn splitmix_below_stays_in_range() {
+        let mut rng = SplitMix64::new(7);
+        for _ in 0..1000 {
+            assert!(rng.below(3) < 3);
+        }
+    }
+}

@@ -1,0 +1,476 @@
+//! A small Rust tokenizer: line/column accurate, comment- and
+//! string-aware.
+//!
+//! This is not a full Rust lexer — it recognizes exactly the token
+//! shapes the lint rules need to reason about source *without* being
+//! fooled by comments and string literals:
+//!
+//! * identifiers and keywords (including raw `r#ident`),
+//! * punctuation (single characters; rules match multi-character
+//!   operators like `::` as consecutive tokens),
+//! * string literals (`"…"`, raw `r#"…"#`, byte `b"…"`, raw byte),
+//!   with the decoded text preserved so rules can read names out of
+//!   `span!("…")` / `fail_point!("…")` invocations,
+//! * character literals vs. lifetimes (`'a'` vs `'a`),
+//! * numeric literals (enough to skip over them, including `1.5e-3`
+//!   and `0x_ffu32`, without eating `..` range punctuation),
+//! * line comments, block comments (nested), and doc comments, kept as
+//!   tokens so rules can check for adjacent `// SAFETY:` text.
+//!
+//! Every token records the 1-based line and column where it starts.
+
+/// What a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`foo`, `unsafe`, `r#type`).
+    Ident,
+    /// Single punctuation character (`.`, `:`, `!`, `[`, …).
+    Punct,
+    /// String literal (regular, raw, byte, or raw byte); `text` holds
+    /// the *decoded* contents, without quotes.
+    Str,
+    /// Character or byte-character literal (`'x'`, `b'\n'`).
+    Char,
+    /// Lifetime (`'a`, `'static`); `text` holds the name without `'`.
+    Lifetime,
+    /// Numeric literal.
+    Number,
+    /// Line or block comment, doc comments included; `text` holds the
+    /// full comment including its delimiters.
+    Comment,
+}
+
+/// One lexed token with its source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Token class.
+    pub kind: TokenKind,
+    /// Token text (see [`TokenKind`] for what each kind stores).
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: usize,
+    /// 1-based column (in characters) of the token's first character.
+    pub col: usize,
+}
+
+impl Token {
+    /// Whether this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokenKind::Punct && self.text.starts_with(c)
+    }
+
+    /// Whether this token is the identifier `name`.
+    pub fn is_ident(&self, name: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == name
+    }
+}
+
+struct Cursor<'a> {
+    rest: std::str::Chars<'a>,
+    line: usize,
+    col: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(src: &'a str) -> Self {
+        Cursor { rest: src.chars(), line: 1, col: 1 }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.rest.clone().next()
+    }
+
+    fn peek2(&self) -> Option<char> {
+        let mut it = self.rest.clone();
+        it.next();
+        it.next()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.rest.next()?;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Tokenizes `src`. Unterminated strings/comments are tolerated (the
+/// remainder of the file becomes one token) so the linter still
+/// produces findings for files that do not compile.
+pub fn tokenize(src: &str) -> Vec<Token> {
+    let mut tokens = Vec::new();
+    let mut cur = Cursor::new(src);
+    while let Some(c) = cur.peek() {
+        let (line, col) = (cur.line, cur.col);
+        match c {
+            _ if c.is_whitespace() => {
+                cur.bump();
+            }
+            '/' if cur.peek2() == Some('/') => {
+                let mut text = String::new();
+                while let Some(&c) = cur.peek().as_ref() {
+                    if c == '\n' {
+                        break;
+                    }
+                    text.push(c);
+                    cur.bump();
+                }
+                tokens.push(Token { kind: TokenKind::Comment, text, line, col });
+            }
+            '/' if cur.peek2() == Some('*') => {
+                let mut text = String::new();
+                let mut depth = 0usize;
+                loop {
+                    match cur.peek() {
+                        None => break,
+                        Some('/') if cur.peek2() == Some('*') => {
+                            depth += 1;
+                            text.push('/');
+                            text.push('*');
+                            cur.bump();
+                            cur.bump();
+                        }
+                        Some('*') if cur.peek2() == Some('/') => {
+                            depth -= 1;
+                            text.push('*');
+                            text.push('/');
+                            cur.bump();
+                            cur.bump();
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        Some(c) => {
+                            text.push(c);
+                            cur.bump();
+                        }
+                    }
+                }
+                tokens.push(Token { kind: TokenKind::Comment, text, line, col });
+            }
+            '"' => {
+                cur.bump();
+                let text = lex_string_body(&mut cur);
+                tokens.push(Token { kind: TokenKind::Str, text, line, col });
+            }
+            'r' | 'b' if starts_prefixed_literal(&cur) => {
+                let token = lex_prefixed_literal(&mut cur, line, col);
+                tokens.push(token);
+            }
+            '\'' => {
+                let token = lex_quote(&mut cur, line, col);
+                tokens.push(token);
+            }
+            _ if is_ident_start(c) => {
+                let mut text = String::new();
+                while let Some(c) = cur.peek() {
+                    if !is_ident_continue(c) {
+                        break;
+                    }
+                    text.push(c);
+                    cur.bump();
+                }
+                tokens.push(Token { kind: TokenKind::Ident, text, line, col });
+            }
+            _ if c.is_ascii_digit() => {
+                let text = lex_number(&mut cur);
+                tokens.push(Token { kind: TokenKind::Number, text, line, col });
+            }
+            _ => {
+                cur.bump();
+                tokens.push(Token { kind: TokenKind::Punct, text: c.to_string(), line, col });
+            }
+        }
+    }
+    tokens
+}
+
+/// After seeing `r` or `b` at the cursor: is this the start of a raw
+/// string, byte string, raw byte string, byte char, or raw identifier —
+/// anything that needs more than plain-identifier lexing?
+fn starts_prefixed_literal(cur: &Cursor<'_>) -> bool {
+    let mut it = cur.rest.clone();
+    let first = it.next();
+    let second = it.next();
+    let third = it.next();
+    matches!(
+        (first, second, third),
+        (Some('r'), Some('"' | '#'), _)
+            | (Some('b'), Some('"' | '\''), _)
+            | (Some('b'), Some('r'), Some('"' | '#'))
+    )
+}
+
+/// Lexes `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#`, `b'…'`, or a raw
+/// identifier `r#name`. The cursor sits on the `r`/`b` prefix.
+fn lex_prefixed_literal(cur: &mut Cursor<'_>, line: usize, col: usize) -> Token {
+    let mut prefix = String::new();
+    while matches!(cur.peek(), Some('r' | 'b')) && prefix.len() < 2 {
+        if let Some(c) = cur.bump() {
+            prefix.push(c);
+        }
+    }
+    if cur.peek() == Some('\'') {
+        // Byte char `b'x'`.
+        let t = lex_quote(cur, line, col);
+        return Token { kind: TokenKind::Char, ..t };
+    }
+    let mut hashes = 0usize;
+    while cur.peek() == Some('#') {
+        hashes += 1;
+        cur.bump();
+    }
+    if cur.peek() != Some('"') {
+        // Raw identifier (`r#type`) or stray hashes: re-lex as ident.
+        let mut text = prefix;
+        while let Some(c) = cur.peek() {
+            if !is_ident_continue(c) {
+                break;
+            }
+            text.push(c);
+            cur.bump();
+        }
+        return Token { kind: TokenKind::Ident, text, line, col };
+    }
+    cur.bump(); // opening quote
+    let mut text = String::new();
+    if hashes == 0 && !prefix.contains('r') {
+        text = lex_string_body(cur);
+    } else {
+        // Raw string: ends at `"` followed by `hashes` hash marks.
+        loop {
+            match cur.peek() {
+                None => break,
+                Some('"') => {
+                    let mut it = cur.rest.clone();
+                    it.next();
+                    let closing = (0..hashes).all(|_| it.next() == Some('#'));
+                    if closing {
+                        cur.bump();
+                        for _ in 0..hashes {
+                            cur.bump();
+                        }
+                        break;
+                    }
+                    text.push('"');
+                    cur.bump();
+                }
+                Some(c) => {
+                    text.push(c);
+                    cur.bump();
+                }
+            }
+        }
+    }
+    Token { kind: TokenKind::Str, text, line, col }
+}
+
+/// Lexes the body of a non-raw string; the opening quote is consumed.
+/// Escapes are decoded just enough to keep the text readable (`\"`,
+/// `\\`, `\n`, `\t`); anything else is preserved verbatim.
+fn lex_string_body(cur: &mut Cursor<'_>) -> String {
+    let mut text = String::new();
+    loop {
+        match cur.peek() {
+            None | Some('"') => {
+                cur.bump();
+                break;
+            }
+            Some('\\') => {
+                cur.bump();
+                match cur.bump() {
+                    Some('n') => text.push('\n'),
+                    Some('t') => text.push('\t'),
+                    Some('r') => text.push('\r'),
+                    Some('0') => text.push('\0'),
+                    Some(c @ ('"' | '\\' | '\'')) => text.push(c),
+                    Some(c) => {
+                        text.push('\\');
+                        text.push(c);
+                    }
+                    None => break,
+                }
+            }
+            Some(c) => {
+                text.push(c);
+                cur.bump();
+            }
+        }
+    }
+    text
+}
+
+/// Disambiguates `'a'` (char) from `'a` (lifetime). The cursor sits on
+/// the opening quote.
+fn lex_quote(cur: &mut Cursor<'_>, line: usize, col: usize) -> Token {
+    cur.bump(); // opening quote
+    match cur.peek() {
+        Some('\\') => {
+            // Escaped char literal: `'\n'`, `'\u{1F600}'`.
+            cur.bump();
+            let mut text = String::from("\\");
+            while let Some(c) = cur.peek() {
+                cur.bump();
+                if c == '\'' {
+                    break;
+                }
+                text.push(c);
+            }
+            Token { kind: TokenKind::Char, text, line, col }
+        }
+        Some(c) if is_ident_start(c) => {
+            // `'a'` is a char, `'a` (no closing quote) is a lifetime.
+            let mut text = String::new();
+            while let Some(c) = cur.peek() {
+                if !is_ident_continue(c) {
+                    break;
+                }
+                text.push(c);
+                cur.bump();
+            }
+            if cur.peek() == Some('\'') {
+                cur.bump();
+                Token { kind: TokenKind::Char, text, line, col }
+            } else {
+                Token { kind: TokenKind::Lifetime, text, line, col }
+            }
+        }
+        Some(c) => {
+            // Non-identifier char literal: `'.'`, `'['`.
+            cur.bump();
+            let text = c.to_string();
+            if cur.peek() == Some('\'') {
+                cur.bump();
+            }
+            Token { kind: TokenKind::Char, text, line, col }
+        }
+        None => Token { kind: TokenKind::Char, text: String::new(), line, col },
+    }
+}
+
+/// Lexes a numeric literal. Consumes digits, `_`, type suffixes, hex
+/// letters, exponents (`1e-3`), and a fractional point — but leaves
+/// `..` alone so ranges stay punctuation.
+fn lex_number(cur: &mut Cursor<'_>) -> String {
+    let mut text = String::new();
+    while let Some(c) = cur.peek() {
+        if c.is_alphanumeric() || c == '_' {
+            let was_exponent = (c == 'e' || c == 'E') && !text.starts_with("0x");
+            text.push(c);
+            cur.bump();
+            if was_exponent && matches!(cur.peek(), Some('+' | '-')) {
+                if let Some(sign) = cur.bump() {
+                    text.push(sign);
+                }
+            }
+        } else if c == '.' && cur.peek2().is_some_and(|d| d.is_ascii_digit()) {
+            text.push(c);
+            cur.bump();
+        } else {
+            break;
+        }
+    }
+    text
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        tokenize(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn idents_puncts_and_positions() {
+        let toks = tokenize("let x = a.unwrap();\n  y[0]");
+        assert_eq!(toks[0].text, "let");
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        let unwrap = toks.iter().find(|t| t.text == "unwrap").unwrap();
+        assert_eq!((unwrap.line, unwrap.col), (1, 11));
+        let y = toks.iter().find(|t| t.text == "y").unwrap();
+        assert_eq!((y.line, y.col), (2, 3));
+    }
+
+    #[test]
+    fn strings_hide_code_like_text() {
+        let toks = kinds(r#"let s = "x.unwrap() // not a comment";"#);
+        assert!(toks.iter().all(|(k, t)| *k != TokenKind::Ident || t != "unwrap"));
+        assert!(toks.iter().any(|(k, _)| *k == TokenKind::Str));
+        // The string body is preserved.
+        let s = toks.iter().find(|(k, _)| *k == TokenKind::Str).unwrap();
+        assert_eq!(s.1, "x.unwrap() // not a comment");
+    }
+
+    #[test]
+    fn escaped_quotes_do_not_end_strings() {
+        let toks = kinds(r#""a\"b" c"#);
+        assert_eq!(toks[0], (TokenKind::Str, "a\"b".to_owned()));
+        assert_eq!(toks[1], (TokenKind::Ident, "c".to_owned()));
+    }
+
+    #[test]
+    fn raw_strings_and_raw_idents() {
+        let toks = kinds(r###"let a = r#"has "quotes" and # marks"#; let r#type = 1;"###);
+        let s = toks.iter().find(|(k, _)| *k == TokenKind::Str).unwrap();
+        assert_eq!(s.1, "has \"quotes\" and # marks");
+        assert!(toks.iter().any(|(k, t)| *k == TokenKind::Ident && t == "rtype"));
+    }
+
+    #[test]
+    fn byte_strings_and_byte_chars() {
+        let toks = kinds(r###"b"GOBq" b'\n' br#"raw"#"###);
+        assert_eq!(toks[0].0, TokenKind::Str);
+        assert_eq!(toks[0].1, "GOBq");
+        assert_eq!(toks[1].0, TokenKind::Char);
+        assert_eq!(toks[2].0, TokenKind::Str);
+        assert_eq!(toks[2].1, "raw");
+    }
+
+    #[test]
+    fn lifetimes_vs_chars() {
+        let toks = kinds("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }");
+        assert_eq!(toks.iter().filter(|(k, _)| *k == TokenKind::Lifetime).count(), 2);
+        assert_eq!(toks.iter().filter(|(k, _)| *k == TokenKind::Char).count(), 2);
+    }
+
+    #[test]
+    fn comments_are_tokens_and_nest() {
+        let toks = kinds("a /* outer /* inner */ still */ b // SAFETY: tail\nc");
+        let comments: Vec<&String> =
+            toks.iter().filter(|(k, _)| *k == TokenKind::Comment).map(|(_, t)| t).collect();
+        assert_eq!(comments.len(), 2);
+        assert!(comments[0].contains("inner"));
+        assert!(comments[0].contains("still"));
+        assert!(comments[1].contains("SAFETY: tail"));
+        assert!(toks.iter().any(|(k, t)| *k == TokenKind::Ident && t == "c"));
+    }
+
+    #[test]
+    fn numbers_do_not_eat_ranges() {
+        let toks = kinds("1.5e-3 0x_ffu32 0..10 1_000");
+        assert_eq!(toks[0], (TokenKind::Number, "1.5e-3".to_owned()));
+        assert_eq!(toks[1], (TokenKind::Number, "0x_ffu32".to_owned()));
+        assert_eq!(toks[2], (TokenKind::Number, "0".to_owned()));
+        assert!(toks[3].0 == TokenKind::Punct && toks[4].0 == TokenKind::Punct);
+        assert_eq!(toks[5], (TokenKind::Number, "10".to_owned()));
+    }
+
+    #[test]
+    fn unterminated_input_is_tolerated() {
+        assert!(!tokenize("let s = \"unterminated").is_empty());
+        assert!(!tokenize("/* unterminated").is_empty());
+    }
+}

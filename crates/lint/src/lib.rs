@@ -1,0 +1,85 @@
+//! gobo-lint: workspace invariant checker for the GOBO codebase.
+//!
+//! A dependency-free static analysis tool that lexes every workspace
+//! crate and enforces four families of invariants:
+//!
+//! 1. **Panic-freedom** ([`rules::panic_freedom`]) — the serving path
+//!    must not panic. `.unwrap()` / `.expect()` / panicking macros /
+//!    index expressions on the configured hot paths are counted against
+//!    a ratcheting budget in `lint.toml`: the count may only go down.
+//! 2. **Unsafe audit** ([`rules::unsafe_audit`]) — every `unsafe`
+//!    needs a `// SAFETY:` comment; every relaxed-or-stronger atomic
+//!    `Ordering` in lock-free code needs a `// ORDERING:` justification.
+//! 3. **Naming discipline** ([`rules::naming`]) — Prometheus metrics
+//!    are `gobo_`-prefixed with `_total` counters and `_us` histograms;
+//!    span and failpoint names are lowercase dotted identifiers,
+//!    cataloged in generated `FAILPOINTS.md` / `SPANS.md`.
+//! 4. **Vendored-dep hygiene** ([`rules::deps`]) — `use` roots must
+//!    resolve to the standard library, workspace crates, or crates
+//!    vendored under `vendor/`.
+//!
+//! The crate also ships [`interleave`], a deterministic
+//! exhaustive-interleaving explorer used by the concurrency audit
+//! harness (`crates/obs/tests/interleave.rs` and this crate's
+//! `tests/interleave.rs`) to prove small lock-free protocols correct
+//! across every 2-thread schedule.
+//!
+//! Run it as `gobo lint` (see `crates/cli`); configuration lives in
+//! `lint.toml` at the workspace root.
+
+pub mod catalog;
+pub mod config;
+pub mod interleave;
+pub mod lexer;
+pub mod rules;
+pub mod source;
+
+pub use config::Config;
+pub use rules::{Finding, Report, Severity};
+pub use source::{SourceFile, Workspace};
+
+use std::path::Path;
+
+/// Lint run options.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Options {
+    /// Rewrite `FAILPOINTS.md` / `SPANS.md` instead of checking them.
+    pub write_catalogs: bool,
+}
+
+/// Runs every rule against the workspace at `root`, reading the
+/// configuration from `<root>/lint.toml`.
+///
+/// # Errors
+///
+/// Returns an error string when the config or workspace cannot be
+/// loaded; rule findings are *not* errors here — they come back in the
+/// [`Report`].
+pub fn run(root: &Path, options: Options) -> Result<Report, String> {
+    let config_path = root.join("lint.toml");
+    let text = std::fs::read_to_string(&config_path)
+        .map_err(|e| format!("{}: {e}", config_path.display()))?;
+    let config = Config::parse(&text).map_err(|e| format!("lint.toml: {e}"))?;
+    run_with_config(root, &config, options)
+}
+
+/// [`run`] with an already-parsed configuration.
+///
+/// # Errors
+///
+/// Returns an error string when the workspace cannot be loaded.
+pub fn run_with_config(root: &Path, config: &Config, options: Options) -> Result<Report, String> {
+    let ws = Workspace::load(root)?;
+    let mut report = Report { files_scanned: ws.files.len(), ..Report::default() };
+    rules::panic_freedom(&ws, config, &mut report);
+    rules::unsafe_audit(&ws, config, &mut report);
+    rules::naming(&ws, config, &mut report);
+    rules::deps(&ws, config, &mut report);
+    // Catalog generation/staleness only applies to workspaces that opt
+    // in with a `[catalogs]` section (the real one does; most fixtures
+    // do not).
+    if config.has_section("catalogs") {
+        catalog::check_or_write(&ws, options.write_catalogs, &mut report);
+    }
+    Ok(report)
+}

@@ -1,0 +1,145 @@
+//! gobo-lint's own test coverage: each rule against a violation
+//! fixture, an allowlisted fixture, and a clean fixture (mini
+//! workspaces under `tests/fixtures/`), plus a self-check that the
+//! live repository passes `--deny-warnings`.
+
+use std::path::{Path, PathBuf};
+
+use gobo_lint::{run, Options, Report, Severity};
+
+fn fixture(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures").join(name)
+}
+
+fn lint(name: &str) -> Report {
+    run(&fixture(name), Options::default())
+        .unwrap_or_else(|e| panic!("fixture {name} failed to lint: {e}"))
+}
+
+/// Error messages from findings of the given rule.
+fn rule_errors(report: &Report, rule: &str) -> Vec<String> {
+    report
+        .findings
+        .iter()
+        .filter(|f| f.rule == rule && f.severity == Severity::Error)
+        .map(|f| f.message.clone())
+        .collect()
+}
+
+#[test]
+fn panic_violation_fixture_fails() {
+    let report = lint("panic_violation");
+    assert!(report.failed(false));
+    // Four distinct site kinds, each individually reported, plus the
+    // over-budget summary.
+    assert_eq!(report.panic_sites.len(), 4);
+    let messages = rule_errors(&report, "panic_freedom").join("\n");
+    for needle in ["`.unwrap()`", "`.expect()`", "`panic!`", "index expression", "ratchet budget"] {
+        assert!(messages.contains(needle), "missing {needle:?} in:\n{messages}");
+    }
+    // The `#[cfg(test)]` module's asserts/indexing were exempt.
+    assert!(report.panic_sites.iter().all(|(_, line, _, _)| *line < 12));
+}
+
+#[test]
+fn panic_allowlisted_fixture_passes() {
+    let report = lint("panic_allowlisted");
+    // Both entry shapes (`path @ needle` and bare path) matched, so no
+    // sites remain and no dead-entry warnings fire.
+    assert!(!report.failed(true), "{}", report.render(true));
+    assert_eq!(report.panic_sites.len(), 0);
+}
+
+#[test]
+fn ratchet_only_turns_down() {
+    let report = lint("ratchet_violation");
+    // budget 5 > baseline 2: hard error even though the live count (1)
+    // is under budget...
+    let errors = rule_errors(&report, "panic_freedom").join("\n");
+    assert!(errors.contains("exceeds the frozen baseline"), "{errors}");
+    // ...and the slack budget draws a ratchet-down warning.
+    assert!(
+        report
+            .findings
+            .iter()
+            .any(|f| f.severity == Severity::Warning && f.message.contains("ratchet `budget` down")),
+        "{}",
+        report.render(false)
+    );
+    assert_eq!(report.panic_sites.len(), 1);
+}
+
+#[test]
+fn unsafe_violation_fixture_fails() {
+    let report = lint("unsafe_violation");
+    let messages = rule_errors(&report, "unsafe_audit").join("\n");
+    assert!(messages.contains("SAFETY:"), "{messages}");
+    assert!(messages.contains("ORDERING:"), "{messages}");
+    assert_eq!(rule_errors(&report, "unsafe_audit").len(), 2);
+}
+
+#[test]
+fn unsafe_allowlisted_fixture_passes() {
+    let report = lint("unsafe_allowlisted");
+    assert!(!report.failed(true), "{}", report.render(false));
+}
+
+#[test]
+fn naming_violation_fixture_fails() {
+    let report = lint("naming_violation");
+    let messages = rule_errors(&report, "naming").join("\n");
+    for needle in [
+        "`requests` is not `gobo_`-prefixed",
+        "must end in `_total`",
+        "must end in `_us`",
+        "`latency_seconds` must match `gobo_*_us`",
+        "span name `serve.Batch`",
+        "failpoint name `bad..name`",
+    ] {
+        assert!(messages.contains(needle), "missing {needle:?} in:\n{messages}");
+    }
+    assert_eq!(rule_errors(&report, "naming").len(), 7);
+}
+
+#[test]
+fn deps_violation_fixture_fails() {
+    let report = lint("deps_violation");
+    let messages = rule_errors(&report, "deps").join("\n");
+    assert!(messages.contains("`use leftpad::…`"), "{messages}");
+}
+
+#[test]
+fn deps_allowlisted_fixture_passes() {
+    let report = lint("deps_allowlisted");
+    assert!(!report.failed(true), "{}", report.render(false));
+}
+
+#[test]
+fn clean_fixture_passes_deny_warnings() {
+    let report = lint("clean");
+    // Every rule section is configured (including [catalogs] against
+    // committed FAILPOINTS.md / SPANS.md) and nothing fires.
+    assert!(!report.failed(true), "{}", report.render(true));
+    assert_eq!(report.errors() + report.warnings(), 0);
+}
+
+#[test]
+fn workspace_self_check_passes_deny_warnings() {
+    // The live repository must lint clean under its own lint.toml —
+    // ratchet budget honest, catalogs fresh, every unsafe/ordering
+    // justified. CARGO_MANIFEST_DIR is crates/lint, two up is the root.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root")
+        .to_path_buf();
+    let report = run(&root, Options::default())
+        .unwrap_or_else(|e| panic!("workspace lint failed to run: {e}"));
+    assert!(
+        !report.failed(true),
+        "the repository does not pass its own lint:\n{}",
+        report.render(true)
+    );
+    // Sanity: this really was the full workspace, not a stray subdir.
+    assert!(report.files_scanned > 50, "only {} files scanned", report.files_scanned);
+}

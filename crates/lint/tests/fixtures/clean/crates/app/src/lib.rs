@@ -1,0 +1,48 @@
+//! Fixture: every rule satisfied — commented unsafe/orderings,
+//! well-formed names, no panic sites outside tests, std-only deps.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+macro_rules! span {
+    ($name:expr) => {
+        $name
+    };
+}
+
+macro_rules! fail_point {
+    ($name:expr) => {
+        $name
+    };
+}
+
+pub static COUNTER: AtomicUsize = AtomicUsize::new(0);
+
+fn render_prometheus(name: &str) -> String {
+    name.to_owned()
+}
+
+pub fn read_first(values: &[u32]) -> u32 {
+    // SAFETY: the pointer is derived from a live reference just above;
+    // reading it is always valid (fixture exercise for the audit rule).
+    unsafe { *values.as_ptr().cast::<u32>() }
+}
+
+pub fn bump() -> usize {
+    // ORDERING: Relaxed — a statistics counter with no ordering needs.
+    COUNTER.fetch_add(1, Ordering::Relaxed)
+}
+
+pub fn traced(values: &[u32]) -> Option<String> {
+    let _s = span!("app.work");
+    let _f = fail_point!("app.io.read");
+    let first = values.first()?;
+    Some(render_prometheus("gobo_work_us") + &first.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn panics_allowed_here() {
+        assert_eq!(super::traced(&[7]).unwrap(), "gobo_work_us7");
+    }
+}

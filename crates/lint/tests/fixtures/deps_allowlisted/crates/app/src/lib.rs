@@ -1,0 +1,7 @@
+//! Fixture: the external root is waived via `[deps] allow`.
+
+use leftpad::pad;
+
+pub fn padded(s: &str) -> String {
+    pad(s, 8)
+}

@@ -1,0 +1,7 @@
+//! Fixture: an unvendored external dependency.
+
+use leftpad::pad;
+
+pub fn padded(s: &str) -> String {
+    pad(s, 8)
+}

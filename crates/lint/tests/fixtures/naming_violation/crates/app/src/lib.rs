@@ -1,0 +1,23 @@
+//! Fixture: ill-formed span / failpoint / histogram names.
+
+macro_rules! span {
+    ($name:expr) => {
+        $name
+    };
+}
+
+macro_rules! fail_point {
+    ($name:expr) => {
+        $name
+    };
+}
+
+fn render_prometheus(name: &str) -> String {
+    name.to_owned()
+}
+
+pub fn traced() -> String {
+    let _s = span!("serve.Batch");
+    let _f = fail_point!("bad..name");
+    render_prometheus("latency_seconds")
+}

@@ -1,0 +1,7 @@
+//! Fixture: panic sites covered by `path @ needle` allow entries.
+
+mod other;
+
+pub fn hot(values: &[u32]) -> u32 {
+    values.first().copied().unwrap() // deliberate unwrap: startup-only path
+}

@@ -1,0 +1,5 @@
+//! Fixture: whole file waived by a bare-path allow entry.
+
+pub fn also_hot(values: &[u32]) -> u32 {
+    values[0]
+}

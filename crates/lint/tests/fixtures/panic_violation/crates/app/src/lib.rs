@@ -1,0 +1,20 @@
+//! Fixture: four distinct panic-site kinds outside tests.
+
+pub fn hot(values: &[u32]) -> u32 {
+    let first = values.first().copied().unwrap();
+    let second: u32 = "2".parse().expect("literal");
+    if values.len() > 9 {
+        panic!("too many");
+    }
+    first + second + values[1]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn exempt() {
+        // Test code may panic freely; this must NOT be counted.
+        assert_eq!(super::hot(&[1, 2]), 5);
+        let _ = [1][0];
+    }
+}

@@ -1,0 +1,5 @@
+//! Fixture: one live panic site, well under the (inflated) budget.
+
+pub fn hot(values: &[u32]) -> u32 {
+    values.first().copied().unwrap()
+}

@@ -1,0 +1,14 @@
+//! Fixture: an `unsafe` block with no `// SAFETY:` comment and an
+//! `Ordering::Relaxed` with no `// ORDERING:` justification.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+pub static COUNTER: AtomicUsize = AtomicUsize::new(0);
+
+pub fn read_raw(p: *const u32) -> u32 {
+    unsafe { *p }
+}
+
+pub fn bump() -> usize {
+    COUNTER.fetch_add(1, Ordering::Relaxed)
+}

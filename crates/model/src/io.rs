@@ -36,23 +36,28 @@ impl<'a> Reader<'a> {
         let end = self
             .pos
             .checked_add(n)
-            .filter(|&e| e <= self.data.len())
             .ok_or(ModelError::InvalidInput { what: "truncated model file" })?;
-        let out = &self.data[self.pos..end];
+        let out = self
+            .data
+            .get(self.pos..end)
+            .ok_or(ModelError::InvalidInput { what: "truncated model file" })?;
         self.pos = end;
         Ok(out)
     }
 
     fn u8(&mut self) -> Result<u8, ModelError> {
-        Ok(self.take(1)?[0])
+        self.take(1)?
+            .first()
+            .copied()
+            .ok_or(ModelError::InvalidInput { what: "truncated model file" })
     }
 
     fn u16(&mut self) -> Result<u16, ModelError> {
-        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("2 bytes")))
+        Ok(u16::from_le_bytes(array(self.take(2)?)?))
     }
 
     fn u32(&mut self) -> Result<u32, ModelError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+        Ok(u32::from_le_bytes(array(self.take(4)?)?))
     }
 
     fn string(&mut self) -> Result<String, ModelError> {
@@ -61,6 +66,12 @@ impl<'a> Reader<'a> {
         String::from_utf8(bytes.to_vec())
             .map_err(|_| ModelError::InvalidInput { what: "non-utf8 name in model file" })
     }
+}
+
+/// Checked fixed-size conversion for multi-byte reads.
+fn array<const N: usize>(bytes: &[u8]) -> Result<[u8; N], ModelError> {
+    <[u8; N]>::try_from(bytes)
+        .map_err(|_| ModelError::InvalidInput { what: "truncated model file" })
 }
 
 fn put_string(out: &mut Vec<u8>, s: &str) {
@@ -93,7 +104,7 @@ fn read_tensor(r: &mut Reader<'_>) -> Result<(String, Tensor), ModelError> {
     let raw = r.take(len * 4)?;
     let mut data = Vec::with_capacity(len);
     for chunk in raw.chunks_exact(4) {
-        let v = f32::from_le_bytes(chunk.try_into().expect("4 bytes"));
+        let v = f32::from_le_bytes(array(chunk)?);
         if !v.is_finite() {
             return Err(ModelError::InvalidInput { what: "non-finite weight in model file" });
         }

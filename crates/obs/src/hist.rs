@@ -59,9 +59,12 @@ impl Histogram {
 
     /// Records one observation.
     pub fn observe(&self, value: u64) {
+        // ORDERING: Relaxed throughout — each field is an independent
+        // monotone accumulator; readers only need eventual consistency
+        // between bucket/sum/count, never a point-in-time snapshot.
         self.buckets[Self::bucket_index(value)].fetch_add(1, Ordering::Relaxed);
-        self.sum.fetch_add(value, Ordering::Relaxed);
-        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed); // ORDERING: as above
+        self.count.fetch_add(1, Ordering::Relaxed); // ORDERING: as above
     }
 
     /// Reverses one [`Histogram::observe`] of the same value — used
@@ -69,18 +72,23 @@ impl Histogram {
     /// The caller must have observed `value` before, or counts go
     /// negative (wrap).
     pub fn unobserve(&self, value: u64) {
+        // ORDERING: Relaxed — exact inverse of `observe`; the same
+        // eventual-consistency contract applies.
         self.buckets[Self::bucket_index(value)].fetch_sub(1, Ordering::Relaxed);
-        self.sum.fetch_sub(value, Ordering::Relaxed);
-        self.count.fetch_sub(1, Ordering::Relaxed);
+        self.sum.fetch_sub(value, Ordering::Relaxed); // ORDERING: as above
+        self.count.fetch_sub(1, Ordering::Relaxed); // ORDERING: as above
     }
 
     /// Total observations.
     pub fn count(&self) -> u64 {
+        // ORDERING: Relaxed — a statistics read; no other memory is
+        // synchronized through this load.
         self.count.load(Ordering::Relaxed)
     }
 
     /// Sum of all observed values.
     pub fn sum(&self) -> u64 {
+        // ORDERING: Relaxed — see `count`.
         self.sum.load(Ordering::Relaxed)
     }
 
@@ -96,15 +104,21 @@ impl Histogram {
     /// Adds every observation of `other` into `self` (the fixed bucket
     /// scheme makes this exact at bucket granularity).
     pub fn merge(&self, other: &Histogram) {
+        // ORDERING: Relaxed — merging tolerates tearing against
+        // concurrent `observe`s on either side; totals still converge
+        // because every increment lands in exactly one accumulator.
         for (mine, theirs) in self.buckets.iter().zip(&other.buckets) {
+            // ORDERING: as above
             mine.fetch_add(theirs.load(Ordering::Relaxed), Ordering::Relaxed);
         }
-        self.sum.fetch_add(other.sum(), Ordering::Relaxed);
-        self.count.fetch_add(other.count(), Ordering::Relaxed);
+        self.sum.fetch_add(other.sum(), Ordering::Relaxed); // ORDERING: as above
+        self.count.fetch_add(other.count(), Ordering::Relaxed); // ORDERING: as above
     }
 
     /// Non-cumulative per-bucket counts (last entry is `+Inf`).
     pub fn bucket_counts(&self) -> [u64; BUCKETS] {
+        // ORDERING: Relaxed — per-bucket reads may interleave with
+        // writers; Prometheus scrapes are allowed to be approximate.
         std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed))
     }
 

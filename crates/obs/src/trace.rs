@@ -93,6 +93,9 @@ struct Ring {
 // slot after `ready` is observed `true` with Acquire ordering, which
 // synchronizes with the writer's Release store.
 unsafe impl Sync for Ring {}
+// SAFETY: moving a Ring between threads moves plain owned data
+// (`Box<[Slot]>` plus atomics); the `UnsafeCell` contents are only
+// reached through the claim/publish protocol above.
 unsafe impl Send for Ring {}
 
 impl Ring {
@@ -110,23 +113,34 @@ impl Ring {
     }
 
     fn push(&self, event: SpanEvent) {
+        // ORDERING: Relaxed suffices for the claim — fetch_add's
+        // read-modify-write atomicity alone guarantees a unique index
+        // per caller; publication happens via `ready`, not `cursor`.
         let idx = self.cursor.fetch_add(1, Ordering::Relaxed);
         match self.slots.get(idx) {
             Some(slot) => {
                 // SAFETY: `idx` was claimed exclusively by this thread.
                 unsafe { *slot.data.get() = Some(event) };
+                // ORDERING: Release publishes the slot write above;
+                // pairs with the Acquire load of `ready` in `collect`.
                 slot.ready.store(true, Ordering::Release);
             }
             None => {
+                // ORDERING: Relaxed — an independent statistics counter.
                 self.dropped.fetch_add(1, Ordering::Relaxed);
             }
         }
     }
 
     fn collect(&self) -> Vec<SpanEvent> {
+        // ORDERING: Acquire on `cursor` caps the scan at an index every
+        // concurrent writer had already claimed; per-slot visibility is
+        // still gated on each slot's own `ready` flag below.
         let end = self.cursor.load(Ordering::Acquire).min(self.slots.len());
         let mut out = Vec::with_capacity(end);
         for slot in &self.slots[..end] {
+            // ORDERING: Acquire pairs with the writer's Release store
+            // of `ready`, making the slot's data write visible.
             if slot.ready.load(Ordering::Acquire) {
                 // SAFETY: `ready` was set after the write completed.
                 if let Some(event) = unsafe { (*slot.data.get()).clone() } {
@@ -150,6 +164,8 @@ fn current_tid() -> u32 {
         if tid != u32::MAX {
             return tid;
         }
+        // ORDERING: Relaxed — fetch_add atomicity alone makes ids
+        // unique; nothing else is ordered against assignment.
         let tid = NEXT_TID.fetch_add(1, Ordering::Relaxed);
         cell.set(tid);
         let name =
@@ -165,6 +181,10 @@ fn current_tid() -> u32 {
 /// refreshing it (one mutex lock) only when [`reset`]/[`take_events`]
 /// installed a new generation since the last span on this thread.
 fn current_ring() -> Arc<Ring> {
+    // ORDERING: Acquire pairs with the Release `GENERATION.fetch_add`
+    // in reset/take_events so a bumped generation is seen no earlier
+    // than the new ring it announces (the mutex in the refresh path
+    // then provides the actual handoff).
     let generation = GENERATION.load(Ordering::Acquire);
     CACHED_RING.with(|cell| {
         let mut cached = cell.borrow_mut();
@@ -183,17 +203,23 @@ fn current_ring() -> Arc<Ring> {
 /// already holds (call [`reset`] for a clean slate).
 pub fn enable() {
     epoch(); // pin the epoch no later than the first enable
+             // ORDERING: Release so the pinned epoch above is visible to any
+             // thread that observes tracing as enabled.
     ENABLED.store(true, Ordering::Release);
 }
 
 /// Turns recording off. Spans currently on the stack still record on
 /// drop (their guards were armed at entry); new spans become no-ops.
 pub fn disable() {
+    // ORDERING: Release, symmetric with `enable`; a flag flip needs no
+    // stronger ordering because span guards re-check nothing else.
     ENABLED.store(false, Ordering::Release);
 }
 
 /// Whether spans are currently being recorded.
 pub fn is_enabled() -> bool {
+    // ORDERING: Relaxed — a racy on/off check; callers tolerate a
+    // stale answer for one span either way.
     ENABLED.load(Ordering::Relaxed)
 }
 
@@ -203,6 +229,9 @@ pub fn is_enabled() -> bool {
 pub fn reset_with_capacity(capacity: usize) {
     let mut slot = ring_slot().lock().expect("trace ring lock");
     *slot = Arc::new(Ring::new(capacity));
+    // ORDERING: Release pairs with the Acquire generation load in
+    // `current_ring`, invalidating thread-local ring caches only after
+    // the new ring is installed under the lock.
     GENERATION.fetch_add(1, Ordering::Release);
 }
 
@@ -213,6 +242,7 @@ pub fn reset() {
 
 /// Events dropped because the current buffer was full.
 pub fn dropped_events() -> u64 {
+    // ORDERING: Relaxed — a statistics read of an independent counter.
     ring_slot().lock().expect("trace ring lock").dropped.load(Ordering::Relaxed)
 }
 
@@ -233,6 +263,8 @@ pub fn take_events() -> Vec<SpanEvent> {
         let capacity = slot.slots.len();
         let old = Arc::clone(&slot);
         *slot = Arc::new(Ring::new(capacity));
+        // ORDERING: Release — same cache-invalidation pairing as
+        // `reset_with_capacity`.
         GENERATION.fetch_add(1, Ordering::Release);
         old
     };
@@ -289,8 +321,13 @@ impl Drop for Span {
             return;
         }
         DEPTH.with(|d| d.set(d.get().saturating_sub(1)));
+        // Derive both endpoints from the epoch before truncating:
+        // flooring start and duration independently lets a child span's
+        // computed end (start_us + dur_us) overshoot its parent's by a
+        // microsecond, breaking nesting containment in exports.
         let start_us = self.start.duration_since(epoch()).as_micros() as u64;
-        let dur_us = self.start.elapsed().as_micros() as u64;
+        let end_us = epoch().elapsed().as_micros() as u64;
+        let dur_us = end_us.saturating_sub(start_us);
         current_ring().push(SpanEvent {
             name: self.name,
             detail: std::mem::take(&mut self.detail),

@@ -100,32 +100,42 @@ impl<'a> Reader<'a> {
         let end = self
             .pos
             .checked_add(n)
-            .filter(|&e| e <= self.data.len())
             .ok_or(QuantError::CorruptPayload { what: "truncated payload" })?;
-        let out = &self.data[self.pos..end];
+        let out = self
+            .data
+            .get(self.pos..end)
+            .ok_or(QuantError::CorruptPayload { what: "truncated payload" })?;
         self.pos = end;
         Ok(out)
     }
 
     fn u8(&mut self) -> Result<u8, QuantError> {
-        Ok(self.take(1)?[0])
+        self.take(1)?
+            .first()
+            .copied()
+            .ok_or(QuantError::CorruptPayload { what: "truncated payload" })
     }
 
     fn u16(&mut self) -> Result<u16, QuantError> {
-        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("2 bytes")))
+        Ok(u16::from_le_bytes(array(self.take(2)?)?))
     }
 
     fn u32(&mut self) -> Result<u32, QuantError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+        Ok(u32::from_le_bytes(array(self.take(4)?)?))
     }
 
     fn f32(&mut self) -> Result<f32, QuantError> {
-        Ok(f32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+        Ok(f32::from_le_bytes(array(self.take(4)?)?))
     }
 
     fn remaining(&self) -> usize {
-        self.data.len() - self.pos
+        self.data.len().saturating_sub(self.pos)
     }
+}
+
+/// Checked fixed-size conversion for multi-byte reads.
+fn array<const N: usize>(bytes: &[u8]) -> Result<[u8; N], QuantError> {
+    <[u8; N]>::try_from(bytes).map_err(|_| QuantError::CorruptPayload { what: "truncated payload" })
 }
 
 impl QuantizedLayer {
@@ -202,11 +212,15 @@ impl QuantizedLayer {
                 let Some(body_len) = data.len().checked_sub(4).filter(|&n| n >= 5) else {
                     return Err(QuantError::CorruptPayload { what: "truncated payload" });
                 };
-                let stored = u32::from_le_bytes(data[body_len..].try_into().expect("4 bytes"));
-                if crc32(&data[..body_len]) != stored {
+                let (body, tail) = (data.get(..body_len), data.get(body_len..));
+                let (Some(body), Some(tail)) = (body, tail) else {
+                    return Err(QuantError::CorruptPayload { what: "truncated payload" });
+                };
+                let stored = u32::from_le_bytes(array(tail)?);
+                if crc32(body) != stored {
                     return Err(QuantError::CorruptPayload { what: "layer checksum mismatch" });
                 }
-                let mut r = Reader::new(&data[..body_len]);
+                let mut r = Reader::new(body);
                 let _header = r.take(5)?; // magic + version, already checked
                 let layer = Self::parse_body(&mut r)?;
                 if r.remaining() != 0 {
@@ -249,7 +263,7 @@ impl QuantizedLayer {
         for _ in 0..outliers {
             positions.push(r.u32()?);
         }
-        if positions.windows(2).any(|w| w[0] >= w[1]) {
+        if positions.iter().zip(positions.iter().skip(1)).any(|(a, b)| a >= b) {
             return Err(QuantError::CorruptPayload { what: "outlier positions not ascending" });
         }
         if positions.last().is_some_and(|&p| p as usize >= total) {
@@ -365,7 +379,7 @@ impl ModelArchive {
             out.put_slice(name.as_bytes());
             out.put_u32_le(payload.len() as u32);
             out.put_slice(&payload);
-            let crc = crc32(&out[entry_start..]);
+            let crc = crc32(out.get(entry_start..).unwrap_or_default());
             out.put_u32_le(crc);
         }
         out.freeze()
@@ -417,7 +431,7 @@ impl ModelArchive {
         };
         let _pad = r.take(3)?;
         let count = r.u32()? as usize;
-        if verified && r.u32()? != crc32(&data[..12]) {
+        if verified && r.u32()? != crc32(data.get(..12).unwrap_or_default()) {
             return Err(QuantError::CorruptPayload { what: "archive header checksum mismatch" });
         }
         let mut archive = ModelArchive::new();
@@ -429,9 +443,11 @@ impl ModelArchive {
                 .to_owned();
             let layer_len = r.u32()? as usize;
             let layer_bytes = r.take(layer_len)?;
+            let entry_end = r.pos;
             if verified {
                 let stored = r.u32()?;
-                if crc32(&data[entry_start..r.pos - 4]) != stored {
+                let entry = data.get(entry_start..entry_end).unwrap_or_default();
+                if crc32(entry) != stored {
                     return Err(QuantError::CorruptPayload { what: "entry checksum mismatch" });
                 }
             }

@@ -200,7 +200,7 @@ impl<'a> Parser<'a> {
         self.bytes.get(self.pos).copied()
     }
 
-    fn expect(&mut self, b: u8) -> Result<(), String> {
+    fn expect_byte(&mut self, b: u8) -> Result<(), String> {
         if self.peek() == Some(b) {
             self.pos += 1;
             Ok(())
@@ -210,7 +210,7 @@ impl<'a> Parser<'a> {
     }
 
     fn literal(&mut self, lit: &str, value: Json) -> Result<Json, String> {
-        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+        if self.bytes.get(self.pos..).unwrap_or_default().starts_with(lit.as_bytes()) {
             self.pos += lit.len();
             Ok(value)
         } else {
@@ -236,7 +236,7 @@ impl<'a> Parser<'a> {
     }
 
     fn array(&mut self, depth: usize) -> Result<Json, String> {
-        self.expect(b'[')?;
+        self.expect_byte(b'[')?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
@@ -259,7 +259,7 @@ impl<'a> Parser<'a> {
     }
 
     fn object(&mut self, depth: usize) -> Result<Json, String> {
-        self.expect(b'{')?;
+        self.expect_byte(b'{')?;
         let mut pairs = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
@@ -270,7 +270,7 @@ impl<'a> Parser<'a> {
             self.skip_ws();
             let key = self.string()?;
             self.skip_ws();
-            self.expect(b':')?;
+            self.expect_byte(b':')?;
             self.skip_ws();
             let value = self.value(depth + 1)?;
             pairs.push((key, value));
@@ -287,7 +287,7 @@ impl<'a> Parser<'a> {
     }
 
     fn string(&mut self) -> Result<String, String> {
-        self.expect(b'"')?;
+        self.expect_byte(b'"')?;
         let mut out = String::new();
         loop {
             let start = self.pos;
@@ -299,8 +299,9 @@ impl<'a> Parser<'a> {
                 self.pos += 1;
             }
             if self.pos > start {
-                let chunk = std::str::from_utf8(&self.bytes[start..self.pos])
-                    .map_err(|_| "invalid utf-8 in string".to_owned())?;
+                let run = self.bytes.get(start..self.pos).unwrap_or_default();
+                let chunk =
+                    std::str::from_utf8(run).map_err(|_| "invalid utf-8 in string".to_owned())?;
                 out.push_str(chunk);
             }
             match self.peek() {
@@ -324,7 +325,12 @@ impl<'a> Parser<'a> {
                             let code = self.hex4()?;
                             // Surrogate pairs: recombine, else replace.
                             let c = if (0xD800..0xDC00).contains(&code) {
-                                if self.bytes[self.pos..].starts_with(b"\\u") {
+                                if self
+                                    .bytes
+                                    .get(self.pos..)
+                                    .unwrap_or_default()
+                                    .starts_with(b"\\u")
+                                {
                                     self.pos += 2;
                                     let low = self.hex4()?;
                                     let combined = 0x10000
@@ -351,11 +357,9 @@ impl<'a> Parser<'a> {
 
     fn hex4(&mut self) -> Result<u32, String> {
         let end = self.pos + 4;
-        if end > self.bytes.len() {
-            return Err("truncated \\u escape".into());
-        }
-        let hex = std::str::from_utf8(&self.bytes[self.pos..end])
-            .map_err(|_| "bad \\u escape".to_owned())?;
+        let digits =
+            self.bytes.get(self.pos..end).ok_or_else(|| "truncated \\u escape".to_owned())?;
+        let hex = std::str::from_utf8(digits).map_err(|_| "bad \\u escape".to_owned())?;
         let code = u32::from_str_radix(hex, 16).map_err(|_| "bad \\u escape".to_owned())?;
         self.pos = end;
         Ok(code)
@@ -384,7 +388,7 @@ impl<'a> Parser<'a> {
                 self.pos += 1;
             }
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+        let text = std::str::from_utf8(self.bytes.get(start..self.pos).unwrap_or_default())
             .map_err(|_| "bad number".to_owned())?;
         let value: f64 = text.parse().map_err(|_| format!("bad number `{text}`"))?;
         if !value.is_finite() {

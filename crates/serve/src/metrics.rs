@@ -163,16 +163,6 @@ impl Metrics {
             self.batched_requests.load(Ordering::Relaxed),
         );
         counter(
-            "batch_size_max",
-            "largest batch executed",
-            self.batch_size_max.load(Ordering::Relaxed),
-        );
-        counter(
-            "queue_depth_peak",
-            "admission queue high-water mark",
-            self.queue_depth_peak.load(Ordering::Relaxed),
-        );
-        counter(
             "registry_evictions_total",
             "models evicted under the registry byte budget",
             self.registry_evictions.load(Ordering::Relaxed),
@@ -186,6 +176,18 @@ impl Metrics {
             "queue_depth",
             "current admission queue depth",
             self.queue_depth.load(Ordering::Relaxed),
+        );
+        // High-water marks (maintained via fetch_max) are gauges, not
+        // counters: they can be reset and never carry rate semantics.
+        gauge(
+            "batch_size_max",
+            "largest batch executed",
+            self.batch_size_max.load(Ordering::Relaxed),
+        );
+        gauge(
+            "queue_depth_peak",
+            "admission queue high-water mark",
+            self.queue_depth_peak.load(Ordering::Relaxed),
         );
         gauge(
             "registry_models",

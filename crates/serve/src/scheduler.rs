@@ -347,7 +347,8 @@ fn supervisor_loop(shared: &Arc<Shared>) {
                     // While draining, block on the worker instead of
                     // polling: it exits once the queue is empty.
                     let Slot::Running(ws) = std::mem::replace(slot, Slot::Done) else {
-                        unreachable!()
+                        // Guarded by the match arm; nothing to reap.
+                        continue;
                     };
                     let lifetime = ws.spawned.elapsed();
                     let exit = match ws.handle.join() {
@@ -489,7 +490,9 @@ fn next_batch(shared: &Shared) -> Option<(BatchKey, Vec<Pending>)> {
         loop {
             let mut i = 0;
             while i < state.queue.len() && batch.len() < shared.config.max_batch {
-                if state.queue[i].req.model == key.0 && state.queue[i].req.bits == key.1 {
+                let same_key =
+                    state.queue.get(i).is_some_and(|p| p.req.model == key.0 && p.req.bits == key.1);
+                if same_key {
                     if let Some(p) = state.queue.remove(i) {
                         shared.metrics.queue_pop();
                         batch.push(p);
@@ -563,7 +566,7 @@ fn execute_batch(shared: &Shared, model: &str, bits: Option<u8>, batch: &mut Vec
             Ok(out) => {
                 let compute_us = start.elapsed().as_micros() as u64;
                 let dims = out.hidden.dims().to_vec();
-                let [d0, d1] = dims[..] else {
+                let &[d0, d1] = dims.as_slice() else {
                     shared.metrics.encode_failed.fetch_add(1, Ordering::Relaxed);
                     let _ = p.tx.send(Err(ServeError::Internal("hidden state is not rank 2")));
                     continue;
