@@ -1,7 +1,7 @@
 //! Serving-path throughput: end-to-end `gobo-serve` encode requests
 //! through the in-process client, sweeping the dynamic-batching knob.
 //!
-//! Two comparisons matter here:
+//! Three comparisons matter here:
 //!
 //! * **batching gain** — the same concurrent offered load at
 //!   `max_batch` 1 vs 8 vs 32 shows what coalescing buys when several
@@ -9,7 +9,11 @@
 //! * **serving overhead** — `direct_encode` is the raw
 //!   `TransformerModel::encode` call; the `max_batch=1`, single-client
 //!   case on top of it is the queue + scheduler + channel tax per
-//!   request.
+//!   request;
+//! * **kernel amortization** — `batch_gemm` measures the blocked
+//!   compute-on-compressed GEMM against matvec-per-row at the kernel
+//!   level (batch 1/8/32 × hidden 64/768), free of HTTP/scheduler
+//!   noise, isolating the once-per-batch tile-decode win.
 
 use std::sync::Arc;
 use std::time::Duration;
@@ -19,6 +23,7 @@ use gobo::format::CompressedModel;
 use gobo::pipeline::{quantize_model, QuantizeOptions};
 use gobo_model::config::ModelConfig;
 use gobo_model::TransformerModel;
+use gobo_quant::{QuantConfig, QuantMethod, QuantizedLayer, QuantizedMatrix};
 use gobo_serve::{Client, EncodeRequest, RegistryConfig, SchedulerConfig, ServeCore, ServeOptions};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -110,5 +115,48 @@ fn bench_serving_overhead(c: &mut Criterion) {
     core.shutdown();
 }
 
-criterion_group!(benches, bench_serve_throughput, bench_serving_overhead);
+/// A deterministic `hidden × hidden` FC layer quantized at 3 bits with
+/// a sprinkle of outliers, matching the serve path's common shape.
+fn gemm_matrix(hidden: usize) -> QuantizedMatrix {
+    let n = hidden * hidden;
+    let mut w: Vec<f32> = (0..n)
+        .map(|i| {
+            let x = (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(17);
+            (((x >> 33) as f32 / (1u64 << 31) as f32) - 1.0) * 0.05
+        })
+        .collect();
+    for i in (0..n).step_by(97) {
+        w[i] = if i % 194 == 0 { 1.3 } else { -1.6 };
+    }
+    let layer = QuantizedLayer::encode(&w, &QuantConfig::new(QuantMethod::Gobo, 3).expect("bits"))
+        .expect("encode");
+    QuantizedMatrix::new(layer, hidden, hidden).expect("shape")
+}
+
+/// Kernel-level comparison, free of scheduler/HTTP noise: the blocked
+/// batched GEMM (decode each packed tile once per batch) against the
+/// per-centroid matvec applied row by row (decode once per request).
+fn bench_batch_gemm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("batch_gemm");
+    group.sample_size(10);
+    for hidden in [64usize, 768] {
+        let matrix = gemm_matrix(hidden);
+        for batch in [1usize, 8, 32] {
+            let a: Vec<f32> = (0..batch * hidden).map(|i| ((i as f32) * 0.13).sin()).collect();
+            group.bench_with_input(
+                BenchmarkId::new(format!("blocked_h{hidden}"), batch),
+                &a,
+                |b, a| b.iter(|| matrix.matmul_batch(a).expect("matmul_batch")),
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("matvec_rows_h{hidden}"), batch),
+                &a,
+                |b, a| b.iter(|| matrix.matmul_nt(a).expect("matmul_nt")),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_serve_throughput, bench_serving_overhead, bench_batch_gemm);
 criterion_main!(benches);

@@ -62,7 +62,7 @@ USAGE:
                 [--requests N] [--corruptions N] [--seed N]
   gobo bench-serve [--output BENCH_serve.json] [--layers N] [--hidden N]
                 [--bits N] [--clients N] [--requests N] [--seq-len N]
-                [--trace-out trace.json]
+                [--kernels on|off] [--trace-out trace.json]
   gobo trace    --out <trace.json> [--layers N] [--hidden N] [--heads N]
                 [--bits N] [--seed N]
   gobo telemetry-check --input <telemetry.json>
@@ -75,7 +75,11 @@ SERVING:
   `serve` decodes each .gobom once, then answers POST /v1/encode with
   dynamic batching; GET /v1/models lists residents, GET /metrics is
   Prometheus text (counters, gauges, and latency histograms), POST
-  /v1/shutdown drains and exits.
+  /v1/shutdown drains and exits. Coalesced batches run a cache-blocked
+  GEMM directly on the packed quantized indices, decoding each weight
+  tile once per batch. `bench-serve` sweeps max_batch 1/8/32 with
+  pipelined clients and (unless --kernels off) adds a per-batch-size
+  blocked-vs-matvec kernel comparison to the report.
 
 FAULT INJECTION:
   `chaos` runs scripted fault scenarios against an in-process server

@@ -6,6 +6,7 @@ use std::time::{Duration, Instant};
 use gobo::pipeline::{quantize_model, QuantizeOptions};
 use gobo_model::config::ModelConfig;
 use gobo_model::TransformerModel;
+use gobo_quant::{QuantConfig, QuantMethod, QuantizedLayer, QuantizedMatrix};
 use gobo_serve::json::Json;
 use gobo_serve::{
     Client, EncodeRequest, HttpOptions, RegistryConfig, SchedulerConfig, ServeCore, ServeOptions,
@@ -124,17 +125,85 @@ struct BenchRow {
     batch_size_max: u64,
 }
 
+/// One measured kernel-comparison row: the blocked batched GEMM on
+/// packed indices against the per-centroid matvec applied row by row,
+/// at one batch size.
+struct KernelRow {
+    batch: usize,
+    blocked_us: f64,
+    matvec_rows_us: f64,
+}
+
+/// Times the two compute-on-compressed kernels on a deterministic
+/// `hidden × hidden` layer quantized at `bits`, free of any scheduler
+/// or HTTP noise — this isolates the once-per-batch tile-decode win
+/// that serve-side coalescing exists to harvest.
+fn bench_kernels(hidden: usize, bits: u8) -> Result<Vec<KernelRow>, CliError> {
+    let n = hidden * hidden;
+    let mut w: Vec<f32> = (0..n)
+        .map(|i| {
+            let x = (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(17);
+            (((x >> 33) as f32 / (1u64 << 31) as f32) - 1.0) * 0.05
+        })
+        .collect();
+    // Plant outliers so the correction path is exercised too.
+    for i in (0..n).step_by(97) {
+        w[i] = if i % 194 == 0 { 1.3 } else { -1.6 };
+    }
+    let config =
+        QuantConfig::new(QuantMethod::Gobo, bits).map_err(|e| CliError::Failed(e.to_string()))?;
+    let layer = QuantizedLayer::encode(&w, &config).map_err(|e| CliError::Failed(e.to_string()))?;
+    let matrix =
+        QuantizedMatrix::new(layer, hidden, hidden).map_err(|e| CliError::Failed(e.to_string()))?;
+
+    let iters = (2_000_000 / (hidden * hidden)).clamp(4, 64);
+    let mut rows = Vec::new();
+    for batch in [1usize, 8, 32] {
+        let a: Vec<f32> = (0..batch * hidden).map(|i| ((i as f32) * 0.13).sin()).collect();
+        let time = |f: &dyn Fn() -> Result<Vec<f32>, gobo_quant::QuantError>| {
+            f().map_err(|e| CliError::Failed(e.to_string()))?; // warm-up
+            let started = Instant::now();
+            for _ in 0..iters {
+                f().map_err(|e| CliError::Failed(e.to_string()))?;
+            }
+            Ok::<f64, CliError>(started.elapsed().as_micros() as f64 / iters as f64)
+        };
+        let blocked_us = time(&|| matrix.matmul_batch(&a))?;
+        let matvec_rows_us = time(&|| matrix.matmul_nt(&a))?;
+        rows.push(KernelRow { batch, blocked_us, matvec_rows_us });
+    }
+    Ok(rows)
+}
+
 /// `gobo bench-serve`: in-process client throughput at batch sizes
-/// 1/8/32, written to a JSON report.
+/// 1/8/32 plus a kernel-level blocked-vs-matvec comparison, written to
+/// a JSON report.
+///
+/// Clients submit their whole request window pipelined (submit all,
+/// then drain replies) so the number of in-flight requests is bounded
+/// by the window, not the client count — that is what lets the
+/// scheduler actually coalesce batches up to `max_batch`.
+///
+/// The default workload is single-token requests served by one worker:
+/// the paper's memory-bound GEMV regime, measured on fixed compute so
+/// the batch-32/batch-1 ratio reflects packed-tile decode amortization
+/// rather than thread parallelism. `--seq-len`/`--workers` restore
+/// longer sequences or a pool.
 pub(crate) fn bench_serve(args: &Args) -> Result<String, CliError> {
     let output = args.get("output").unwrap_or("BENCH_serve.json");
     let layers: usize = args.parse_num("layers", 2)?;
-    let hidden: usize = args.parse_num("hidden", 64)?;
+    let hidden: usize = args.parse_num("hidden", 256)?;
     let bits: u8 = args.parse_num("bits", 3)?;
     let clients: usize = args.parse_num("clients", 4)?.max(1);
     let requests: usize = args.parse_num("requests", 128)?.max(clients);
-    let seq_len: usize = args.parse_num("seq-len", 16)?.max(1);
+    let seq_len: usize = args.parse_num("seq-len", 1)?.max(1);
+    let workers: usize = args.parse_num("workers", 1)?.max(1);
     let seed: u64 = args.parse_num("seed", 0)?;
+    let kernels = match args.get("kernels").unwrap_or("on") {
+        "on" => true,
+        "off" => false,
+        other => return Err(CliError::Usage(format!("flag --kernels: `{other}` is not on|off"))),
+    };
     let trace_out = args.get("trace-out");
 
     let config = ModelConfig::tiny("BenchServe", layers, hidden, 4, 256, 64)
@@ -155,6 +224,7 @@ pub(crate) fn bench_serve(args: &Args) -> Result<String, CliError> {
         let core = ServeCore::start(ServeOptions {
             registry: RegistryConfig::default(),
             scheduler: SchedulerConfig {
+                workers,
                 max_batch,
                 max_wait: Duration::from_micros(500),
                 queue_capacity: requests + clients,
@@ -172,14 +242,27 @@ pub(crate) fn bench_serve(args: &Args) -> Result<String, CliError> {
         let started = Instant::now();
         let mut joins = Vec::new();
         for c in 0..clients {
-            let client = client.clone();
+            let core = Arc::clone(&core);
             joins.push(std::thread::spawn(move || -> Result<u64, String> {
-                let mut latency_us = 0u64;
+                // Pipelined: submit the whole window first, then drain
+                // the replies. Blocking per-request would cap in-flight
+                // requests at the client count and starve coalescing.
+                let mut pending = Vec::with_capacity(per_client);
                 for r in 0..per_client {
                     let ids: Vec<usize> =
                         (0..seq_len).map(|t| 1 + (c * 31 + r * 7 + t) % 250).collect();
                     let sent = Instant::now();
-                    client.encode(EncodeRequest::new("bench", ids)).map_err(|e| e.to_string())?;
+                    let rx = core
+                        .scheduler()
+                        .submit(EncodeRequest::new("bench", ids))
+                        .map_err(|e| e.to_string())?;
+                    pending.push((sent, rx));
+                }
+                let mut latency_us = 0u64;
+                for (sent, rx) in pending {
+                    rx.recv()
+                        .map_err(|_| "bench reply channel closed".to_string())?
+                        .map_err(|e| e.to_string())?;
                     latency_us += sent.elapsed().as_micros() as u64;
                 }
                 Ok(latency_us)
@@ -214,8 +297,9 @@ pub(crate) fn bench_serve(args: &Args) -> Result<String, CliError> {
         std::fs::write(path, gobo_obs::trace::export_chrome_trace())?;
         gobo_obs::trace::reset();
     }
+    let kernel_rows = if kernels { bench_kernels(hidden, bits)? } else { Vec::new() };
 
-    let report = Json::obj(vec![
+    let mut pairs = vec![
         ("bench", Json::Str("serve_throughput".to_owned())),
         (
             "model",
@@ -249,7 +333,36 @@ pub(crate) fn bench_serve(args: &Args) -> Result<String, CliError> {
                     .collect(),
             ),
         ),
-    ]);
+    ];
+    if !kernel_rows.is_empty() {
+        pairs.push((
+            "kernels",
+            Json::obj(vec![
+                ("hidden", Json::Num(hidden as f64)),
+                ("bits", Json::Num(bits as f64)),
+                (
+                    "batches",
+                    Json::Arr(
+                        kernel_rows
+                            .iter()
+                            .map(|row| {
+                                Json::obj(vec![
+                                    ("batch", Json::Num(row.batch as f64)),
+                                    ("blocked_us", Json::Num(row.blocked_us)),
+                                    ("matvec_rows_us", Json::Num(row.matvec_rows_us)),
+                                    (
+                                        "speedup",
+                                        Json::Num(row.matvec_rows_us / row.blocked_us.max(1e-9)),
+                                    ),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+            ]),
+        ));
+    }
+    let report = Json::obj(pairs);
     std::fs::write(output, format!("{report}\n"))?;
 
     let mut summary = format!(
@@ -269,6 +382,18 @@ pub(crate) fn bench_serve(args: &Args) -> Result<String, CliError> {
             row.batches,
             row.batch_size_max
         ));
+    }
+    if !kernel_rows.is_empty() {
+        summary.push_str(&format!("kernel amortization (hidden {hidden}, {bits}-bit):\n"));
+        for row in &kernel_rows {
+            summary.push_str(&format!(
+                "  batch {:>2}: blocked {:>9.1} us vs matvec-per-row {:>9.1} us ({:.2}x)\n",
+                row.batch,
+                row.blocked_us,
+                row.matvec_rows_us,
+                row.matvec_rows_us / row.blocked_us.max(1e-9)
+            ));
+        }
     }
     summary.push_str(&format!("report written to `{output}`"));
     if let Some(path) = trace_out {
@@ -316,6 +441,7 @@ mod tests {
         ])
         .unwrap();
         assert!(msg.contains("max_batch 32"), "{msg}");
+        assert!(msg.contains("kernel amortization"), "{msg}");
         let report = std::fs::read_to_string(&out).unwrap();
         let value = gobo_serve::json::parse(&report).unwrap();
         let configs = value.get("configs").and_then(|c| c.as_array().map(<[_]>::to_vec)).unwrap();
@@ -328,6 +454,46 @@ mod tests {
             assert!(p50 > 0.0, "p50 {p50}");
             assert!(p50 <= p95 && p95 <= p99, "quantiles out of order: {p50} {p95} {p99}");
         }
+        let kernels = value.get("kernels").unwrap();
+        let batches = kernels.get("batches").and_then(|b| b.as_array().map(<[_]>::to_vec)).unwrap();
+        assert_eq!(batches.len(), 3);
+        for row in &batches {
+            assert!(row.get("blocked_us").and_then(|v| v.as_f64()).unwrap() > 0.0);
+            assert!(row.get("matvec_rows_us").and_then(|v| v.as_f64()).unwrap() > 0.0);
+            assert!(row.get("speedup").and_then(|v| v.as_f64()).unwrap() > 0.0);
+        }
+    }
+
+    /// `--kernels off` drops the kernel section from report and summary.
+    #[test]
+    fn bench_serve_kernels_off() {
+        let out = tmp("BENCH_serve_nokernels.json");
+        let msg = run_str(&[
+            "bench-serve",
+            "--output",
+            &out,
+            "--layers",
+            "1",
+            "--hidden",
+            "16",
+            "--requests",
+            "8",
+            "--clients",
+            "2",
+            "--seq-len",
+            "4",
+            "--kernels",
+            "off",
+        ])
+        .unwrap();
+        assert!(!msg.contains("kernel amortization"), "{msg}");
+        let report = std::fs::read_to_string(&out).unwrap();
+        let value = gobo_serve::json::parse(&report).unwrap();
+        assert!(value.get("kernels").is_none());
+        assert!(matches!(
+            run_str(&["bench-serve", "--output", &out, "--kernels", "sideways"]),
+            Err(crate::cmd::CliError::Usage(_))
+        ));
     }
 
     /// End-to-end CLI test: quantize a model to disk, `gobo serve` it on

@@ -37,18 +37,7 @@ impl TransformerModel {
     /// out-of-vocabulary ids, and propagates tensor failures.
     pub fn encode(&self, ids: &[usize], type_ids: &[usize]) -> Result<EncoderOutput, ModelError> {
         let config = self.config();
-        if ids.is_empty() {
-            return Err(ModelError::InvalidInput { what: "empty token sequence" });
-        }
-        if ids.len() > config.max_position {
-            return Err(ModelError::InvalidInput { what: "sequence longer than max_position" });
-        }
-        if !type_ids.is_empty() && type_ids.len() != ids.len() {
-            return Err(ModelError::InvalidInput { what: "type_ids length mismatch" });
-        }
-        if ids.iter().any(|&id| id >= config.vocab) {
-            return Err(ModelError::InvalidInput { what: "token id outside vocabulary" });
-        }
+        self.validate_input(ids, type_ids)?;
 
         // --- Embeddings ---------------------------------------------------
         let word = gather_rows(self.weight("embeddings.word")?, ids)?;
@@ -63,9 +52,6 @@ impl TransformerModel {
             } else {
                 type_ids
             };
-            if types.iter().any(|&t| t >= config.type_vocab) {
-                return Err(ModelError::InvalidInput { what: "token type id outside vocabulary" });
-            }
             let tt = gather_rows(self.weight("embeddings.token_type")?, types)?;
             x = x.add(&tt)?;
         }
@@ -90,6 +76,38 @@ impl TransformerModel {
         };
 
         Ok(EncoderOutput { hidden: x, pooled })
+    }
+
+    /// Validates one token sequence against the model configuration.
+    ///
+    /// `type_ids` may be empty (treated as all zeros) or must match
+    /// `ids` in length; type-id values are only range-checked when the
+    /// model actually has token-type embeddings. This is exactly the
+    /// admission check [`TransformerModel::encode`] performs, exposed so
+    /// batched callers can vet every sequence before any compute runs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidInput`] for empty/overlong inputs,
+    /// out-of-vocabulary ids, or mismatched/out-of-range type ids.
+    pub fn validate_input(&self, ids: &[usize], type_ids: &[usize]) -> Result<(), ModelError> {
+        let config = self.config();
+        if ids.is_empty() {
+            return Err(ModelError::InvalidInput { what: "empty token sequence" });
+        }
+        if ids.len() > config.max_position {
+            return Err(ModelError::InvalidInput { what: "sequence longer than max_position" });
+        }
+        if !type_ids.is_empty() && type_ids.len() != ids.len() {
+            return Err(ModelError::InvalidInput { what: "type_ids length mismatch" });
+        }
+        if ids.iter().any(|&id| id >= config.vocab) {
+            return Err(ModelError::InvalidInput { what: "token id outside vocabulary" });
+        }
+        if config.type_vocab > 0 && type_ids.iter().any(|&t| t >= config.type_vocab) {
+            return Err(ModelError::InvalidInput { what: "token type id outside vocabulary" });
+        }
+        Ok(())
     }
 
     /// One encoder layer: self-attention block then feed-forward block.

@@ -12,6 +12,9 @@
 //!   [`weights::TransformerModel`];
 //! * [`forward`] — the FP32 encoder forward pass (attention,
 //!   intermediate, output, pooler: Figure 1a);
+//! * [`batch`] / [`compute`] — the ragged batched forward pass and the
+//!   pluggable weight-product backend that lets a serving engine run
+//!   the FC layers directly on compressed weights;
 //! * [`synth`] — synthetic full-scale weight generation that matches
 //!   the paper's observed per-layer Gaussian-plus-outliers shape
 //!   (Figures 1b/1c), substituting for the pre-trained checkpoints we
@@ -30,6 +33,8 @@
 
 #![deny(missing_docs)]
 
+pub mod batch;
+pub mod compute;
 pub mod config;
 pub mod error;
 pub mod footprint;
@@ -39,6 +44,8 @@ pub mod spec;
 pub mod synth;
 pub mod weights;
 
+pub use batch::EncodeInput;
+pub use compute::{DenseCompute, WeightCompute};
 pub use config::ModelConfig;
 pub use error::ModelError;
 pub use spec::{FcLayerSpec, LayerKind};

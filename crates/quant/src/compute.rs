@@ -13,12 +13,29 @@
 //!
 //! turning `cols` multiplications per output into `2^bits` plus a
 //! handful of outlier corrections. [`QuantizedMatrix`] implements that
-//! schedule in software, operating straight on the packed indices; the
-//! `codec` Criterion bench compares it against decode-then-matmul.
+//! schedule in software, operating straight on the packed indices — no
+//! unpacked index copy is kept, so the resident footprint is the
+//! compressed layer itself.
+//!
+//! For *batched* activations the same compressed stream pays off a
+//! second way: [`QuantizedMatrix::matmul_blocked`] decodes each weight
+//! tile (one `unpack_run` + codebook LUT + outlier patch) exactly once
+//! and reuses it across **all** rows of the activation batch, so the
+//! per-element decode cost — which dominates low-bit inference — is
+//! amortized by the batch size. That is the software analogue of the
+//! paper's hardware argument, and it is the kernel the serving tier
+//! hands whole coalesced batches to.
 
 use crate::error::QuantError;
 use crate::layer::QuantizedLayer;
 use crate::packing;
+
+/// Column-block width of the blocked kernel. A decoded tile is
+/// `COL_BLOCK` f32s (1 KiB — comfortably L1-resident next to the
+/// codebook LUT), and the activation panel the inner loop streams is
+/// `batch × COL_BLOCK` f32s: 32 KiB at batch 32, sized to stay resident
+/// in L2 while the tile is reused across the whole batch.
+const COL_BLOCK: usize = 256;
 
 /// A [`QuantizedLayer`] with matrix shape, supporting products without
 /// decompression.
@@ -30,11 +47,6 @@ pub struct QuantizedMatrix {
     layer: QuantizedLayer,
     rows: usize,
     cols: usize,
-    /// Unpacked G-group indices (one per non-outlier weight, in layer
-    /// order). Kept unpacked so products stream without per-element bit
-    /// twiddling; this costs `bits → 8 bits` of working memory and is a
-    /// deliberate software trade-off (hardware reads the packed form).
-    g_indices: Vec<u8>,
 }
 
 impl QuantizedMatrix {
@@ -43,14 +55,19 @@ impl QuantizedMatrix {
     /// # Errors
     ///
     /// Returns [`QuantError::InvalidConfig`] unless
-    /// `rows × cols == layer.total()`.
+    /// `rows × cols == layer.total()`, and
+    /// [`QuantError::CorruptPayload`] when the packed index stream is
+    /// too short for the layer's G-group count (checked once here so
+    /// the product kernels never fail mid-stream).
     pub fn new(layer: QuantizedLayer, rows: usize, cols: usize) -> Result<Self, QuantError> {
         if rows * cols != layer.total() {
             return Err(QuantError::InvalidConfig { name: "rows*cols" });
         }
         let g_count = layer.total() - layer.outlier_count();
-        let g_indices = packing::unpack(layer.packed_indices(), layer.bits(), g_count)?;
-        Ok(QuantizedMatrix { layer, rows, cols, g_indices })
+        if layer.packed_indices().len() < packing::packed_len(g_count, layer.bits()) {
+            return Err(QuantError::CorruptPayload { what: "packed payload too short" });
+        }
+        Ok(QuantizedMatrix { layer, rows, cols })
     }
 
     /// Number of output features (matrix rows).
@@ -87,23 +104,42 @@ impl QuantizedMatrix {
         let centroids = self.layer.codebook().centroids();
         let k = centroids.len();
         let (outlier_positions, outlier_values) = self.layer.outliers();
+        let packed = self.layer.packed_indices();
+        let bits = self.layer.bits();
         let mut y = vec![0.0f32; self.rows];
         let mut buckets = vec![0.0f32; k];
+        // Per-row scratch for this row's G-group indices, unpacked
+        // word-at-a-time straight from the packed stream.
+        let mut idx_run = vec![0u8; self.cols];
 
         let mut o_idx = 0usize; // cursor into the outlier arrays
-        let mut g_idx = 0usize; // cursor into the G-group indices
+        let mut g_pos = 0usize; // G-group elements consumed so far
         for (r, y_r) in y.iter_mut().enumerate() {
             buckets.iter_mut().for_each(|b| *b = 0.0);
-            let mut outlier_acc = 0.0f32;
             let base = r * self.cols;
+            // Outlier positions are strictly ascending, so this row's
+            // outliers are the next contiguous run of the cursor.
+            let o_start = o_idx;
+            while o_idx < outlier_positions.len()
+                && (outlier_positions[o_idx] as usize) < base + self.cols
+            {
+                o_idx += 1;
+            }
+            let g_count = self.cols - (o_idx - o_start);
+            packing::unpack_run(packed, bits, g_pos, &mut idx_run[..g_count])?;
+            g_pos += g_count;
+
+            let mut outlier_acc = 0.0f32;
+            let mut oi = o_start;
+            let mut gi = 0usize;
             for (c, &xv) in x.iter().enumerate() {
                 let flat = (base + c) as u32;
-                if o_idx < outlier_positions.len() && outlier_positions[o_idx] == flat {
-                    outlier_acc += xv * outlier_values[o_idx];
-                    o_idx += 1;
+                if oi < o_idx && outlier_positions[oi] == flat {
+                    outlier_acc += xv * outlier_values[oi];
+                    oi += 1;
                 } else {
-                    buckets[self.g_indices[g_idx] as usize] += xv;
-                    g_idx += 1;
+                    buckets[idx_run[gi] as usize] += xv;
+                    gi += 1;
                 }
             }
             let mut acc = outlier_acc;
@@ -116,7 +152,8 @@ impl QuantizedMatrix {
     }
 
     /// `Y = A·Wᵀ` for row-major `a: (m, cols)`, producing `(m, rows)` —
-    /// the FC-layer product, computed on the compressed form.
+    /// the FC-layer product, computed on the compressed form one
+    /// activation row at a time (per-centroid schedule per row).
     ///
     /// # Errors
     ///
@@ -130,6 +167,115 @@ impl QuantizedMatrix {
         let mut out = Vec::with_capacity(m * self.rows);
         for row in a.chunks(self.cols) {
             out.extend(self.matvec(row)?);
+        }
+        Ok(out)
+    }
+
+    /// Batched `Y = A·Wᵀ` on the compressed form, picking the schedule
+    /// by batch size: a single activation row takes the per-centroid
+    /// [`QuantizedMatrix::matvec`] path (today's matvec behaviour,
+    /// bit-for-bit), while a real batch takes the cache-blocked
+    /// [`QuantizedMatrix::matmul_blocked`] path that amortizes each
+    /// tile decode across every row of the batch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantError::InvalidConfig`] unless `a.len()` is a
+    /// multiple of `cols`.
+    pub fn matmul_batch(&self, a: &[f32]) -> Result<Vec<f32>, QuantError> {
+        if self.cols == 0 || !a.len().is_multiple_of(self.cols) {
+            return Err(QuantError::InvalidConfig { name: "a.len" });
+        }
+        if a.len() == self.cols {
+            return self.matvec(a);
+        }
+        self.matmul_blocked(a)
+    }
+
+    /// Cache-blocked batched `Y = A·Wᵀ` straight on the packed indices.
+    ///
+    /// For each weight row, each `COL_BLOCK`-wide tile of indices is
+    /// unpacked once (word-at-a-time), mapped through the codebook LUT
+    /// with outlier values patched in place, and then reused across
+    /// **all** `m` activation rows — the decode cost is paid once per
+    /// tile instead of once per (tile, batch row). Accumulation per
+    /// `(batch row, weight row)` carries a single f32 accumulator
+    /// across the column blocks in column order, so the result is
+    /// **bit-identical** to decoding the layer and running the dense
+    /// `matmul_nt`: the served output of a batch does not depend on how
+    /// requests were coalesced. This is the kernel behind the
+    /// `gobo.batch_gemm` span.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantError::InvalidConfig`] unless `a.len()` is a
+    /// multiple of `cols`.
+    pub fn matmul_blocked(&self, a: &[f32]) -> Result<Vec<f32>, QuantError> {
+        if self.cols == 0 || !a.len().is_multiple_of(self.cols) {
+            return Err(QuantError::InvalidConfig { name: "a.len" });
+        }
+        let m = a.len() / self.cols;
+        let _span =
+            gobo_obs::span!("gobo.batch_gemm", rows = self.rows, cols = self.cols, batch = m);
+        let centroids = self.layer.codebook().centroids();
+        let (outlier_positions, outlier_values) = self.layer.outliers();
+        let packed = self.layer.packed_indices();
+        let bits = self.layer.bits();
+
+        let block = COL_BLOCK.min(self.cols);
+        let mut out = vec![0.0f32; m * self.rows];
+        let mut tile = vec![0.0f32; block];
+        let mut idx_run = vec![0u8; block];
+        let mut acc = vec![0.0f32; m];
+        let mut o_idx = 0usize; // cursor into the outlier arrays
+        let mut g_pos = 0usize; // G-group elements consumed so far
+        for r in 0..self.rows {
+            acc.iter_mut().for_each(|v| *v = 0.0);
+            let base = r * self.cols;
+            let mut cb = 0usize;
+            while cb < self.cols {
+                let width = block.min(self.cols - cb);
+                let start_flat = base + cb;
+                // Decode the tile once: outliers in range are the next
+                // contiguous run of the (ascending) outlier cursor; the
+                // gaps between them are G-group runs from the packed
+                // stream, mapped through the centroid LUT.
+                let o_start = o_idx;
+                while o_idx < outlier_positions.len()
+                    && (outlier_positions[o_idx] as usize) < start_flat + width
+                {
+                    o_idx += 1;
+                }
+                let g_count = width - (o_idx - o_start);
+                packing::unpack_run(packed, bits, g_pos, &mut idx_run[..g_count])?;
+                g_pos += g_count;
+                let t = &mut tile[..width];
+                let mut oi = o_start;
+                let mut gi = 0usize;
+                for (local, slot) in t.iter_mut().enumerate() {
+                    let flat = (start_flat + local) as u32;
+                    if oi < o_idx && outlier_positions[oi] == flat {
+                        *slot = outlier_values[oi];
+                        oi += 1;
+                    } else {
+                        *slot = centroids[idx_run[gi] as usize];
+                        gi += 1;
+                    }
+                }
+                // Reuse the decoded tile across every activation row.
+                for (i, acc_i) in acc.iter_mut().enumerate() {
+                    let arow = &a[i * self.cols + cb..i * self.cols + cb + width];
+                    let mut s = *acc_i;
+                    for (xv, wv) in arow.iter().zip(t.iter()) {
+                        s += xv * wv;
+                    }
+                    *acc_i = s;
+                }
+                cb += width;
+            }
+            for (i, &v) in acc.iter().enumerate() {
+                out[i * self.rows + r] = v;
+            }
         }
         Ok(out)
     }
@@ -207,11 +353,57 @@ mod tests {
         }
     }
 
+    /// The blocked kernel must agree with decode-then-dense **bit for
+    /// bit**: same decoded values, same column-order accumulation. This
+    /// is what makes served outputs independent of batch composition.
+    #[test]
+    fn matmul_blocked_is_bit_identical_to_decoded_dense() {
+        for (rows, cols, bits) in [(24, 40, 2u8), (16, 300, 3), (9, 513, 4)] {
+            let (qm, _) = matrix(rows, cols, bits);
+            let dense = qm.to_dense();
+            for m in [1usize, 2, 5, 32] {
+                let a: Vec<f32> = (0..m * cols).map(|i| (i as f32 * 0.11).sin()).collect();
+                let got = qm.matmul_blocked(&a).unwrap();
+                let mut want = Vec::with_capacity(m * rows);
+                for row in a.chunks(cols) {
+                    want.extend(dense_matvec(&dense, row, rows, cols));
+                }
+                assert_eq!(got.len(), want.len());
+                for (g, w) in got.iter().zip(&want) {
+                    assert_eq!(g.to_bits(), w.to_bits(), "{rows}x{cols}@{bits}b m={m}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn matmul_batch_delegates_by_batch_size() {
+        let (qm, _) = matrix(12, 40, 3);
+        // m == 1: exactly the per-centroid matvec.
+        let x: Vec<f32> = (0..40).map(|i| (i as f32 * 0.29).cos()).collect();
+        let one = qm.matmul_batch(&x).unwrap();
+        let direct = qm.matvec(&x).unwrap();
+        for (a, b) in one.iter().zip(&direct) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        // m > 1: exactly the blocked schedule.
+        let a: Vec<f32> = (0..5 * 40).map(|i| (i as f32 * 0.07).sin()).collect();
+        let batched = qm.matmul_batch(&a).unwrap();
+        let blocked = qm.matmul_blocked(&a).unwrap();
+        for (x, y) in batched.iter().zip(&blocked) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+        // Empty batch is a valid zero-row product.
+        assert!(qm.matmul_batch(&[]).unwrap().is_empty());
+    }
+
     #[test]
     fn shape_validation() {
         let (qm, _) = matrix(10, 10, 3);
         assert!(qm.matvec(&[0.0; 9]).is_err());
         assert!(qm.matmul_nt(&[0.0; 11]).is_err());
+        assert!(qm.matmul_batch(&[0.0; 11]).is_err());
+        assert!(qm.matmul_blocked(&[0.0; 11]).is_err());
         let layer = qm.into_layer();
         assert!(QuantizedMatrix::new(layer, 3, 7).is_err());
     }

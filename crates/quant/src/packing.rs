@@ -117,6 +117,63 @@ pub fn unpack(packed: &[u8], bits: u8, count: usize) -> Result<Vec<u8>, QuantErr
     Ok(out)
 }
 
+/// Unpacks `out.len()` `bits`-wide values starting at element `start`
+/// of an LSB-first byte stream, without touching earlier elements.
+///
+/// This is the streaming workhorse behind compute-on-compressed
+/// products: a kernel walking a weight matrix tile by tile asks for
+/// exactly the index run it needs, at an arbitrary (non-byte-aligned)
+/// element offset, and the word-at-a-time fast path of [`unpack`] is
+/// reused verbatim — load the u64 containing each element's bit window
+/// (`bit % 8 + bits <= 15` always fits), shift, mask — with the same
+/// bytewise fallback near the end of the stream.
+///
+/// # Errors
+///
+/// Returns [`QuantError::UnsupportedBits`] unless `1 <= bits <= 8` and
+/// [`QuantError::CorruptPayload`] when `packed` is too short for
+/// elements `start .. start + out.len()`.
+pub fn unpack_run(packed: &[u8], bits: u8, start: usize, out: &mut [u8]) -> Result<(), QuantError> {
+    if !(1..=8).contains(&bits) {
+        return Err(QuantError::UnsupportedBits { bits });
+    }
+    let end = start
+        .checked_add(out.len())
+        .ok_or(QuantError::CorruptPayload { what: "element range overflow" })?;
+    if packed.len() < packed_len(end, bits) {
+        return Err(QuantError::CorruptPayload { what: "packed payload too short" });
+    }
+    let mask = u64::from(mask_for(bits));
+    let bits = usize::from(bits);
+    // Fast path: whole-word loads while 8 bytes are readable from the
+    // word base (see `unpack`).
+    let limit = packed.len().saturating_sub(7);
+    let mut bit = start * bits;
+    let mut done = 0usize;
+    for slot in out.iter_mut() {
+        let base = bit >> 3;
+        if base >= limit {
+            break;
+        }
+        let word = u64::from_le_bytes(packed[base..base + 8].try_into().expect("8 bytes"));
+        *slot = ((word >> (bit & 7)) & mask) as u8;
+        bit += bits;
+        done += 1;
+    }
+    // Bytewise tail, identical to `unpack`'s.
+    for slot in out.iter_mut().skip(done) {
+        let base = bit >> 3;
+        let end = (bit + bits).div_ceil(8);
+        let mut acc = 0u32;
+        for (off, &b) in packed[base..end].iter().enumerate() {
+            acc |= u32::from(b) << (8 * off);
+        }
+        *slot = ((acc >> (bit & 7)) as u64 & mask) as u8;
+        bit += bits;
+    }
+    Ok(())
+}
+
 /// Number of bytes needed to pack `count` values of `bits` width.
 pub fn packed_len(count: usize, bits: u8) -> usize {
     (count * bits as usize).div_ceil(8)
@@ -186,6 +243,36 @@ mod tests {
         let packed = pack(&[], 3).unwrap();
         assert!(packed.is_empty());
         assert_eq!(unpack(&packed, 3, 0).unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn unpack_run_matches_full_unpack_at_every_offset() {
+        for bits in 1u8..=8 {
+            let max = if bits == 8 { 255u16 } else { (1u16 << bits) - 1 };
+            let values: Vec<u8> = (0..300u16).map(|i| ((i * 11) % (max + 1)) as u8).collect();
+            let packed = pack(&values, bits).unwrap();
+            for start in [0usize, 1, 7, 8, 63, 64, 65, 255, 299] {
+                for len in [0usize, 1, 5, 64, values.len() - start] {
+                    if start + len > values.len() {
+                        continue;
+                    }
+                    let mut out = vec![0u8; len];
+                    unpack_run(&packed, bits, start, &mut out).unwrap();
+                    assert_eq!(&out[..], &values[start..start + len], "bits {bits} @{start}+{len}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unpack_run_detects_truncation() {
+        let packed = pack(&[1, 2, 3, 4, 5], 4).unwrap(); // 3 bytes
+        let mut out = [0u8; 2];
+        assert!(unpack_run(&packed, 4, 5, &mut out).is_err()); // needs a 4th byte
+        assert!(unpack_run(&packed, 4, 3, &mut out).is_ok());
+        assert!(unpack_run(&packed[..1], 4, 1, &mut out).is_err());
+        assert!(unpack_run(&packed, 0, 0, &mut out).is_err()); // bad width
+        assert!(unpack_run(&packed, 9, 0, &mut out).is_err());
     }
 
     #[test]

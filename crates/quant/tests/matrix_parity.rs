@@ -21,6 +21,7 @@ use gobo_model::config::ModelConfig;
 use gobo_model::spec::enumerate_fc_layers;
 use gobo_model::synth::{layer_distribution, synthesize_layer};
 use gobo_quant::{QuantConfig, QuantMethod, QuantizedLayer, QuantizedMatrix};
+use proptest::prelude::*;
 
 const EPS: f32 = 1e-4;
 
@@ -138,4 +139,91 @@ fn outlier_path_is_exact() {
     x[col] = 0.8125; // exactly representable
     let y = matrix.matvec(&x).expect("matvec");
     assert_eq!(y[row].to_bits(), (0.8125f32 * outlier_value).to_bits());
+}
+
+/// Quantizes a deterministic weight matrix with a controllable outlier
+/// fraction. `outlier_every` plants a large-magnitude weight every that
+/// many elements (0 = none beyond what the distribution produces).
+fn quantized(
+    rows: usize,
+    cols: usize,
+    bits: u8,
+    outlier_every: usize,
+    seed: u64,
+) -> QuantizedMatrix {
+    let n = rows * cols;
+    let mut w: Vec<f32> = (0..n)
+        .map(|i| {
+            let x = (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(seed);
+            (((x >> 33) as f32 / (1u64 << 31) as f32) - 1.0) * 0.05
+        })
+        .collect();
+    if outlier_every > 0 {
+        for i in (0..n).step_by(outlier_every) {
+            w[i] = if i % (2 * outlier_every) == 0 { 1.3 } else { -1.6 };
+        }
+    }
+    let layer =
+        QuantizedLayer::encode(&w, &QuantConfig::new(QuantMethod::Gobo, bits).expect("bits"))
+            .expect("encode");
+    QuantizedMatrix::new(layer, rows, cols).expect("shape")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The cache-blocked batched GEMM and the per-centroid matvec
+    /// applied row by row sum the same terms in different orders, so
+    /// they must agree within the documented 1e-4 reassociation
+    /// tolerance — across bit widths 2/3/4, ragged batch sizes
+    /// (including 1, where `matmul_batch` *is* the matvec), and
+    /// outlier-heavy layers.
+    #[test]
+    fn matmul_batch_matches_matvec_per_row(
+        bits_i in 0usize..3,
+        batch_i in 0usize..5,
+        outliers_i in 0usize..3,
+        seed in 0u64..1000,
+    ) {
+        let bits = [2u8, 3, 4][bits_i];
+        let batch = [1usize, 7, 8, 32, 33][batch_i];
+        let outlier_every = [0usize, 97, 13][outliers_i];
+        let (rows, cols) = (48, 96);
+        let matrix = quantized(rows, cols, bits, outlier_every, seed);
+        let a = activations(batch * cols, seed ^ 0xABCD);
+        let batched = matrix.matmul_batch(&a).expect("matmul_batch");
+        let mut reference = Vec::with_capacity(batch * rows);
+        for row in a.chunks(cols) {
+            reference.extend(matrix.matvec(row).expect("matvec"));
+        }
+        assert_close(&batched, &reference, &format!("batch={batch}@{bits}b"));
+    }
+
+    /// The always-blocked serving kernel must match decode-then-dense
+    /// bit for bit at every batch size — this is the invariant that
+    /// makes served outputs independent of how requests were coalesced.
+    #[test]
+    fn matmul_blocked_bitwise_matches_decoded(
+        bits_i in 0usize..3,
+        batch_i in 0usize..3,
+        seed in 0u64..1000,
+    ) {
+        let bits = [2u8, 3, 4][bits_i];
+        let batch = [1usize, 7, 33][batch_i];
+        let (rows, cols) = (32, 300);
+        let matrix = quantized(rows, cols, bits, 61, seed);
+        let dense = matrix.to_dense();
+        let a = activations(batch * cols, seed ^ 0x5A5A);
+        let got = matrix.matmul_blocked(&a).expect("matmul_blocked");
+        for (i, row) in a.chunks(cols).enumerate() {
+            for r in 0..rows {
+                let want: f32 = dense[r * cols..(r + 1) * cols]
+                    .iter()
+                    .zip(row)
+                    .map(|(w, xv)| w * xv)
+                    .sum();
+                assert_eq!(got[i * rows + r].to_bits(), want.to_bits(), "row {i} out {r}");
+            }
+        }
+    }
 }

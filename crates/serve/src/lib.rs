@@ -8,9 +8,13 @@
 //!
 //! * [`registry`] — named model cache keyed by *name/bits*, LRU-evicted
 //!   under a decoded-byte budget;
+//! * [`engine`] — the compute-on-compressed engine: archived FC layers
+//!   run the cache-blocked batched GEMM straight on the packed 3/4-bit
+//!   indices, decoding each weight tile once per batch;
 //! * [`scheduler`] — bounded admission queue, worker pool, batch
-//!   coalescing up to `max_batch`/`max_wait`, per-request deadlines
-//!   that reject (never hang) on overload, graceful queue drain;
+//!   coalescing up to `max_batch`/`max_wait` (one worker claims a
+//!   model key and sweeps the whole queue for it), per-request
+//!   deadlines that reject (never hang) on overload, graceful drain;
 //! * [`http`] — a dependency-free HTTP/1.1 front end on
 //!   `std::net::TcpListener` (`POST /v1/encode`, `GET /v1/models`,
 //!   `GET /metrics`, `POST /v1/shutdown`);
@@ -56,6 +60,7 @@
 #![deny(missing_docs)]
 
 pub mod core;
+pub mod engine;
 pub mod error;
 pub mod http;
 pub mod json;
@@ -64,6 +69,7 @@ pub mod registry;
 pub mod scheduler;
 
 pub use crate::core::{Client, ServeCore, ServeOptions};
+pub use engine::QuantizedEngine;
 pub use error::ServeError;
 pub use http::{HttpOptions, Server};
 pub use metrics::Metrics;

@@ -199,6 +199,18 @@ impl Metrics {
             "decoded bytes resident in the registry",
             self.registry_bytes.load(Ordering::Relaxed),
         );
+        // Batch amortization: average requests carried per executed
+        // batch — how many activation rows each packed-tile decode was
+        // amortized over. Derived at render time from the two counters,
+        // so it needs no extra atomic and stays consistent with them.
+        let batches = self.batches.load(Ordering::Relaxed);
+        let batched = self.batched_requests.load(Ordering::Relaxed);
+        let amortization = if batches == 0 { 0.0 } else { batched as f64 / batches as f64 };
+        out.push_str(&format!(
+            "# HELP gobo_serve_batch_amortization average requests per executed batch\n\
+             # TYPE gobo_serve_batch_amortization gauge\n\
+             gobo_serve_batch_amortization {amortization}\n"
+        ));
         self.latency_us.render_prometheus(
             "gobo_serve_latency_us",
             "end-to-end encode latency (us)",
@@ -236,6 +248,7 @@ mod tests {
         assert!(text.contains("gobo_batches_total 2"));
         assert!(text.contains("gobo_batched_requests_total 11"));
         assert!(text.contains("gobo_batch_size_max 7"));
+        assert!(text.contains("gobo_serve_batch_amortization 5.5"));
         assert!(text.contains("gobo_serve_latency_us_sum 1500"));
         assert!(text.contains("gobo_serve_latency_us_count 1"));
         assert!(text.contains("gobo_serve_queue_wait_us_sum 300"));

@@ -15,6 +15,7 @@ use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use gobo::format::CompressedModel;
 use gobo_model::TransformerModel;
 
+use crate::engine::QuantizedEngine;
 use crate::error::ServeError;
 use crate::metrics::Metrics;
 
@@ -42,6 +43,10 @@ pub struct ModelEntry {
     pub key: ModelKey,
     /// The decoded FP32 model, shared with in-flight batches.
     pub model: Arc<TransformerModel>,
+    /// The compute-on-compressed engine over the same model: archived
+    /// FC layers run the blocked batched GEMM straight on the packed
+    /// indices, everything else falls back to the dense weights.
+    pub engine: Arc<QuantizedEngine>,
     /// Decoded FP32 bytes charged against the registry budget
     /// (quantizable weights + auxiliary parameters).
     pub decoded_bytes: usize,
@@ -133,12 +138,14 @@ impl ModelRegistry {
             "registry.decode",
             ServeError::Internal("injected registry.decode fault")
         );
-        let model = compressed.decode()?;
+        let model = Arc::new(compressed.decode()?);
+        let engine = Arc::new(QuantizedEngine::new(Arc::clone(&model), compressed)?);
         let bits = compressed.archive.iter().map(|(_, l)| l.bits()).max().unwrap_or(32);
         let decoded_bytes = model_bytes(&model);
         let entry = Arc::new(ModelEntry {
             key: ModelKey { name: name.to_owned(), bits },
-            model: Arc::new(model),
+            model,
+            engine,
             decoded_bytes,
             compressed_bytes: compressed.serialized_bytes(),
             quantized_layers: compressed.archive.len(),

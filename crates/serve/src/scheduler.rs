@@ -3,14 +3,29 @@
 //!
 //! Requests enter a bounded FIFO admission queue (overflow is
 //! *rejected*, never blocked on). A pool of worker threads pops the
-//! oldest request and **coalesces** every queued request for the same
-//! model/bits key into one batch, waiting up to
+//! oldest request, **claims** its model/bits key, and coalesces every
+//! queued request for that key into one batch, waiting up to
 //! [`SchedulerConfig::max_wait`] for stragglers or until
-//! [`SchedulerConfig::max_batch`] is reached. The batch resolves its
-//! model handle from the registry once, then runs each sequence through
-//! [`TransformerModel::encode`] — the forward pass is deterministic, so
-//! served outputs are byte-identical to direct in-process calls at any
-//! batch size.
+//! [`SchedulerConfig::max_batch`] is reached — re-sweeping the queue
+//! after every wake-up so a straggler arriving late in the window still
+//! joins. The claim makes coalescing single-owner: without it,
+//! concurrent workers raced each other popping the same key and split
+//! what should have been one batch into per-worker fragments, capping
+//! the observed batch size at roughly the worker count. Unclaimed keys
+//! are still served fully in parallel, and a claim is held only for the
+//! coalesce window, so singleton traffic keeps the whole pool.
+//!
+//! The batch resolves its model handle from the registry once, then
+//! runs the **whole batch as one fused forward** through the
+//! compute-on-compressed engine
+//! ([`QuantizedEngine::encode_batch`]): archived FC layers execute the
+//! cache-blocked batched GEMM that decodes each packed weight tile once
+//! per batch instead of once per request. The blocked kernel is
+//! bit-identical to decode-then-dense, so served outputs are
+//! byte-identical to direct in-process [`TransformerModel::encode`]
+//! calls at any batch size.
+//!
+//! [`QuantizedEngine::encode_batch`]: crate::engine::QuantizedEngine::encode_batch
 //!
 //! Every request carries a deadline; requests that expire while queued
 //! are answered with [`ServeError::DeadlineExceeded`] the moment a
@@ -44,6 +59,8 @@ use std::sync::mpsc::{sync_channel, Receiver, RecvTimeoutError, SyncSender};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+use gobo_model::batch::EncodeInput;
 
 use crate::error::ServeError;
 use crate::metrics::Metrics;
@@ -116,7 +133,8 @@ pub struct EncodeResponse {
     pub batch_size: usize,
     /// Time spent queued before execution, microseconds.
     pub queue_us: u64,
-    /// Forward-pass time, microseconds.
+    /// Forward-pass time of the fused batch this request rode in,
+    /// microseconds (shared by every request in the batch).
     pub compute_us: u64,
 }
 
@@ -131,6 +149,11 @@ struct Pending {
 
 struct State {
     queue: VecDeque<Pending>,
+    /// Model/bits keys currently being coalesced by a worker. A worker
+    /// scanning for work skips requests whose key is claimed — the
+    /// claiming worker's sweep will batch them — so one key's queued
+    /// requests form one batch instead of per-worker fragments.
+    claimed: Vec<BatchKey>,
     shutdown: bool,
 }
 
@@ -214,7 +237,11 @@ impl Scheduler {
             config,
             registry,
             metrics,
-            state: Mutex::new(State { queue: VecDeque::new(), shutdown: false }),
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                claimed: Vec::new(),
+                shutdown: false,
+            }),
             cvar: Condvar::new(),
         });
         let supervisor = {
@@ -446,76 +473,99 @@ fn worker_main(shared: &Shared) -> WorkerExit {
 
 type BatchKey = (String, Option<u8>);
 
-/// Blocks until there is work, then pops the oldest live request and
-/// coalesces same-key requests up to `max_batch`/`max_wait`. Returns
-/// `None` when shutdown is requested and the queue is drained.
+/// Blocks until there is work this worker may take, then pops the
+/// oldest live request whose model/bits key no other worker has
+/// claimed, claims that key, and coalesces same-key requests up to
+/// `max_batch`/`max_wait` — re-sweeping the queue after every wake-up
+/// so stragglers arriving late in the window still join the batch. The
+/// claim is released (and sleepers notified) before dispatch, so
+/// same-key requests beyond `max_batch` are immediately claimable by
+/// another worker. Returns `None` when shutdown is requested and the
+/// queue is drained.
+///
+/// A claim can leak only if a worker dies *inside* this function (an
+/// allocation failure — `execute_batch` panics are caught after the
+/// claim is released). Leaked-key requests are still expiry-rejected by
+/// other workers' scans, so they degrade to `DeadlineExceeded` rather
+/// than hanging.
 fn next_batch(shared: &Shared) -> Option<(BatchKey, Vec<Pending>)> {
-    loop {
-        let mut state = shared.lock_state();
-        // Sleep until there is work or we are asked to exit; drain the
-        // queue fully before honouring shutdown.
-        loop {
-            if !state.queue.is_empty() {
-                break;
-            }
-            if state.shutdown {
-                return None;
-            }
-            state = shared.cvar.wait(state).unwrap_or_else(PoisonError::into_inner);
-        }
-
-        // Pop the oldest live request; reply to expired ones in place.
-        let first = loop {
-            match state.queue.pop_front() {
-                None => break None,
-                Some(p) => {
+    let mut state = shared.lock_state();
+    // Find the oldest live request of an unclaimed key, rejecting
+    // expired requests in place (claimed or not); sleep when the queue
+    // holds nothing for this worker.
+    let first = loop {
+        let mut found = None;
+        let mut i = 0;
+        while i < state.queue.len() {
+            if state.queue.get(i).is_some_and(|p| Instant::now() >= p.deadline) {
+                if let Some(p) = state.queue.remove(i) {
                     shared.metrics.queue_pop();
-                    if Instant::now() >= p.deadline {
-                        reject_expired(shared, p);
-                    } else {
-                        break Some(p);
-                    }
+                    reject_expired(shared, p);
                 }
+                continue;
             }
-        };
-        let Some(first) = first else {
-            continue;
-        };
-
-        // Coalesce queued requests for the same model/bits key, waiting
-        // up to max_wait for stragglers.
-        let key = (first.req.model.clone(), first.req.bits);
-        let mut batch = vec![first];
-        let wait_until = Instant::now() + shared.config.max_wait;
-        loop {
-            let mut i = 0;
-            while i < state.queue.len() && batch.len() < shared.config.max_batch {
-                let same_key =
-                    state.queue.get(i).is_some_and(|p| p.req.model == key.0 && p.req.bits == key.1);
-                if same_key {
-                    if let Some(p) = state.queue.remove(i) {
-                        shared.metrics.queue_pop();
-                        batch.push(p);
-                    }
-                } else {
-                    i += 1;
-                }
+            let is_claimed = state.queue.get(i).is_some_and(|p| {
+                state.claimed.iter().any(|(m, b)| *m == p.req.model && *b == p.req.bits)
+            });
+            if is_claimed {
+                i += 1;
+                continue;
             }
-            if batch.len() >= shared.config.max_batch || state.shutdown {
-                break;
-            }
-            let now = Instant::now();
-            if now >= wait_until {
-                break;
-            }
-            let (next, _) = shared
-                .cvar
-                .wait_timeout(state, wait_until - now)
-                .unwrap_or_else(PoisonError::into_inner);
-            state = next;
+            found = state.queue.remove(i);
+            break;
         }
-        return Some((key, batch));
+        if let Some(p) = found {
+            shared.metrics.queue_pop();
+            break p;
+        }
+        // Drain fully before honouring shutdown; a non-empty queue here
+        // is all claimed keys, and the claim owner's dispatch (or the
+        // supervisor's final sweep) wakes us again.
+        if state.shutdown && state.queue.is_empty() {
+            return None;
+        }
+        state = shared.cvar.wait(state).unwrap_or_else(PoisonError::into_inner);
+    };
+
+    // Claim the key, then coalesce queued requests for it, waiting up
+    // to max_wait for stragglers.
+    let key = (first.req.model.clone(), first.req.bits);
+    state.claimed.push(key.clone());
+    let mut batch = vec![first];
+    let wait_until = Instant::now() + shared.config.max_wait;
+    loop {
+        let mut i = 0;
+        while i < state.queue.len() && batch.len() < shared.config.max_batch {
+            let same_key =
+                state.queue.get(i).is_some_and(|p| p.req.model == key.0 && p.req.bits == key.1);
+            if same_key {
+                if let Some(p) = state.queue.remove(i) {
+                    shared.metrics.queue_pop();
+                    batch.push(p);
+                }
+            } else {
+                i += 1;
+            }
+        }
+        if batch.len() >= shared.config.max_batch || state.shutdown {
+            break;
+        }
+        let now = Instant::now();
+        if now >= wait_until {
+            break;
+        }
+        let (next, _) = shared
+            .cvar
+            .wait_timeout(state, wait_until - now)
+            .unwrap_or_else(PoisonError::into_inner);
+        state = next;
     }
+    state.claimed.retain(|k| k != &key);
+    drop(state);
+    // Same-key requests left behind (past max_batch, or enqueued after
+    // the final sweep) are claimable again — wake the pool.
+    shared.cvar.notify_all();
+    Some((key, batch))
 }
 
 fn reject_expired(shared: &Shared, p: Pending) {
@@ -529,12 +579,20 @@ fn reject_expired(shared: &Shared, p: Pending) {
     }
 }
 
-/// Executes a batch. Each request stays in `batch` until its reply is
-/// computed — the caller keeps ownership of `batch` so that, if this
-/// function panics (including via the `serve.batch` / `serve.encode`
-/// failpoints), every unanswered request — including the one whose
-/// encode fired the panic — can still be failed explicitly instead of
-/// its reply channel being silently dropped.
+/// Executes a batch as **one fused forward**. Each request stays in
+/// `batch` until its reply is computed — the caller keeps ownership of
+/// `batch` so that, if this function panics (including via the
+/// `serve.batch` / `serve.encode` failpoints), every unanswered request
+/// can still be failed explicitly instead of its reply channel being
+/// silently dropped.
+///
+/// Expired and invalid requests are answered individually in a
+/// pre-pass, so one bad request never fails its batchmates; the
+/// survivors then run through the compute-on-compressed engine in a
+/// single [`QuantizedEngine::encode_batch`] call, which amortizes every
+/// packed-tile decode across the whole batch.
+///
+/// [`QuantizedEngine::encode_batch`]: crate::engine::QuantizedEngine::encode_batch
 fn execute_batch(shared: &Shared, model: &str, bits: Option<u8>, batch: &mut Vec<Pending>) {
     let size = batch.len();
     let _batch_span = gobo_obs::span!("serve.batch", model = model, size = size);
@@ -550,21 +608,50 @@ fn execute_batch(shared: &Shared, model: &str, bits: Option<u8>, batch: &mut Vec
             return;
         }
     };
-    while let Some(front) = batch.first() {
-        let start = Instant::now();
-        if start >= front.deadline {
-            let p = batch.remove(0);
+
+    // Pre-pass: answer expired or invalid requests individually so the
+    // fused forward only sees sequences that will encode cleanly.
+    let mut i = 0;
+    while let Some(p) = batch.get(i) {
+        if Instant::now() >= p.deadline {
+            let p = batch.remove(i);
             reject_expired(shared, p);
             continue;
         }
-        let queue_us = start.duration_since(front.enqueued).as_micros() as u64;
-        let _encode_span = gobo_obs::span!("serve.encode", tokens = front.req.ids.len());
+        if let Err(e) = entry.model.validate_input(&p.req.ids, &p.req.type_ids) {
+            let p = batch.remove(i);
+            shared.metrics.encode_failed.fetch_add(1, Ordering::Relaxed);
+            let _ = p.tx.send(Err(ServeError::Model(e)));
+            continue;
+        }
+        i += 1;
+    }
+    if batch.is_empty() {
+        return;
+    }
+
+    // Per-request encode spans and failpoints fire before the fused
+    // forward, preserving the one-firing-per-request fault contract. A
+    // panic here fails every request still in the batch (the worker
+    // drains them with WorkerPanic) — matching the old sequential path,
+    // where the panicking request and everything behind it failed.
+    for p in batch.iter() {
+        let _encode_span = gobo_obs::span!("serve.encode", tokens = p.req.ids.len());
         gobo_fault::fail_point!("serve.encode");
-        let result = entry.model.encode(&front.req.ids, &front.req.type_ids);
-        let p = batch.remove(0);
-        match result {
-            Ok(out) => {
-                let compute_us = start.elapsed().as_micros() as u64;
+    }
+
+    let start = Instant::now();
+    let inputs: Vec<EncodeInput<'_>> =
+        batch.iter().map(|p| EncodeInput { ids: &p.req.ids, type_ids: &p.req.type_ids }).collect();
+    let result = entry.engine.encode_batch(&inputs);
+    drop(inputs);
+    let compute_us = start.elapsed().as_micros() as u64;
+
+    match result {
+        Ok(outputs) => {
+            for out in outputs {
+                let p = batch.remove(0);
+                let queue_us = start.duration_since(p.enqueued).as_micros() as u64;
                 let dims = out.hidden.dims().to_vec();
                 let &[d0, d1] = dims.as_slice() else {
                     shared.metrics.encode_failed.fetch_add(1, Ordering::Relaxed);
@@ -587,9 +674,13 @@ fn execute_batch(shared: &Shared, model: &str, bits: Option<u8>, batch: &mut Vec
                     shared.metrics.unrecord_encode_ok(queue_us + compute_us, queue_us);
                 }
             }
-            Err(e) => {
+        }
+        Err(e) => {
+            // Inputs were pre-validated, so this is a model-level
+            // failure that applies to the whole fused batch equally.
+            for p in batch.drain(..) {
                 shared.metrics.encode_failed.fetch_add(1, Ordering::Relaxed);
-                let _ = p.tx.send(Err(ServeError::Model(e)));
+                let _ = p.tx.send(Err(ServeError::Model(e.clone())));
             }
         }
     }

@@ -2,8 +2,13 @@
 //!
 //! This is the measurement loop behind every accuracy column in the
 //! paper's tables: run the FP32-decoded model over a task's dataset and
-//! report the task metric.
+//! report the task metric. Encodes run in fused batches of
+//! [`EVAL_BATCH`] sequences — the batched forward is bitwise identical
+//! to encoding each example alone, so scores are unchanged while the
+//! per-layer work is amortized exactly as in the serving tier.
 
+use gobo_model::batch::EncodeInput;
+use gobo_model::forward::EncoderOutput;
 use gobo_model::TransformerModel;
 use gobo_tensor::Tensor;
 
@@ -48,13 +53,14 @@ pub fn evaluate(
     if dataset.is_empty() {
         return Err(TaskError::EmptyDataset);
     }
+    let outputs = encode_all(model, dataset)?;
     match head {
         HeadWeights::Classifier { weight, bias } => {
             let mut preds = Vec::with_capacity(dataset.len());
             let mut gold = Vec::with_capacity(dataset.len());
-            for ex in dataset {
+            for (ex, out) in dataset.iter().zip(&outputs) {
                 gold.push(ex.label.as_class()?);
-                preds.push(classify(model, weight, bias, ex)?);
+                preds.push(classify(model, weight, bias, out)?);
             }
             Ok(TaskScore {
                 kind: TaskKind::Nli,
@@ -65,9 +71,9 @@ pub fn evaluate(
         HeadWeights::Regressor { weight, bias } => {
             let mut preds = Vec::with_capacity(dataset.len());
             let mut gold = Vec::with_capacity(dataset.len());
-            for ex in dataset {
+            for (ex, out) in dataset.iter().zip(&outputs) {
                 gold.push(ex.label.as_score()?);
-                preds.push(regress(model, weight, bias, ex)?);
+                preds.push(regress(model, weight, bias, out)?);
             }
             Ok(TaskScore {
                 kind: TaskKind::Sts,
@@ -78,16 +84,9 @@ pub fn evaluate(
         HeadWeights::Span { start_weight, start_bias, end_weight, end_bias } => {
             let mut preds = Vec::with_capacity(dataset.len());
             let mut gold = Vec::with_capacity(dataset.len());
-            for ex in dataset {
+            for (ex, out) in dataset.iter().zip(&outputs) {
                 gold.push(ex.label.as_span()?);
-                preds.push(extract_span(
-                    model,
-                    start_weight,
-                    start_bias,
-                    end_weight,
-                    end_bias,
-                    ex,
-                )?);
+                preds.push(extract_span(start_weight, start_bias, end_weight, end_bias, out)?);
             }
             Ok(TaskScore {
                 kind: TaskKind::Span,
@@ -98,11 +97,31 @@ pub fn evaluate(
     }
 }
 
-fn pooled(model: &TransformerModel, ex: &Example) -> Result<Tensor, TaskError> {
-    let out = model.encode(&ex.ids, &ex.type_ids)?;
+/// Sequences per fused forward during evaluation: large enough to
+/// amortize each layer's weight traversal, small enough that the
+/// stacked activation panel of even long sequences stays modest.
+const EVAL_BATCH: usize = 32;
+
+/// Encodes the whole dataset in [`EVAL_BATCH`]-sized fused batches.
+fn encode_all(
+    model: &TransformerModel,
+    dataset: &[Example],
+) -> Result<Vec<EncoderOutput>, TaskError> {
+    let mut outputs = Vec::with_capacity(dataset.len());
+    for chunk in dataset.chunks(EVAL_BATCH) {
+        let inputs: Vec<EncodeInput<'_>> =
+            chunk.iter().map(|ex| EncodeInput { ids: &ex.ids, type_ids: &ex.type_ids }).collect();
+        outputs.extend(model.encode_batch(&inputs)?);
+    }
+    Ok(outputs)
+}
+
+fn pooled(model: &TransformerModel, out: &EncoderOutput) -> Result<Tensor, TaskError> {
     let hidden = model.config().hidden;
-    let pooled =
-        out.pooled.ok_or(gobo_model::ModelError::InvalidInput { what: "model has no pooler" })?;
+    let pooled = out
+        .pooled
+        .as_ref()
+        .ok_or(gobo_model::ModelError::InvalidInput { what: "model has no pooler" })?;
     Ok(pooled.reshape(&[1, hidden]).map_err(gobo_model::ModelError::from)?)
 }
 
@@ -110,9 +129,9 @@ fn classify(
     model: &TransformerModel,
     weight: &Tensor,
     bias: &Tensor,
-    ex: &Example,
+    out: &EncoderOutput,
 ) -> Result<usize, TaskError> {
-    let p = pooled(model, ex)?;
+    let p = pooled(model, out)?;
     let logits =
         p.matmul_nt(weight).and_then(|l| l.add_bias(bias)).map_err(gobo_model::ModelError::from)?;
     Ok(logits.argmax_rows().map_err(gobo_model::ModelError::from)?[0])
@@ -122,23 +141,21 @@ fn regress(
     model: &TransformerModel,
     weight: &Tensor,
     bias: &Tensor,
-    ex: &Example,
+    out: &EncoderOutput,
 ) -> Result<f32, TaskError> {
-    let p = pooled(model, ex)?;
+    let p = pooled(model, out)?;
     let pred =
         p.matmul_nt(weight).and_then(|l| l.add_bias(bias)).map_err(gobo_model::ModelError::from)?;
     Ok(pred.as_slice()[0] * 5.0)
 }
 
 fn extract_span(
-    model: &TransformerModel,
     start_weight: &Tensor,
     start_bias: &Tensor,
     end_weight: &Tensor,
     end_bias: &Tensor,
-    ex: &Example,
+    out: &EncoderOutput,
 ) -> Result<(usize, usize), TaskError> {
-    let out = model.encode(&ex.ids, &ex.type_ids)?;
     let score = |w: &Tensor, b: &Tensor| -> Result<Vec<f32>, TaskError> {
         let logits = out
             .hidden
