@@ -22,7 +22,8 @@ use rand::{Rng, SeedableRng};
 use crate::cmd::{Args, CliError};
 use crate::format::CompressedModel;
 
-const ALL_SCENARIOS: [&str; 3] = ["worker-panic", "corrupt-model", "queue-overload"];
+const ALL_SCENARIOS: [&str; 5] =
+    ["worker-panic", "corrupt-model", "queue-overload", "node-kill", "network-partition"];
 
 /// Outcome of one scenario: pass/fail plus human-readable evidence.
 struct Scenario {
@@ -51,6 +52,8 @@ pub(crate) fn chaos(args: &Args) -> Result<String, CliError> {
             "worker-panic" => worker_panic(requests, seed),
             "corrupt-model" => corrupt_model(corruptions, seed),
             "queue-overload" => queue_overload(requests, seed),
+            "node-kill" => node_kill(requests, seed),
+            "network-partition" => network_partition(requests, seed),
             other => {
                 return Err(CliError::Usage(format!(
                     "unknown scenario `{other}` (have: {})",
@@ -337,6 +340,288 @@ fn queue_overload(requests: usize, seed: u64) -> Result<Scenario, CliError> {
             ),
             format!("elapsed {elapsed:?}, no request hung past its deadline"),
             format!("serves normally after faults cleared: {recovered}"),
+        ],
+    })
+}
+
+/// One in-process cluster member for the cluster scenarios.
+struct ChaosNode {
+    id: String,
+    core: Arc<ServeCore>,
+    node: gobo_cluster::ClusterNode,
+}
+
+/// Deterministic request patterns paired with their direct-encode
+/// reference hiddens, for byte-identity checks against routed replies.
+type ReferencePatterns = Vec<(Vec<usize>, Vec<f32>)>;
+
+/// Three nodes serving the same model as "chaos", fronted by a router
+/// with RF=2, fast heartbeats (25ms, dead after 2 misses), and a fixed
+/// 10ms hedge delay, plus per-pattern direct-encode references for
+/// byte-identity checks.
+fn build_cluster(
+    seed: u64,
+) -> Result<(Vec<ChaosNode>, Arc<gobo_cluster::Router>, ReferencePatterns), CliError> {
+    let compressed = build_compressed(seed)?;
+    let mut nodes = Vec::new();
+    for i in 0..3 {
+        let core = ServeCore::start(ServeOptions {
+            registry: RegistryConfig::default(),
+            scheduler: SchedulerConfig {
+                workers: 2,
+                queue_capacity: 4096,
+                ..SchedulerConfig::default()
+            },
+        });
+        Client::new(Arc::clone(&core))
+            .register("chaos", &compressed)
+            .map_err(|e| CliError::Failed(e.to_string()))?;
+        let node = gobo_cluster::ClusterNode::start(Arc::clone(&core), "127.0.0.1:0")
+            .map_err(|e| CliError::Failed(format!("cluster node bind: {e}")))?;
+        nodes.push(ChaosNode { id: format!("n{}", i + 1), core, node });
+    }
+    let config = gobo_cluster::RouterConfig {
+        heartbeat_interval: Duration::from_millis(25),
+        heartbeat_timeout: Duration::from_millis(250),
+        dead_after: 2,
+        // Generous fixed hedge: debug-build compute alone can take
+        // ~10ms, and a healthy-path hedge storm would drown the
+        // signal. The partitioned primary never answers at all, so
+        // 25ms still rescues those requests quickly.
+        hedge_after: Some(Duration::from_millis(25)),
+        ..gobo_cluster::RouterConfig::default()
+    };
+    let router = Arc::new(gobo_cluster::Router::new(config));
+    for n in &nodes {
+        router.add_node(n.id.clone(), n.node.local_addr().to_string());
+    }
+    router.start();
+    // Deterministic request patterns with direct-encode references:
+    // routed responses must be bit-identical to these, whichever
+    // replica answers.
+    let reference_client = Client::new(Arc::clone(&nodes[0].core));
+    let mut patterns = Vec::new();
+    for p in 0..8usize {
+        let ids: Vec<usize> = (0..12).map(|k| 1 + (p * 37 + k * 11) % 250).collect();
+        let direct = reference_client
+            .encode(EncodeRequest::new("chaos", ids.clone()))
+            .map_err(|e| CliError::Failed(e.to_string()))?;
+        patterns.push((ids, direct.hidden));
+    }
+    Ok((nodes, router, patterns))
+}
+
+/// Drives `total` routed encodes across 4 threads, cycling the
+/// reference patterns, and returns `(ok, errors, mismatches)`. The
+/// `completed` counter is shared so a caller can trigger faults
+/// mid-load.
+fn drive_routed(
+    router: &Arc<gobo_cluster::Router>,
+    patterns: &[(Vec<usize>, Vec<f32>)],
+    total: usize,
+    completed: &Arc<std::sync::atomic::AtomicUsize>,
+) -> Result<(usize, Vec<String>, usize), CliError> {
+    let threads = 4usize;
+    let per_thread = (total / threads).max(1);
+    let mut joins = Vec::new();
+    for t in 0..threads {
+        let router = Arc::clone(router);
+        let patterns = patterns.to_vec();
+        let completed = Arc::clone(completed);
+        joins.push(std::thread::spawn(move || {
+            let mut ok = 0usize;
+            let mut errors: Vec<String> = Vec::new();
+            let mut mismatches = 0usize;
+            for r in 0..per_thread {
+                let (ids, want) = &patterns[(t * per_thread + r) % patterns.len()];
+                let ids_u32: Vec<u32> = ids.iter().map(|&v| v as u32).collect();
+                match router.encode("chaos", None, &ids_u32, &[], 0) {
+                    Ok(response) => {
+                        let identical = response.hidden.len() == want.len()
+                            && response
+                                .hidden
+                                .iter()
+                                .zip(want.iter())
+                                .all(|(a, b)| a.to_bits() == b.to_bits());
+                        if identical {
+                            ok += 1;
+                        } else {
+                            mismatches += 1;
+                        }
+                    }
+                    Err(e) => errors.push(format!("{}: {e}", e.code())),
+                }
+                completed.fetch_add(1, Ordering::Relaxed);
+            }
+            (ok, errors, mismatches)
+        }));
+    }
+    let mut ok = 0usize;
+    let mut errors = Vec::new();
+    let mut mismatches = 0usize;
+    for join in joins {
+        let (o, e, m) =
+            join.join().map_err(|_| CliError::Failed("chaos cluster client panicked".into()))?;
+        ok += o;
+        errors.extend(e);
+        mismatches += m;
+    }
+    Ok((ok, errors, mismatches))
+}
+
+/// Waits until `predicate` holds on the router, up to 5 seconds.
+fn poll_router(
+    router: &gobo_cluster::Router,
+    predicate: impl Fn(&gobo_cluster::Router) -> bool,
+) -> bool {
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while Instant::now() < deadline {
+        if predicate(router) {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    false
+}
+
+/// Kills the primary replica for the model key mid-load (process gone,
+/// connections reset). With RF=2 over 3 nodes, every request must
+/// still succeed byte-identically: in-flight requests fail over, the
+/// heartbeat marks the node dead (`gobo_cluster_node_down 1`), and
+/// later requests route straight to the survivors.
+fn node_kill(requests: usize, seed: u64) -> Result<Scenario, CliError> {
+    let (mut nodes, router, patterns) = build_cluster(seed)?;
+    let total = requests.clamp(64, 400);
+    let completed = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+
+    // Kill the primary once a third of the load has gone through.
+    let victim = {
+        let ordered = router.replicas_for("chaos", None);
+        let primary = ordered.first().map(|n| n.id.clone()).unwrap_or_default();
+        nodes.iter().position(|n| n.id == primary).unwrap_or(0)
+    };
+    let killer = {
+        let completed = Arc::clone(&completed);
+        let threshold = total / 3;
+        let (tx, rx) = std::sync::mpsc::channel::<()>();
+        let handle = std::thread::spawn(move || {
+            while completed.load(Ordering::Relaxed) < threshold {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            let _ = tx.send(());
+        });
+        (handle, rx)
+    };
+    let driver = {
+        let router = Arc::clone(&router);
+        let patterns = patterns.clone();
+        let completed = Arc::clone(&completed);
+        std::thread::spawn(move || drive_routed(&router, &patterns, total, &completed))
+    };
+    // The kill happens on the main thread, mid-load.
+    let _ = killer.1.recv_timeout(Duration::from_secs(30));
+    nodes[victim].node.shutdown();
+    nodes[victim].core.shutdown();
+    let victim_id = nodes[victim].id.clone();
+    let (ok, errors, mismatches) =
+        driver.join().map_err(|_| CliError::Failed("chaos driver panicked".into()))??;
+    let _ = killer.0.join();
+
+    let marked_dead =
+        poll_router(&router, |r| r.membership().iter().filter(|n| !n.healthy).count() == 1);
+    let metrics_text = router.render_metrics();
+    let node_down = metrics_text.contains("gobo_cluster_node_down 1");
+    let m = router.metrics();
+    let failovers = m.failovers.load(Ordering::Relaxed);
+    let hedge_fires = m.hedge_fires.load(Ordering::Relaxed);
+    let mark_dead = m.mark_dead.load(Ordering::Relaxed);
+    let rerouted = router.replicas_for("chaos", None).iter().all(|n| n.id != victim_id);
+    router.shutdown();
+
+    let passed = errors.is_empty()
+        && mismatches == 0
+        && ok == total / 4 * 4
+        && (failovers + hedge_fires) >= 1
+        && marked_dead
+        && node_down
+        && mark_dead >= 1
+        && rerouted;
+    Ok(Scenario {
+        name: "node-kill",
+        passed,
+        lines: vec![
+            format!(
+                "{ok} routed encodes ok, {} errors (must be 0), {mismatches} \
+                 byte-mismatches (must be 0); primary `{victim_id}` killed mid-load",
+                errors.len()
+            ),
+            format!("failovers {failovers} + hedge fires {hedge_fires} (sum must be >= 1)"),
+            format!(
+                "heartbeat marked victim dead: {marked_dead}, \
+                 gobo_cluster_node_down 1: {node_down}, mark_dead_total {mark_dead}"
+            ),
+            format!("victim out of the replica set after rebalance: {rerouted}"),
+        ],
+    })
+}
+
+/// Partitions the primary asymmetrically (requests are received but
+/// never answered — no resets, just silence). Hedged requests must
+/// rescue every in-flight encode, the heartbeat must mark the node
+/// dead, and after the partition heals the node must be marked alive
+/// and serve again.
+fn network_partition(requests: usize, seed: u64) -> Result<Scenario, CliError> {
+    let (nodes, router, patterns) = build_cluster(seed)?;
+    let total = requests.clamp(64, 400);
+    let completed = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+
+    let victim = {
+        let ordered = router.replicas_for("chaos", None);
+        let primary = ordered.first().map(|n| n.id.clone()).unwrap_or_default();
+        nodes.iter().position(|n| n.id == primary).unwrap_or(0)
+    };
+    nodes[victim].node.set_partitioned(true);
+
+    let (ok, errors, mismatches) = drive_routed(&router, &patterns, total, &completed)?;
+    let marked_dead =
+        poll_router(&router, |r| r.membership().iter().filter(|n| !n.healthy).count() == 1);
+
+    // Heal: the node must rejoin and serve again.
+    nodes[victim].node.set_partitioned(false);
+    let marked_alive = poll_router(&router, |r| r.membership().iter().all(|n| n.healthy));
+    let completed2 = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+    let (ok2, errors2, mismatches2) = drive_routed(&router, &patterns, 32, &completed2)?;
+
+    let m = router.metrics();
+    let hedge_wins = m.hedge_wins.load(Ordering::Relaxed);
+    let mark_dead = m.mark_dead.load(Ordering::Relaxed);
+    let mark_alive = m.mark_alive.load(Ordering::Relaxed);
+    router.shutdown();
+
+    let passed = errors.is_empty()
+        && errors2.is_empty()
+        && mismatches + mismatches2 == 0
+        && ok + ok2 > 0
+        && hedge_wins >= 1
+        && marked_dead
+        && mark_dead >= 1
+        && marked_alive
+        && mark_alive >= 1;
+    Ok(Scenario {
+        name: "network-partition",
+        passed,
+        lines: vec![
+            format!(
+                "partitioned: {ok} ok, {} errors (must be 0), {mismatches} byte-mismatches; \
+                 hedge wins {hedge_wins} (must be >= 1)",
+                errors.len()
+            ),
+            format!("heartbeat marked partitioned node dead: {marked_dead} (mark_dead_total {mark_dead})"),
+            format!(
+                "healed: marked alive again {marked_alive} (mark_alive_total {mark_alive}); \
+                 {ok2} ok, {} errors after heal",
+                errors2.len()
+            ),
         ],
     })
 }

@@ -58,11 +58,19 @@ USAGE:
                 [--workers N] [--max-batch N] [--max-wait-us N]
                 [--queue-capacity N] [--max-bytes N] [--max-models N]
                 [--max-body-bytes N] [--failpoints SPEC]
-  gobo chaos    [--scenario worker-panic|corrupt-model|queue-overload]...
+  gobo cluster-node   --model <model.gobom> [--name NAME ...]
+                [--addr HOST:PORT] [--port-file PATH] [--failpoints SPEC]
+                [--workers N] [--max-batch N] [--max-bytes N]
+  gobo cluster-router --node [ID=]HOST:PORT [--node ...]
+                [--addr HOST:PORT] [--port-file PATH] [--replication N]
+                [--virtual-nodes N] [--heartbeat-ms N] [--dead-after N]
+                [--hedge-us N] [--failpoints SPEC]
+  gobo chaos    [--scenario worker-panic|corrupt-model|queue-overload
+                 |node-kill|network-partition]...
                 [--requests N] [--corruptions N] [--seed N]
   gobo bench-serve [--output BENCH_serve.json] [--layers N] [--hidden N]
                 [--bits N] [--clients N] [--requests N] [--seq-len N]
-                [--kernels on|off] [--trace-out trace.json]
+                [--kernels on|off] [--cluster on|off] [--trace-out trace.json]
   gobo trace    --out <trace.json> [--layers N] [--hidden N] [--heads N]
                 [--bits N] [--seed N]
   gobo telemetry-check --input <telemetry.json>
@@ -81,10 +89,24 @@ SERVING:
   pipelined clients and (unless --kernels off) adds a per-batch-size
   blocked-vs-matvec kernel comparison to the report.
 
+CLUSTER:
+  `cluster-node` serves loaded models over the binary cluster protocol
+  (encode, heartbeat, drain) instead of HTTP; `cluster-router` fronts
+  a set of nodes with consistent-hash sharding keyed on `name@bits`,
+  `--replication` replicas per key, heartbeat membership (dead nodes
+  leave the ring, recovered nodes rejoin), failover on retryable
+  errors, and hedged requests: a backup fires after `--hedge-us` (or a
+  p95-derived delay) and the first answer wins. The router speaks the
+  same HTTP dialect as `serve`, so clients need no change; its
+  `/metrics` exposes `gobo_cluster_*` series and `GET /v1/cluster`
+  reports membership. `bench-serve --cluster on` adds a 3-node routed
+  section (healthy vs one-slow-node tail latency) to the report.
+
 FAULT INJECTION:
   `chaos` runs scripted fault scenarios against an in-process server
   (workers panicking mid-batch, corrupt models on disk, queue
-  overload) and reports degraded-but-correct vs failed behaviour;
+  overload, killed and partitioned cluster nodes) and reports
+  degraded-but-correct vs failed behaviour;
   `--scenario` repeats, default is all scenarios. `serve` accepts
   `--failpoints \"name=action(args)[;...]\"` (or the GOBO_FAILPOINTS
   environment variable) to arm deterministic failpoints, e.g.
@@ -162,13 +184,29 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
     if command == "lint" {
         return crate::lint_cmd::lint(rest);
     }
-    let args = Args::parse(rest)?;
+    // `bench-serve --cluster` reads naturally as a bare switch; the
+    // strict `--flag value` grammar can't express that, so normalise a
+    // bare `--cluster` (followed by another flag or nothing) to
+    // `--cluster on` before parsing.
+    let mut rest: Vec<String> = rest.to_vec();
+    if command == "bench-serve" {
+        let mut i = 0;
+        while i < rest.len() {
+            if rest[i] == "--cluster" && rest.get(i + 1).is_none_or(|v| v.starts_with("--")) {
+                rest.insert(i + 1, "on".to_owned());
+            }
+            i += 1;
+        }
+    }
+    let args = Args::parse(&rest)?;
     match command.as_str() {
         "demo" => demo(&args),
         "quantize" => quantize(&args),
         "inspect" => inspect(&args),
         "decode" => decode(&args),
         "serve" => crate::serve_cmd::serve(&args),
+        "cluster-node" => crate::cluster_cmd::cluster_node(&args),
+        "cluster-router" => crate::cluster_cmd::cluster_router(&args),
         "bench-serve" => crate::serve_cmd::bench_serve(&args),
         "chaos" => crate::chaos_cmd::chaos(&args),
         "trace" => crate::obs_cmd::trace(&args),

@@ -16,6 +16,7 @@
 #![deny(missing_docs)]
 
 mod chaos_cmd;
+mod cluster_cmd;
 pub mod cmd;
 pub mod format;
 mod lint_cmd;

@@ -18,7 +18,7 @@ use rand::SeedableRng;
 use crate::cmd::{Args, CliError};
 use crate::format::CompressedModel;
 
-fn scheduler_config(args: &Args) -> Result<SchedulerConfig, CliError> {
+pub(crate) fn scheduler_config(args: &Args) -> Result<SchedulerConfig, CliError> {
     let defaults = SchedulerConfig::default();
     Ok(SchedulerConfig {
         workers: args.parse_num("workers", defaults.workers)?,
@@ -134,6 +134,158 @@ struct KernelRow {
     matvec_rows_us: f64,
 }
 
+/// Latency quantiles of one cluster bench phase, microseconds.
+struct ClusterPhase {
+    p50: f64,
+    p95: f64,
+    p99: f64,
+}
+
+/// Nearest-rank percentile over an already-sorted sample.
+fn percentile(sorted: &[u64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((q * (sorted.len() - 1) as f64).round() as usize).min(sorted.len() - 1);
+    sorted[idx] as f64
+}
+
+fn phase_of(mut latencies: Vec<u64>) -> ClusterPhase {
+    latencies.sort_unstable();
+    ClusterPhase {
+        p50: percentile(&latencies, 0.50),
+        p95: percentile(&latencies, 0.95),
+        p99: percentile(&latencies, 0.99),
+    }
+}
+
+fn phase_json(phase: &ClusterPhase) -> Json {
+    Json::obj(vec![
+        ("latency_us_p50", Json::Num(phase.p50)),
+        ("latency_us_p95", Json::Num(phase.p95)),
+        ("latency_us_p99", Json::Num(phase.p99)),
+    ])
+}
+
+/// Routed tail-latency bench: 3 in-process nodes behind a router at
+/// RF=2, measured healthy and then with the key's primary slowed.
+/// The slowdown is at least 25ms and at least 3x the adapted hedge
+/// delay — scaled so the hedged backup decisively beats the slowed
+/// primary on any machine. The hedge (p95-derived delay) rescues the
+/// first slow requests, the hedge-loss snitch demotes the slow node
+/// out of the primary slot, and steady-state degraded p99 stays
+/// within ~2x of healthy — that ratio is the section's headline
+/// number.
+fn bench_cluster(
+    compressed: &CompressedModel,
+    requests: usize,
+    seq_len: usize,
+) -> Result<(Json, String), CliError> {
+    use gobo_cluster::{ClusterNode, Router, RouterConfig};
+
+    const ADAPTATION_REQUESTS: usize = 8;
+    let requests = requests.max(64);
+
+    let mut nodes: Vec<(Arc<ServeCore>, ClusterNode)> = Vec::new();
+    for _ in 0..3 {
+        let core = ServeCore::start(ServeOptions::default());
+        Client::new(Arc::clone(&core))
+            .register("bench", compressed)
+            .map_err(|e| CliError::Failed(e.to_string()))?;
+        let node = ClusterNode::start(Arc::clone(&core), "127.0.0.1:0")
+            .map_err(|e| CliError::Failed(format!("cluster bench node bind: {e}")))?;
+        nodes.push((core, node));
+    }
+    let router = Router::new(RouterConfig::default());
+    for (i, (_, node)) in nodes.iter().enumerate() {
+        router.add_node(format!("n{}", i + 1), node.local_addr().to_string());
+    }
+
+    let drive = |n: usize| -> Result<Vec<u64>, CliError> {
+        let mut latencies = Vec::with_capacity(n);
+        for r in 0..n {
+            let ids: Vec<u32> = (0..seq_len).map(|t| (1 + (r * 7 + t) % 250) as u32).collect();
+            let started = Instant::now();
+            router
+                .encode("bench", None, &ids, &[], 0)
+                .map_err(|e| CliError::Failed(format!("cluster bench encode: {e}")))?;
+            latencies.push(started.elapsed().as_micros() as u64);
+        }
+        Ok(latencies)
+    };
+
+    let healthy = phase_of(drive(requests)?);
+    let hedge_delay_us = router.hedge_delay().as_micros() as u64;
+
+    // Slow the current primary for the bench key; the first degraded
+    // requests pay the hedge, then the slow node is demoted. The
+    // slowdown must dwarf the hedge delay, or the hedged backup never
+    // wins and no demotion happens — 3x covers slow machines where
+    // the adapted hedge delay itself approaches tens of milliseconds.
+    let slow_delay = (router.hedge_delay() * 3).max(Duration::from_millis(25));
+    let primary = router
+        .replicas_for("bench", None)
+        .first()
+        .map(|n| n.id.clone())
+        .ok_or_else(|| CliError::Failed("cluster bench has no replicas".into()))?;
+    for (i, (_, node)) in nodes.iter().enumerate() {
+        if format!("n{}", i + 1) == primary {
+            node.set_artificial_delay(slow_delay);
+        }
+    }
+    let adaptation = drive(ADAPTATION_REQUESTS)?;
+    let adaptation_max = adaptation.iter().copied().max().unwrap_or(0);
+    let metrics = router.metrics();
+    let hedge_fires = metrics.hedge_fires.load(std::sync::atomic::Ordering::Relaxed);
+    let hedge_wins = metrics.hedge_wins.load(std::sync::atomic::Ordering::Relaxed);
+    let degraded = phase_of(drive(requests)?);
+    let p99_ratio = degraded.p99 / healthy.p99.max(1.0);
+    router.shutdown();
+    for (core, mut node) in nodes {
+        node.shutdown();
+        core.shutdown();
+    }
+
+    let json = Json::obj(vec![
+        ("nodes", Json::Num(3.0)),
+        ("replication", Json::Num(2.0)),
+        ("requests", Json::Num(requests as f64)),
+        ("hedge_delay_us", Json::Num(hedge_delay_us as f64)),
+        ("healthy", phase_json(&healthy)),
+        (
+            "adaptation",
+            Json::obj(vec![
+                ("requests", Json::Num(ADAPTATION_REQUESTS as f64)),
+                ("latency_us_max", Json::Num(adaptation_max as f64)),
+                ("hedge_fires", Json::Num(hedge_fires as f64)),
+                ("hedge_wins", Json::Num(hedge_wins as f64)),
+            ]),
+        ),
+        ("slow_node_delay_us", Json::Num(slow_delay.as_micros() as f64)),
+        ("degraded", phase_json(&degraded)),
+        ("p99_ratio", Json::Num(p99_ratio)),
+    ]);
+    let summary = format!(
+        "cluster (3 nodes, rf=2, primary slowed {}ms after healthy phase):\n  \
+         healthy   p50 {:>7.0} p95 {:>7.0} p99 {:>7.0} us\n  \
+         degraded  p50 {:>7.0} p95 {:>7.0} p99 {:>7.0} us (p99 ratio {:.2}x, \
+         hedge delay {} us, {} fired / {} won during adaptation, slow max {} us)\n",
+        slow_delay.as_millis(),
+        healthy.p50,
+        healthy.p95,
+        healthy.p99,
+        degraded.p50,
+        degraded.p95,
+        degraded.p99,
+        p99_ratio,
+        hedge_delay_us,
+        hedge_fires,
+        hedge_wins,
+        adaptation_max,
+    );
+    Ok((json, summary))
+}
+
 /// Times the two compute-on-compressed kernels on a deterministic
 /// `hidden × hidden` layer quantized at `bits`, free of any scheduler
 /// or HTTP noise — this isolates the once-per-batch tile-decode win
@@ -203,6 +355,11 @@ pub(crate) fn bench_serve(args: &Args) -> Result<String, CliError> {
         "on" => true,
         "off" => false,
         other => return Err(CliError::Usage(format!("flag --kernels: `{other}` is not on|off"))),
+    };
+    let cluster = match args.get("cluster").unwrap_or("off") {
+        "on" => true,
+        "off" => false,
+        other => return Err(CliError::Usage(format!("flag --cluster: `{other}` is not on|off"))),
     };
     let trace_out = args.get("trace-out");
 
@@ -298,6 +455,8 @@ pub(crate) fn bench_serve(args: &Args) -> Result<String, CliError> {
         gobo_obs::trace::reset();
     }
     let kernel_rows = if kernels { bench_kernels(hidden, bits)? } else { Vec::new() };
+    let cluster_section =
+        if cluster { Some(bench_cluster(&compressed, requests, seq_len)?) } else { None };
 
     let mut pairs = vec![
         ("bench", Json::Str("serve_throughput".to_owned())),
@@ -362,6 +521,9 @@ pub(crate) fn bench_serve(args: &Args) -> Result<String, CliError> {
             ]),
         ));
     }
+    if let Some((cluster_json, _)) = &cluster_section {
+        pairs.push(("cluster", cluster_json.clone()));
+    }
     let report = Json::obj(pairs);
     std::fs::write(output, format!("{report}\n"))?;
 
@@ -394,6 +556,9 @@ pub(crate) fn bench_serve(args: &Args) -> Result<String, CliError> {
                 row.matvec_rows_us / row.blocked_us.max(1e-9)
             ));
         }
+    }
+    if let Some((_, cluster_summary)) = &cluster_section {
+        summary.push_str(cluster_summary);
     }
     summary.push_str(&format!("report written to `{output}`"));
     if let Some(path) = trace_out {
@@ -462,6 +627,45 @@ mod tests {
             assert!(row.get("matvec_rows_us").and_then(|v| v.as_f64()).unwrap() > 0.0);
             assert!(row.get("speedup").and_then(|v| v.as_f64()).unwrap() > 0.0);
         }
+    }
+
+    /// `--cluster` (bare or `on`) adds the routed 3-node section with
+    /// healthy/degraded tail latencies and the hedge evidence.
+    #[test]
+    fn bench_serve_cluster_section() {
+        let out = tmp("BENCH_serve_cluster.json");
+        let msg = run_str(&[
+            "bench-serve",
+            "--output",
+            &out,
+            "--layers",
+            "1",
+            "--hidden",
+            "16",
+            "--requests",
+            "16",
+            "--clients",
+            "2",
+            "--kernels",
+            "off",
+            "--cluster", // bare switch, normalised to `--cluster on`
+        ])
+        .unwrap();
+        assert!(msg.contains("cluster (3 nodes, rf=2"), "{msg}");
+        let report = std::fs::read_to_string(&out).unwrap();
+        let value = gobo_serve::json::parse(&report).unwrap();
+        let cluster = value.get("cluster").expect("cluster section");
+        assert_eq!(cluster.get("nodes").and_then(|v| v.as_f64()), Some(3.0));
+        let ratio = cluster.get("p99_ratio").and_then(|v| v.as_f64()).unwrap();
+        assert!(ratio > 0.0, "ratio {ratio}");
+        let healthy = cluster.get("healthy").unwrap();
+        let p50 = healthy.get("latency_us_p50").and_then(|v| v.as_f64()).unwrap();
+        let p99 = healthy.get("latency_us_p99").and_then(|v| v.as_f64()).unwrap();
+        assert!(p50 > 0.0 && p50 <= p99, "{p50} {p99}");
+        assert!(matches!(
+            run_str(&["bench-serve", "--output", &out, "--cluster", "sideways"]),
+            Err(crate::cmd::CliError::Usage(_))
+        ));
     }
 
     /// `--kernels off` drops the kernel section from report and summary.
@@ -542,7 +746,7 @@ mod tests {
             stream
                 .write_all(
                     format!(
-                        "POST {path} HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{body}",
+                        "POST {path} HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
                         body.len()
                     )
                     .as_bytes(),

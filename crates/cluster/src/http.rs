@@ -1,0 +1,183 @@
+//! The router's HTTP front door.
+//!
+//! Speaks the exact JSON dialect of a single `gobo-serve` node —
+//! `POST /v1/encode` request and response bodies are shaped
+//! identically — so clients cannot tell a router from a node, and the
+//! serving tier can grow from one process to a cluster without a
+//! client change. Adds `GET /v1/cluster` (membership snapshot) and
+//! serves the cluster metrics on `GET /metrics`.
+
+use std::net::SocketAddr;
+use std::sync::Arc;
+
+use gobo_serve::http::error_body;
+use gobo_serve::json::Json;
+use gobo_serve::{
+    parse_encode_body, HttpHandler, HttpListener, HttpOptions, HttpResponse, ParsedRequest,
+    ShutdownSignal,
+};
+
+use crate::router::Router;
+
+/// A bound, accepting HTTP front over a [`Router`].
+pub struct RouterServer {
+    router: Arc<Router>,
+    listener: HttpListener,
+    signal: Arc<ShutdownSignal>,
+}
+
+struct RouterHandler {
+    router: Arc<Router>,
+    signal: Arc<ShutdownSignal>,
+}
+
+impl HttpHandler for RouterHandler {
+    fn handle(&self, request: &ParsedRequest) -> HttpResponse {
+        match (request.method.as_str(), request.path.as_str()) {
+            ("POST", "/v1/encode") => encode(&self.router, &request.body),
+            ("GET", "/v1/cluster") => HttpResponse::json(200, membership_body(&self.router)),
+            ("GET", "/metrics") => HttpResponse {
+                status: 200,
+                content_type: "text/plain; version=0.0.4",
+                body: self.router.render_metrics(),
+                close: false,
+            },
+            ("POST", "/v1/shutdown") => {
+                self.signal.request();
+                HttpResponse {
+                    status: 200,
+                    content_type: "application/json",
+                    body: "{\"status\":\"draining\"}".to_owned(),
+                    close: true,
+                }
+            }
+            _ => HttpResponse::json(404, error_body(404, "not_found", "no such route")),
+        }
+    }
+}
+
+fn encode(router: &Router, body: &[u8]) -> HttpResponse {
+    let request = match parse_encode_body(body) {
+        Ok(request) => request,
+        Err(e) => {
+            return HttpResponse::json(
+                e.http_status(),
+                error_body(e.http_status(), e.code(), &e.to_string()),
+            )
+        }
+    };
+    let ids: Vec<u32> = request.ids.iter().map(|&v| v as u32).collect();
+    let type_ids: Vec<u32> = request.type_ids.iter().map(|&v| v as u32).collect();
+    let deadline_ms = request.deadline.map_or(0, |d| d.as_millis() as u64);
+    match router.encode(&request.model, request.bits, &ids, &type_ids, deadline_ms) {
+        Ok(ok) => {
+            let pooled = match &ok.pooled {
+                Some(values) => Json::f32_array(values),
+                None => Json::Null,
+            };
+            let dims: Vec<usize> = ok.dims.iter().map(|&d| d as usize).collect();
+            // Field order matches a node's own /v1/encode response.
+            let body = Json::obj(vec![
+                ("model", Json::Str(ok.model.clone())),
+                ("bits", Json::Num(f64::from(ok.bits))),
+                ("batch_size", Json::Num(f64::from(ok.batch_size))),
+                ("queue_us", Json::Num(ok.queue_us as f64)),
+                ("compute_us", Json::Num(ok.compute_us as f64)),
+                (
+                    "hidden",
+                    Json::obj(vec![
+                        ("dims", Json::usize_array(&dims)),
+                        ("data", Json::f32_array(&ok.hidden)),
+                    ]),
+                ),
+                ("pooled", pooled),
+            ])
+            .to_string();
+            HttpResponse::json(200, body)
+        }
+        Err(e) => HttpResponse::json(
+            e.http_status(),
+            error_body(e.http_status(), e.code(), &e.to_string()),
+        ),
+    }
+}
+
+fn membership_body(router: &Router) -> String {
+    let nodes: Vec<Json> = router
+        .membership()
+        .into_iter()
+        .map(|info| {
+            Json::obj(vec![
+                ("id", Json::Str(info.id)),
+                ("addr", Json::Str(info.addr)),
+                ("healthy", Json::Bool(info.healthy)),
+                ("draining", Json::Bool(info.draining)),
+                ("queue_depth", Json::Num(f64::from(info.queue_depth))),
+                ("slow_score", Json::Num(f64::from(info.slow_score))),
+            ])
+        })
+        .collect();
+    Json::obj(vec![
+        ("nodes", Json::Arr(nodes)),
+        ("hedge_delay_us", Json::Num(router.hedge_delay().as_micros() as f64)),
+    ])
+    .to_string()
+}
+
+impl RouterServer {
+    /// Binds `addr` (port 0 for ephemeral) with default
+    /// [`HttpOptions`] and starts accepting on behalf of `router`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket failures.
+    pub fn bind(router: Arc<Router>, addr: &str) -> std::io::Result<RouterServer> {
+        Self::bind_with(router, addr, HttpOptions::default())
+    }
+
+    /// Binds `addr` with explicit [`HttpOptions`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket failures.
+    pub fn bind_with(
+        router: Arc<Router>,
+        addr: &str,
+        options: HttpOptions,
+    ) -> std::io::Result<RouterServer> {
+        let signal = Arc::new(ShutdownSignal::new());
+        let handler: Arc<dyn HttpHandler> =
+            Arc::new(RouterHandler { router: Arc::clone(&router), signal: Arc::clone(&signal) });
+        let listener = HttpListener::bind(addr, options, handler)?;
+        Ok(RouterServer { router, listener, signal })
+    }
+
+    /// The bound address (with the resolved ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.listener.local_addr()
+    }
+
+    /// Asks the front to shut down, as `POST /v1/shutdown` does.
+    pub fn request_shutdown(&self) {
+        self.signal.request();
+    }
+
+    /// Blocks until shutdown is requested, then stops the listener and
+    /// the router's heartbeat thread.
+    pub fn serve_until_shutdown(mut self) {
+        self.signal.wait();
+        self.teardown();
+    }
+
+    fn teardown(&mut self) {
+        self.signal.request();
+        self.listener.stop();
+        self.router.shutdown();
+    }
+}
+
+impl Drop for RouterServer {
+    fn drop(&mut self) {
+        self.teardown();
+    }
+}

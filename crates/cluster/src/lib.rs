@@ -1,0 +1,42 @@
+//! `gobo-cluster`: the sharded multi-node serving tier.
+//!
+//! One `gobo-serve` process holds what fits in one memory budget and
+//! one socket's accept queue. This crate scales the serving stack
+//! horizontally while keeping its defining invariant — a routed
+//! response's tensor payload is byte-identical to a direct in-process
+//! encode — and adds the two properties a single node cannot have:
+//! surviving a node loss, and capping tail latency when a node turns
+//! slow rather than dead.
+//!
+//! * [`ring`] — consistent-hash ring with virtual nodes, keyed on the
+//!   model identity `name@bits`; membership changes only remap the
+//!   departed member's keys, keeping node registries warm;
+//! * [`node`] — a `gobo-proto` protocol listener wrapping an
+//!   in-process [`gobo_serve::ServeCore`]: encode, heartbeat (load +
+//!   model residency), and graceful drain;
+//! * [`router`] — replica selection by health and load, heartbeat
+//!   membership with mark-dead/mark-alive, failover on retryable
+//!   errors, and hedged requests: a backup fires after a p95-derived
+//!   delay, the first answer wins, the loser is cancelled;
+//! * [`metrics`] — `gobo_cluster_*` Prometheus counters and the
+//!   route-latency histogram;
+//! * [`http`] — the router's HTTP front door, speaking the exact JSON
+//!   dialect of a single node plus `GET /v1/cluster`.
+//!
+//! Failpoints: `cluster.route`, `cluster.node.recv`,
+//! `cluster.heartbeat` (plus `proto.frame.parse` in the wire layer).
+//! Spans: `gobo.cluster.route`, `gobo.hedge`.
+
+#![deny(missing_docs)]
+
+pub mod http;
+pub mod metrics;
+pub mod node;
+pub mod ring;
+pub mod router;
+
+pub use http::RouterServer;
+pub use metrics::{ClusterMetrics, NodeHealthSample};
+pub use node::ClusterNode;
+pub use ring::Ring;
+pub use router::{NodeInfo, NodeState, Router, RouterConfig, RouterError};

@@ -1,0 +1,190 @@
+//! Cluster-tier Prometheus metrics: routing volume, hedging, and
+//! per-node membership health.
+//!
+//! Rendered separately from the per-node serve metrics — the router is
+//! its own process with its own `/metrics` endpoint. Naming follows
+//! the workspace rules enforced by `gobo lint`: `gobo_` prefix,
+//! counters end in `_total`, histograms in `_us`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use gobo_obs::hist::{escape_label, Histogram};
+
+/// Counters, gauges, and the route-latency histogram of one router.
+#[derive(Debug, Default)]
+pub struct ClusterMetrics {
+    /// Requests routed (one per client request, however many attempts).
+    pub requests: AtomicU64,
+    /// Requests that ultimately failed.
+    pub errors: AtomicU64,
+    /// Hedge backups fired after the hedge delay elapsed.
+    pub hedge_fires: AtomicU64,
+    /// Requests won by a hedge backup rather than the primary.
+    pub hedge_wins: AtomicU64,
+    /// Failovers to the next replica after a retryable failure.
+    pub failovers: AtomicU64,
+    /// Consistent-hash ring rebuilds (membership/health transitions).
+    pub ring_rebuilds: AtomicU64,
+    /// Heartbeats sent.
+    pub heartbeats: AtomicU64,
+    /// Heartbeats that failed or timed out.
+    pub heartbeat_failures: AtomicU64,
+    /// Healthy→dead transitions.
+    pub mark_dead: AtomicU64,
+    /// Dead→healthy transitions.
+    pub mark_alive: AtomicU64,
+    /// End-to-end route latency of successful requests, microseconds.
+    pub route_us: Histogram,
+}
+
+/// One row of the per-node health block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeHealthSample {
+    /// Logical node id (stable across restarts; not the address).
+    pub id: String,
+    /// Whether the router currently considers the node healthy.
+    pub healthy: bool,
+    /// Whether the node reported draining in its last heartbeat ack.
+    pub draining: bool,
+    /// Queue depth from the last heartbeat ack.
+    pub queue_depth: u64,
+}
+
+impl ClusterMetrics {
+    /// Fresh, zeroed metrics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Renders the Prometheus text exposition. `nodes` supplies the
+    /// per-node health block (labelled by logical id, never by
+    /// address, so scrapes stay stable across port changes).
+    pub fn render(&self, nodes: &[NodeHealthSample]) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::with_capacity(2048);
+        let mut counter = |name: &str, help: &str, value: u64| {
+            let _ = write!(
+                out,
+                "# HELP gobo_cluster_{name} {help}\n# TYPE gobo_cluster_{name} counter\ngobo_cluster_{name} {value}\n"
+            );
+        };
+        counter("requests_total", "requests routed", self.requests.load(Ordering::Relaxed));
+        counter(
+            "errors_total",
+            "requests that ultimately failed",
+            self.errors.load(Ordering::Relaxed),
+        );
+        counter(
+            "hedge_fires_total",
+            "hedge backups fired after the hedge delay",
+            self.hedge_fires.load(Ordering::Relaxed),
+        );
+        counter(
+            "hedge_wins_total",
+            "requests won by a hedge backup",
+            self.hedge_wins.load(Ordering::Relaxed),
+        );
+        counter(
+            "failovers_total",
+            "failovers to the next replica after a retryable failure",
+            self.failovers.load(Ordering::Relaxed),
+        );
+        counter(
+            "ring_rebuilds_total",
+            "consistent-hash ring rebuilds",
+            self.ring_rebuilds.load(Ordering::Relaxed),
+        );
+        counter("heartbeats_total", "heartbeats sent", self.heartbeats.load(Ordering::Relaxed));
+        counter(
+            "heartbeat_failures_total",
+            "heartbeats that failed or timed out",
+            self.heartbeat_failures.load(Ordering::Relaxed),
+        );
+        counter(
+            "mark_dead_total",
+            "healthy-to-dead membership transitions",
+            self.mark_dead.load(Ordering::Relaxed),
+        );
+        counter(
+            "mark_alive_total",
+            "dead-to-healthy membership transitions",
+            self.mark_alive.load(Ordering::Relaxed),
+        );
+
+        let healthy = nodes.iter().filter(|n| n.healthy).count() as u64;
+        let down = nodes.iter().filter(|n| !n.healthy).count() as u64;
+        let draining = nodes.iter().filter(|n| n.draining).count() as u64;
+        let mut gauge = |name: &str, help: &str, value: u64| {
+            let _ = write!(
+                out,
+                "# HELP gobo_cluster_{name} {help}\n# TYPE gobo_cluster_{name} gauge\ngobo_cluster_{name} {value}\n"
+            );
+        };
+        gauge("nodes", "cluster members known to the router", nodes.len() as u64);
+        gauge("nodes_healthy", "members currently marked healthy", healthy);
+        gauge("node_down", "members currently marked dead", down);
+        gauge("nodes_draining", "members reporting draining", draining);
+
+        let _ = write!(
+            out,
+            "# HELP gobo_cluster_node_healthy per-node health (1 healthy, 0 dead)\n# TYPE gobo_cluster_node_healthy gauge\n"
+        );
+        for node in nodes {
+            let _ = writeln!(
+                out,
+                "gobo_cluster_node_healthy{{node=\"{}\"}} {}",
+                escape_label(&node.id),
+                u64::from(node.healthy)
+            );
+        }
+        let _ = write!(
+            out,
+            "# HELP gobo_cluster_node_queue_depth per-node queue depth from the last heartbeat\n# TYPE gobo_cluster_node_queue_depth gauge\n"
+        );
+        for node in nodes {
+            let _ = writeln!(
+                out,
+                "gobo_cluster_node_queue_depth{{node=\"{}\"}} {}",
+                escape_label(&node.id),
+                node.queue_depth
+            );
+        }
+
+        self.route_us.render_prometheus(
+            "gobo_cluster_route_us",
+            "end-to-end routed request latency (us)",
+            &[],
+            &mut out,
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_includes_all_families_and_labels() {
+        let m = ClusterMetrics::new();
+        m.requests.fetch_add(10, Ordering::Relaxed);
+        m.hedge_fires.fetch_add(2, Ordering::Relaxed);
+        m.route_us.observe(1500);
+        let nodes = vec![
+            NodeHealthSample { id: "n1".into(), healthy: true, draining: false, queue_depth: 3 },
+            NodeHealthSample { id: "n2".into(), healthy: false, draining: false, queue_depth: 0 },
+        ];
+        let text = m.render(&nodes);
+        assert!(text.contains("gobo_cluster_requests_total 10"), "{text}");
+        assert!(text.contains("gobo_cluster_hedge_fires_total 2"), "{text}");
+        assert!(text.contains("gobo_cluster_node_down 1"), "{text}");
+        assert!(text.contains("gobo_cluster_node_healthy{node=\"n1\"} 1"), "{text}");
+        assert!(text.contains("gobo_cluster_node_healthy{node=\"n2\"} 0"), "{text}");
+        assert!(text.contains("gobo_cluster_node_queue_depth{node=\"n1\"} 3"), "{text}");
+        assert!(text.contains("gobo_cluster_route_us_count 1"), "{text}");
+        // Every TYPE line is gobo_-prefixed (the lint naming rule).
+        for line in text.lines().filter(|l| l.starts_with("# TYPE")) {
+            assert!(line.contains("gobo_cluster_"), "{line}");
+        }
+    }
+}

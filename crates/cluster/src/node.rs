@@ -1,0 +1,276 @@
+//! The cluster node: a protocol listener wrapping an in-process
+//! [`ServeCore`].
+//!
+//! A node is the unit of horizontal scale. It answers three things on
+//! its TCP port: encode requests (delegated to the serve scheduler,
+//! byte-identical to a direct in-process encode), heartbeats (answered
+//! with queue depth, drain state, and the registry's model residency),
+//! and drain commands (stop accepting encodes, finish what is queued).
+//!
+//! Two test-only knobs exist for chaos and benchmarking:
+//! [`ClusterNode::set_artificial_delay`] slows *this* node's encodes
+//! (the `gobo-fault` registry is process-global, so a delay failpoint
+//! cannot target one node of an in-process cluster), and
+//! [`ClusterNode::set_partitioned`] simulates an asymmetric network
+//! partition — frames are read but never answered, which is exactly
+//! the failure hedged requests exist for.
+
+use std::io::BufReader;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use gobo_proto::frame::{
+    read_frame, write_frame, EncodeErrFrame, EncodeOkFrame, EncodeRequestFrame,
+    EncodeResponseFrame, Frame, HeartbeatAckFrame, ModelStatusFrame, ProtoError, MAX_PAYLOAD,
+};
+use gobo_serve::{EncodeRequest, ServeCore, ShutdownSignal};
+
+/// Poll interval of the non-blocking accept loop.
+const ACCEPT_POLL: Duration = Duration::from_millis(5);
+/// How long a partitioned connection re-checks its parking condition.
+const PARTITION_POLL: Duration = Duration::from_millis(5);
+
+struct NodeShared {
+    core: Arc<ServeCore>,
+    stop: AtomicBool,
+    draining: AtomicBool,
+    partitioned: AtomicBool,
+    artificial_delay_us: AtomicU64,
+    drain_signal: ShutdownSignal,
+}
+
+/// Live connections: each worker's join handle plus a tracked clone
+/// of its socket, so shutdown can close streams a peer holds open.
+type ConnectionSet = Arc<Mutex<Vec<(JoinHandle<()>, TcpStream)>>>;
+
+/// A running protocol listener over a [`ServeCore`].
+pub struct ClusterNode {
+    shared: Arc<NodeShared>,
+    local_addr: SocketAddr,
+    accept_thread: Option<JoinHandle<()>>,
+    connections: ConnectionSet,
+}
+
+impl ClusterNode {
+    /// Binds `addr` (port 0 for ephemeral) and starts serving the
+    /// cluster protocol over `core`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket failures.
+    pub fn start(core: Arc<ServeCore>, addr: &str) -> std::io::Result<ClusterNode> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+        let shared = Arc::new(NodeShared {
+            core,
+            stop: AtomicBool::new(false),
+            draining: AtomicBool::new(false),
+            partitioned: AtomicBool::new(false),
+            artificial_delay_us: AtomicU64::new(0),
+            drain_signal: ShutdownSignal::new(),
+        });
+        let connections: ConnectionSet = Arc::new(Mutex::new(Vec::new()));
+
+        let accept_thread = {
+            let shared = Arc::clone(&shared);
+            let connections = Arc::clone(&connections);
+            std::thread::Builder::new().name("gobo-node-accept".into()).spawn(move || {
+                while !shared.stop.load(Ordering::Acquire) {
+                    match listener.accept() {
+                        Ok((stream, _)) => {
+                            let tracked = match stream.try_clone() {
+                                Ok(clone) => clone,
+                                Err(_) => continue,
+                            };
+                            let shared = Arc::clone(&shared);
+                            let handle = std::thread::spawn(move || {
+                                let _ = handle_conn(&shared, stream);
+                            });
+                            if let Ok(mut conns) = connections.lock() {
+                                conns.retain(|(h, _)| !h.is_finished());
+                                conns.push((handle, tracked));
+                            }
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(ACCEPT_POLL);
+                        }
+                        Err(_) => std::thread::sleep(ACCEPT_POLL),
+                    }
+                }
+            })?
+        };
+
+        Ok(ClusterNode { shared, local_addr, accept_thread: Some(accept_thread), connections })
+    }
+
+    /// The bound address (with the resolved ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Adds a fixed delay to every encode on *this* node — the
+    /// slow-replica knob for hedging benchmarks.
+    pub fn set_artificial_delay(&self, delay: Duration) {
+        self.shared.artificial_delay_us.store(delay.as_micros() as u64, Ordering::Relaxed);
+    }
+
+    /// Simulates an asymmetric partition: while set, connections read
+    /// frames but never answer, so peers see timeouts instead of
+    /// resets.
+    pub fn set_partitioned(&self, partitioned: bool) {
+        self.shared.partitioned.store(partitioned, Ordering::Release);
+    }
+
+    /// Whether a drain has been requested (via frame or locally).
+    pub fn is_draining(&self) -> bool {
+        self.shared.draining.load(Ordering::Acquire)
+    }
+
+    /// Begins drain locally: new encodes are rejected with
+    /// `shutting_down`, heartbeat acks advertise `draining`.
+    pub fn begin_drain(&self) {
+        self.shared.draining.store(true, Ordering::Release);
+        self.shared.drain_signal.request();
+    }
+
+    /// Blocks until a drain has been requested (by a [`Frame::Drain`]
+    /// from the router or [`ClusterNode::begin_drain`]).
+    pub fn wait_drain(&self) {
+        self.shared.drain_signal.wait();
+    }
+
+    /// Hard stop: close the listener, shut down every connection, join
+    /// all threads. The serve core is left to the caller (it may be
+    /// shared). Idempotent.
+    pub fn shutdown(&mut self) {
+        self.shared.stop.store(true, Ordering::Release);
+        self.shared.drain_signal.request();
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+        let conns: Vec<(JoinHandle<()>, TcpStream)> = match self.connections.lock() {
+            Ok(mut conns) => conns.drain(..).collect(),
+            Err(_) => Vec::new(),
+        };
+        for (handle, stream) in conns {
+            let _ = stream.shutdown(Shutdown::Both);
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for ClusterNode {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn handle_conn(shared: &NodeShared, stream: TcpStream) -> Result<(), ProtoError> {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(60)));
+    let mut reader = BufReader::new(stream.try_clone().map_err(ProtoError::Io)?);
+    let mut writer = stream;
+    loop {
+        let frame = match read_frame(&mut reader, MAX_PAYLOAD)? {
+            Some(frame) => frame,
+            None => return Ok(()), // peer closed cleanly
+        };
+        gobo_fault::fail_point!(
+            "cluster.node.recv",
+            ProtoError::Corrupt("injected cluster.node.recv fault".to_string())
+        );
+        // Partition simulation: the request was received but the
+        // answer never leaves. Park until healed or stopped.
+        while shared.partitioned.load(Ordering::Acquire) && !shared.stop.load(Ordering::Acquire) {
+            std::thread::sleep(PARTITION_POLL);
+        }
+        if shared.stop.load(Ordering::Acquire) {
+            return Ok(());
+        }
+        let reply = match frame {
+            Frame::EncodeRequest(request) => Some(handle_encode(shared, request)),
+            Frame::Heartbeat { seq } => Some(heartbeat_ack(shared, seq)),
+            Frame::Drain => {
+                shared.draining.store(true, Ordering::Release);
+                shared.drain_signal.request();
+                Some(Frame::DrainAck)
+            }
+            // Responses/acks arriving at a node are protocol misuse;
+            // drop the connection rather than guess.
+            Frame::EncodeResponse(_) | Frame::HeartbeatAck(_) | Frame::DrainAck => None,
+        };
+        match reply {
+            Some(frame) => write_frame(&mut writer, &frame).map_err(ProtoError::Io)?,
+            None => {
+                return Err(ProtoError::Corrupt("unexpected frame kind for a node".to_string()))
+            }
+        }
+    }
+}
+
+fn handle_encode(shared: &NodeShared, request: EncodeRequestFrame) -> Frame {
+    let delay_us = shared.artificial_delay_us.load(Ordering::Relaxed);
+    if delay_us > 0 {
+        std::thread::sleep(Duration::from_micros(delay_us));
+    }
+    let id = request.id;
+    if shared.draining.load(Ordering::Acquire) {
+        return Frame::EncodeResponse(EncodeResponseFrame {
+            id,
+            result: Err(EncodeErrFrame {
+                code: "shutting_down".to_string(),
+                message: "node is draining".to_string(),
+            }),
+        });
+    }
+    let encode = EncodeRequest {
+        model: request.model,
+        bits: if request.bits == 0 { None } else { Some(request.bits) },
+        ids: request.ids.iter().map(|&v| v as usize).collect(),
+        type_ids: request.type_ids.iter().map(|&v| v as usize).collect(),
+        deadline: if request.deadline_ms == 0 {
+            None
+        } else {
+            Some(Duration::from_millis(request.deadline_ms))
+        },
+    };
+    let result = match shared.core.scheduler().encode_blocking(encode) {
+        Ok(response) => Ok(EncodeOkFrame {
+            model: response.model.name.clone(),
+            bits: response.model.bits,
+            dims: response.hidden_dims.iter().map(|&d| d as u32).collect(),
+            hidden: response.hidden,
+            pooled: response.pooled,
+            batch_size: response.batch_size as u32,
+            queue_us: response.queue_us,
+            compute_us: response.compute_us,
+        }),
+        Err(e) => Err(EncodeErrFrame { code: e.code().to_string(), message: e.to_string() }),
+    };
+    Frame::EncodeResponse(EncodeResponseFrame { id, result })
+}
+
+fn heartbeat_ack(shared: &NodeShared, seq: u64) -> Frame {
+    let models = shared
+        .core
+        .registry()
+        .status()
+        .into_iter()
+        .map(|status| ModelStatusFrame {
+            name: status.key.name,
+            bits: status.key.bits,
+            resident: status.resident,
+            decoded_bytes: status.decoded_bytes as u64,
+        })
+        .collect();
+    Frame::HeartbeatAck(HeartbeatAckFrame {
+        seq,
+        queue_depth: shared.core.scheduler().queue_depth() as u32,
+        draining: shared.draining.load(Ordering::Acquire),
+        models,
+    })
+}

@@ -1,0 +1,162 @@
+//! Consistent-hash ring with virtual nodes.
+//!
+//! Keys are model identities (`name@bits`); members are logical node
+//! ids. Each member is hashed onto `virtual_nodes` points of a 64-bit
+//! circle, and a key's replicas are the first `rf` *distinct* members
+//! clockwise from the key's hash. Virtual nodes smooth the load split,
+//! and consistency means membership changes only remap the keys that
+//! actually touched the departed/arrived member — the property that
+//! keeps registries warm across a rebalance.
+
+/// A consistent-hash ring over logical node ids.
+#[derive(Debug, Clone, Default)]
+pub struct Ring {
+    /// `(hash, member index)` sorted by hash.
+    points: Vec<(u64, usize)>,
+    members: Vec<String>,
+}
+
+/// FNV-1a 64-bit, finished with a SplitMix64 mix — cheap, stable
+/// across runs (unlike `DefaultHasher`), and well-dispersed even for
+/// short, similar keys like `n1`/`n2`.
+fn hash_str(s: &str) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for b in s.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    // SplitMix64 finalizer.
+    h = (h ^ (h >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    h = (h ^ (h >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    h ^ (h >> 31)
+}
+
+impl Ring {
+    /// Builds a ring of `members`, each owning `virtual_nodes` points.
+    pub fn new(members: &[String], virtual_nodes: usize) -> Ring {
+        let vnodes = virtual_nodes.max(1);
+        let mut points = Vec::with_capacity(members.len() * vnodes);
+        for (index, member) in members.iter().enumerate() {
+            for v in 0..vnodes {
+                points.push((hash_str(&format!("{member}#{v}")), index));
+            }
+        }
+        points.sort_unstable();
+        Ring { points, members: members.to_vec() }
+    }
+
+    /// Number of distinct members.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// `true` when the ring has no members.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// The first `rf` distinct members clockwise from `key`'s hash.
+    /// Fewer are returned when the ring has fewer members than `rf`.
+    pub fn replicas(&self, key: &str, rf: usize) -> Vec<&str> {
+        if self.points.is_empty() || rf == 0 {
+            return Vec::new();
+        }
+        let target = hash_str(key);
+        let start = self.points.partition_point(|(h, _)| *h < target);
+        let mut out: Vec<&str> = Vec::with_capacity(rf.min(self.members.len()));
+        let mut seen = vec![false; self.members.len()];
+        for offset in 0..self.points.len() {
+            let idx = (start + offset) % self.points.len();
+            let Some(&(_, member)) = self.points.get(idx) else { continue };
+            let Some(flag) = seen.get_mut(member) else { continue };
+            if *flag {
+                continue;
+            }
+            *flag = true;
+            if let Some(name) = self.members.get(member) {
+                out.push(name.as_str());
+            }
+            if out.len() >= rf.min(self.members.len()) {
+                break;
+            }
+        }
+        out
+    }
+
+    /// The primary member for `key` (first replica).
+    pub fn primary(&self, key: &str) -> Option<&str> {
+        self.replicas(key, 1).first().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn members(names: &[&str]) -> Vec<String> {
+        names.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn replicas_are_distinct_and_deterministic() {
+        let ring = Ring::new(&members(&["n1", "n2", "n3"]), 64);
+        for key in ["bert@3b", "bert@4b", "gpt@3b", "tiny@2b"] {
+            let a = ring.replicas(key, 2);
+            let b = ring.replicas(key, 2);
+            assert_eq!(a, b, "deterministic for {key}");
+            assert_eq!(a.len(), 2);
+            assert_ne!(a[0], a[1], "replicas must be distinct for {key}");
+        }
+    }
+
+    #[test]
+    fn rf_larger_than_membership_returns_all() {
+        let ring = Ring::new(&members(&["n1", "n2"]), 16);
+        let replicas = ring.replicas("m@3b", 5);
+        assert_eq!(replicas.len(), 2);
+    }
+
+    #[test]
+    fn empty_ring_returns_nothing() {
+        let ring = Ring::new(&[], 64);
+        assert!(ring.is_empty());
+        assert!(ring.replicas("m@3b", 2).is_empty());
+        assert!(ring.primary("m@3b").is_none());
+    }
+
+    #[test]
+    fn load_is_roughly_balanced() {
+        let ring = Ring::new(&members(&["n1", "n2", "n3", "n4"]), 128);
+        let mut counts = std::collections::HashMap::new();
+        for i in 0..4000 {
+            let key = format!("model-{i}@3b");
+            let primary = ring.primary(&key).unwrap().to_string();
+            *counts.entry(primary).or_insert(0usize) += 1;
+        }
+        for (node, count) in &counts {
+            // Perfect balance is 1000; accept a 2x band.
+            assert!((500..=2000).contains(count), "{node} owns {count} of 4000 keys");
+        }
+    }
+
+    #[test]
+    fn removing_a_member_only_remaps_its_keys() {
+        let all = Ring::new(&members(&["n1", "n2", "n3"]), 128);
+        let without = Ring::new(&members(&["n1", "n3"]), 128);
+        let mut moved = 0;
+        let mut total = 0;
+        for i in 0..2000 {
+            let key = format!("model-{i}@3b");
+            let before = all.primary(&key).unwrap();
+            let after = without.primary(&key).unwrap();
+            total += 1;
+            if before != "n2" {
+                // Keys not owned by the removed member must not move.
+                assert_eq!(before, after, "{key} moved although its owner survived");
+            } else {
+                moved += 1;
+            }
+        }
+        assert!(moved > 0, "removed member owned no keys out of {total}");
+    }
+}

@@ -1,0 +1,75 @@
+//! Golden-schema pin of the router's `/metrics` exposition.
+//!
+//! The schema (series names, HELP/TYPE headers, label sets, histogram
+//! bucket bounds) is deterministic when node ids are fixed, so it is
+//! pinned verbatim; sample values are stripped. A rename or a dropped
+//! series fails here before any dashboard notices.
+
+use gobo_cluster::{ClusterMetrics, NodeHealthSample};
+
+/// Reduces an exposition to its schema: comment lines verbatim, sample
+/// lines stripped of their value (everything after the final space).
+fn schema_of(exposition: &str) -> String {
+    let mut out = String::new();
+    for line in exposition.lines() {
+        if line.starts_with('#') {
+            out.push_str(line);
+        } else if let Some(idx) = line.rfind(' ') {
+            out.push_str(&line[..idx]);
+        } else {
+            out.push_str(line);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Golden-file test for the cluster metrics exposition. Regenerate
+/// with `UPDATE_GOLDEN=1 cargo test -p gobo-cluster --test observability`.
+#[test]
+fn cluster_metrics_match_golden_schema() {
+    let m = ClusterMetrics::new();
+    m.requests.fetch_add(3, std::sync::atomic::Ordering::Relaxed);
+    m.hedge_fires.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    m.route_us.observe(1200);
+    m.route_us.observe(80_000);
+    // Logical ids, never addresses: the schema must not depend on
+    // which ephemeral ports a test run happened to get.
+    let nodes = vec![
+        NodeHealthSample { id: "n1".into(), healthy: true, draining: false, queue_depth: 2 },
+        NodeHealthSample { id: "n2".into(), healthy: false, draining: true, queue_depth: 0 },
+    ];
+    let text = m.render(&nodes);
+
+    let schema = schema_of(&text);
+    let golden_path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/metrics_schema.txt");
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(golden_path, &schema).expect("write golden");
+    } else {
+        let golden = std::fs::read_to_string(golden_path).expect("golden file exists");
+        assert_eq!(schema, golden, "metrics schema drifted; run with UPDATE_GOLDEN=1 if intended");
+    }
+
+    // Histogram invariants on the live exposition: cumulative buckets
+    // ending in a +Inf bucket that equals the count.
+    let buckets: Vec<(String, u64)> = text
+        .lines()
+        .filter_map(|l| l.strip_prefix("gobo_cluster_route_us_bucket{le=\""))
+        .map(|rest| {
+            let (le, value) = rest.split_once("\"} ").unwrap();
+            (le.to_owned(), value.parse().unwrap())
+        })
+        .collect();
+    assert!(!buckets.is_empty(), "no route_us buckets:\n{text}");
+    assert_eq!(buckets.last().unwrap().0, "+Inf");
+    for pair in buckets.windows(2) {
+        assert!(pair[0].1 <= pair[1].1, "buckets not cumulative: {buckets:?}");
+    }
+    let count: u64 = text
+        .lines()
+        .find_map(|l| l.strip_prefix("gobo_cluster_route_us_count "))
+        .and_then(|v| v.parse().ok())
+        .unwrap();
+    assert_eq!(buckets.last().unwrap().1, count);
+    assert_eq!(count, 2);
+}

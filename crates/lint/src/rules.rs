@@ -356,7 +356,12 @@ pub fn naming(ws: &Workspace, config: &Config, report: &mut Report) {
     let rule = "naming";
     // The golden check only runs when the config points at a schema —
     // fixture workspaces without a /metrics endpoint omit the key.
+    // `metrics_golden` names one schema; `metrics_goldens` adds more
+    // (each tier — serve node, cluster router — pins its own).
     if let Some(golden_rel) = config.get_str(rule, "metrics_golden") {
+        check_metrics_golden(ws, golden_rel, report);
+    }
+    for golden_rel in config.get_list(rule, "metrics_goldens") {
         check_metrics_golden(ws, golden_rel, report);
     }
 

@@ -1,0 +1,43 @@
+//! `gobo-proto`: the versioned wire protocol of the `gobo-cluster`
+//! serving tier.
+//!
+//! The router and the nodes live in different processes (often on
+//! different hosts), so the protocol is its own crate: both sides stay
+//! independently testable against the same frame codec, and neither
+//! drags the other's dependencies along.
+//!
+//! # Frame format
+//!
+//! Every message is one length-prefixed frame:
+//!
+//! ```text
+//! magic   4 B   "GOBP"
+//! version 1 B   currently 1
+//! kind    1 B   frame discriminant
+//! length  4 B   payload length, little endian
+//! payload       kind-specific binary payload
+//! crc32   4 B   CRC-32 (IEEE, reflected) over version|kind|payload
+//! ```
+//!
+//! The trailing CRC reuses [`gobo_quant::integrity::crc32`] — the same
+//! polynomial that seals `.gobom` containers — so a bit flip anywhere
+//! between the version byte and the last payload byte is detected
+//! before a single field is interpreted. Decoding is panic-free and
+//! bounded: payloads larger than the caller's limit are rejected from
+//! the length prefix alone, before any allocation.
+//!
+//! The [`net`] module carries the client-side connection discipline
+//! (capped jittered retry of *transient* connect failures) that the
+//! router and the HTTP client share.
+
+#![deny(missing_docs)]
+
+pub mod frame;
+pub mod net;
+
+pub use frame::{
+    read_frame, write_frame, EncodeErrFrame, EncodeOkFrame, EncodeRequestFrame,
+    EncodeResponseFrame, Frame, HeartbeatAckFrame, ModelStatusFrame, ProtoError, MAX_PAYLOAD,
+    PROTOCOL_VERSION,
+};
+pub use net::{connect_retry, splitmix64, RetryPolicy};

@@ -1,20 +1,28 @@
 //! Minimal HTTP/1.1 front end over `std::net::TcpListener`.
 //!
 //! No external HTTP stack: requests are parsed by hand (request line,
-//! headers, `Content-Length` body), one request per connection
-//! (`Connection: close`). Routes:
+//! headers, `Content-Length` body) with HTTP/1.1 keep-alive — a
+//! connection serves requests in sequence until the client closes,
+//! sends `Connection: close`, or an error forces the server side shut.
+//!
+//! The transport is split from the routes so the cluster router can
+//! reuse it: [`HttpListener`] owns the accept loop, per-connection
+//! threads, and teardown; anything implementing [`HttpHandler`] plugs
+//! in behind it. [`Server`] is the serve-core handler with routes:
 //!
 //! * `POST /v1/encode` — run one sequence through a registered model;
-//! * `GET  /v1/models` — list resident models;
+//! * `GET  /v1/models` — list models with resident/evicted state;
 //! * `GET  /metrics` — Prometheus text exposition;
 //! * `POST /v1/shutdown` — begin graceful shutdown (drain, then exit).
 //!
 //! The listener runs non-blocking with a short poll so shutdown can
 //! interrupt `accept`; each accepted connection is handled on its own
-//! thread and joined during teardown.
+//! thread, and teardown shuts the tracked sockets down so keep-alive
+//! connections unblock immediately instead of riding out their read
+//! timeout.
 
 use std::io::{BufRead, BufReader, Read, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
@@ -47,27 +55,48 @@ impl Default for HttpOptions {
 }
 
 /// Why a request could not be parsed.
-enum HttpError {
+#[derive(Debug)]
+pub enum HttpError {
     /// Malformed request: answered with 400.
     Bad(String),
     /// Body over [`HttpOptions::max_body`]: answered with 413.
-    TooLarge { declared: usize, limit: usize },
+    TooLarge {
+        /// The `Content-Length` the request declared.
+        declared: usize,
+        /// The configured limit it exceeded.
+        limit: usize,
+    },
 }
 
-struct ShutdownSignal {
+/// A condition variable a thread can park on until shutdown is asked
+/// for. Shared by [`Server`] and the cluster router front end.
+pub struct ShutdownSignal {
     requested: Mutex<bool>,
     cvar: Condvar,
 }
 
+impl Default for ShutdownSignal {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 impl ShutdownSignal {
-    fn request(&self) {
+    /// A fresh, un-signalled instance.
+    pub fn new() -> Self {
+        ShutdownSignal { requested: Mutex::new(false), cvar: Condvar::new() }
+    }
+
+    /// Marks shutdown as requested and wakes every waiter.
+    pub fn request(&self) {
         if let Ok(mut requested) = self.requested.lock() {
             *requested = true;
         }
         self.cvar.notify_all();
     }
 
-    fn wait(&self) {
+    /// Blocks until [`ShutdownSignal::request`] has been called.
+    pub fn wait(&self) {
         let Ok(mut requested) = self.requested.lock() else { return };
         while !*requested {
             requested = match self.cvar.wait(requested) {
@@ -78,14 +107,345 @@ impl ShutdownSignal {
     }
 }
 
+/// One parsed request.
+#[derive(Debug)]
+pub struct ParsedRequest {
+    /// Request method, e.g. `GET`.
+    pub method: String,
+    /// Request path, e.g. `/v1/encode`.
+    pub path: String,
+    /// Raw request body (empty without a `Content-Length`).
+    pub body: Vec<u8>,
+    /// Whether the connection should stay open after the response
+    /// (HTTP/1.1 default unless `Connection: close`; inverted for 1.0).
+    pub keep_alive: bool,
+}
+
+/// A response produced by an [`HttpHandler`].
+pub struct HttpResponse {
+    /// HTTP status code.
+    pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// Response body.
+    pub body: String,
+    /// Force-close the connection after this response (the listener
+    /// also closes when the *request* asked for it).
+    pub close: bool,
+}
+
+impl HttpResponse {
+    /// A JSON response with the given status.
+    pub fn json(status: u16, body: String) -> Self {
+        HttpResponse { status, content_type: "application/json", body, close: false }
+    }
+}
+
+/// The application side of [`HttpListener`]: maps one parsed request
+/// to one response. Called from per-connection threads.
+pub trait HttpHandler: Send + Sync + 'static {
+    /// Handle one request.
+    fn handle(&self, request: &ParsedRequest) -> HttpResponse;
+
+    /// Called once per successfully parsed request, before `handle`.
+    fn on_request(&self) {}
+
+    /// Called when a request is rejected for an oversized body.
+    fn on_reject_too_large(&self) {}
+}
+
+/// Live connections: each worker's join handle plus a tracked clone
+/// of its socket, so `stop` can shut the TCP stream down under a
+/// keep-alive client.
+type ConnectionSet = Arc<Mutex<Vec<(JoinHandle<()>, TcpStream)>>>;
+
+/// A bound, accepting HTTP/1.1 listener delegating to an
+/// [`HttpHandler`]. Owns the accept thread and every per-connection
+/// thread; dropping it (or calling [`HttpListener::stop`]) shuts the
+/// sockets down and joins them all.
+pub struct HttpListener {
+    local_addr: SocketAddr,
+    accept_stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+    connections: ConnectionSet,
+}
+
+impl HttpListener {
+    /// Binds `addr` (port 0 for ephemeral) and starts accepting.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket failures.
+    pub fn bind(
+        addr: &str,
+        options: HttpOptions,
+        handler: Arc<dyn HttpHandler>,
+    ) -> std::io::Result<HttpListener> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+        let accept_stop = Arc::new(AtomicBool::new(false));
+        let connections: ConnectionSet = Arc::new(Mutex::new(Vec::new()));
+
+        let accept_thread = {
+            let accept_stop = Arc::clone(&accept_stop);
+            let connections = Arc::clone(&connections);
+            std::thread::Builder::new().name("gobo-http-accept".into()).spawn(move || {
+                while !accept_stop.load(Ordering::Acquire) {
+                    match listener.accept() {
+                        Ok((stream, _)) => {
+                            let tracked = match stream.try_clone() {
+                                Ok(clone) => clone,
+                                Err(_) => continue,
+                            };
+                            let handler = Arc::clone(&handler);
+                            let handle = std::thread::spawn(move || {
+                                handle_connection(handler.as_ref(), options, stream);
+                            });
+                            if let Ok(mut conns) = connections.lock() {
+                                // Reap finished handlers so the vector
+                                // does not grow with every connection.
+                                conns.retain(|(h, _)| !h.is_finished());
+                                conns.push((handle, tracked));
+                            }
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(ACCEPT_POLL);
+                        }
+                        Err(_) => std::thread::sleep(ACCEPT_POLL),
+                    }
+                }
+            })?
+        };
+
+        Ok(HttpListener {
+            local_addr,
+            accept_stop,
+            accept_thread: Some(accept_thread),
+            connections,
+        })
+    }
+
+    /// The bound address (with the resolved ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Stops accepting, shuts down every tracked connection socket
+    /// (unblocking keep-alive reads), and joins all threads.
+    /// Idempotent.
+    pub fn stop(&mut self) {
+        self.accept_stop.store(true, Ordering::Release);
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+        let conns: Vec<(JoinHandle<()>, TcpStream)> = match self.connections.lock() {
+            Ok(mut conns) => conns.drain(..).collect(),
+            Err(_) => Vec::new(),
+        };
+        for (handle, stream) in conns {
+            let _ = stream.shutdown(Shutdown::Both);
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for HttpListener {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn handle_connection(handler: &dyn HttpHandler, options: HttpOptions, stream: TcpStream) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
+    let mut reader = BufReader::new(match stream.try_clone() {
+        Ok(clone) => clone,
+        Err(_) => return,
+    });
+    let mut stream = stream;
+    // Keep-alive loop: serve requests in arrival order until the peer
+    // closes, asks to close, or an error makes the stream unusable.
+    loop {
+        match parse_request(&mut reader, options.max_body) {
+            Ok(Some(request)) => {
+                handler.on_request();
+                let _span =
+                    gobo_obs::span!("http.request", method = request.method, path = request.path);
+                let mut response = handler.handle(&request);
+                response.close = response.close || !request.keep_alive;
+                if write_response(&mut stream, &response).is_err() || response.close {
+                    break;
+                }
+            }
+            Ok(None) => break, // clean close between requests
+            Err(HttpError::TooLarge { declared, limit }) => {
+                handler.on_reject_too_large();
+                let body = error_body(
+                    413,
+                    "body_too_large",
+                    &format!("request body of {declared} bytes exceeds the {limit}-byte limit"),
+                );
+                let response = HttpResponse {
+                    status: 413,
+                    content_type: "application/json",
+                    body,
+                    close: true,
+                };
+                let _ = write_response(&mut stream, &response);
+                break;
+            }
+            Err(HttpError::Bad(msg)) => {
+                let body = error_body(400, "bad_request", &msg);
+                let response = HttpResponse {
+                    status: 400,
+                    content_type: "application/json",
+                    body,
+                    close: true,
+                };
+                let _ = write_response(&mut stream, &response);
+                break;
+            }
+        }
+    }
+    // The accept loop holds a tracked clone of this socket for
+    // teardown, so dropping our handles does not close the TCP
+    // connection — shut it down explicitly or the peer never sees EOF.
+    let _ = stream.shutdown(Shutdown::Both);
+}
+
+/// Parses one HTTP/1.x request from `reader`.
+///
+/// Returns `Ok(None)` on clean EOF before the first byte of a request
+/// (the peer closed between requests).
+///
+/// # Errors
+///
+/// [`HttpError::Bad`] for malformed requests, [`HttpError::TooLarge`]
+/// when the declared `Content-Length` exceeds `max_body` (detected
+/// before the body is read).
+pub fn parse_request<R: BufRead>(
+    reader: &mut R,
+    max_body: usize,
+) -> Result<Option<ParsedRequest>, HttpError> {
+    let bad = |msg: String| HttpError::Bad(msg);
+    let request_line = match read_line(reader)? {
+        Some(line) => line,
+        None => return Ok(None),
+    };
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().ok_or_else(|| bad("empty request line".into()))?.to_owned();
+    let path = parts.next().ok_or_else(|| bad("request line missing path".into()))?.to_owned();
+    let version = parts.next().ok_or_else(|| bad("request line missing version".into()))?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(bad(format!("unsupported protocol `{version}`")));
+    }
+    // HTTP/1.1 defaults to keep-alive; HTTP/1.0 to close.
+    let mut keep_alive = version != "HTTP/1.0";
+
+    let mut content_length = 0usize;
+    loop {
+        let line =
+            read_line(reader)?.ok_or_else(|| bad("connection closed inside headers".into()))?;
+        if line.is_empty() {
+            break;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(bad(format!("malformed header `{line}`")));
+        };
+        if name.eq_ignore_ascii_case("content-length") {
+            content_length = value
+                .trim()
+                .parse()
+                .map_err(|_| bad(format!("bad content-length `{}`", value.trim())))?;
+            // Reject before allocating or reading a single body byte.
+            if content_length > max_body {
+                return Err(HttpError::TooLarge { declared: content_length, limit: max_body });
+            }
+        } else if name.eq_ignore_ascii_case("connection") {
+            let value = value.trim();
+            if value.eq_ignore_ascii_case("close") {
+                keep_alive = false;
+            } else if value.eq_ignore_ascii_case("keep-alive") {
+                keep_alive = true;
+            }
+        }
+    }
+
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body).map_err(|e| bad(format!("truncated body: {e}")))?;
+    Ok(Some(ParsedRequest { method, path, body, keep_alive }))
+}
+
+/// Reads one CRLF- (or LF-) terminated line; `None` on clean EOF.
+fn read_line<R: BufRead>(reader: &mut R) -> Result<Option<String>, HttpError> {
+    let mut line = Vec::new();
+    let mut limited = Read::take(reader, MAX_LINE as u64);
+    let n = limited
+        .read_until(b'\n', &mut line)
+        .map_err(|e| HttpError::Bad(format!("read failure: {e}")))?;
+    if n == 0 {
+        return Ok(None);
+    }
+    if line.last() != Some(&b'\n') {
+        return Err(HttpError::Bad("header line too long".into()));
+    }
+    while matches!(line.last(), Some(b'\n' | b'\r')) {
+        line.pop();
+    }
+    String::from_utf8(line).map(Some).map_err(|_| HttpError::Bad("header not utf-8".into()))
+}
+
+// ---------------------------------------------------------------------------
+// Serve-core server: the route handler behind the listener
+// ---------------------------------------------------------------------------
+
 /// A bound, accepting HTTP server over a [`ServeCore`].
 pub struct Server {
     core: Arc<ServeCore>,
-    local_addr: SocketAddr,
+    listener: HttpListener,
     signal: Arc<ShutdownSignal>,
-    accept_stop: Arc<AtomicBool>,
-    accept_thread: Option<JoinHandle<()>>,
-    connections: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+struct ServeHandler {
+    core: Arc<ServeCore>,
+    signal: Arc<ShutdownSignal>,
+}
+
+impl HttpHandler for ServeHandler {
+    fn handle(&self, request: &ParsedRequest) -> HttpResponse {
+        match (request.method.as_str(), request.path.as_str()) {
+            ("POST", "/v1/encode") => match encode(&self.core, &request.body) {
+                Ok(body) => HttpResponse::json(200, body),
+                Err(e) => HttpResponse::json(e.http_status(), serve_error_body(&e)),
+            },
+            ("GET", "/v1/models") => HttpResponse::json(200, models_body(&self.core)),
+            ("GET", "/metrics") => HttpResponse {
+                status: 200,
+                content_type: "text/plain; version=0.0.4",
+                body: self.core.metrics().render(),
+                close: false,
+            },
+            ("POST", "/v1/shutdown") => {
+                self.signal.request();
+                HttpResponse {
+                    status: 200,
+                    content_type: "application/json",
+                    body: "{\"status\":\"draining\"}".to_owned(),
+                    close: true,
+                }
+            }
+            _ => HttpResponse::json(404, error_body(404, "not_found", "no such route")),
+        }
+    }
+
+    fn on_request(&self) {
+        self.core.metrics().http_requests.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn on_reject_too_large(&self) {
+        self.core.metrics().rejected_body_too_large.fetch_add(1, Ordering::Relaxed);
+    }
 }
 
 impl Server {
@@ -109,57 +469,16 @@ impl Server {
         addr: &str,
         options: HttpOptions,
     ) -> std::io::Result<Server> {
-        let listener = TcpListener::bind(addr)?;
-        listener.set_nonblocking(true)?;
-        let local_addr = listener.local_addr()?;
-        let signal =
-            Arc::new(ShutdownSignal { requested: Mutex::new(false), cvar: Condvar::new() });
-        let accept_stop = Arc::new(AtomicBool::new(false));
-        let connections: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
-
-        let accept_thread = {
-            let core = Arc::clone(&core);
-            let signal = Arc::clone(&signal);
-            let accept_stop = Arc::clone(&accept_stop);
-            let connections = Arc::clone(&connections);
-            std::thread::Builder::new().name("gobo-serve-accept".into()).spawn(move || {
-                while !accept_stop.load(Ordering::Acquire) {
-                    match listener.accept() {
-                        Ok((stream, _)) => {
-                            let core = Arc::clone(&core);
-                            let signal = Arc::clone(&signal);
-                            let handle = std::thread::spawn(move || {
-                                handle_connection(&core, &signal, options, stream);
-                            });
-                            if let Ok(mut conns) = connections.lock() {
-                                // Reap finished handlers so the vector
-                                // does not grow with every request.
-                                conns.retain(|h| !h.is_finished());
-                                conns.push(handle);
-                            }
-                        }
-                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                            std::thread::sleep(ACCEPT_POLL);
-                        }
-                        Err(_) => std::thread::sleep(ACCEPT_POLL),
-                    }
-                }
-            })?
-        };
-
-        Ok(Server {
-            core,
-            local_addr,
-            signal,
-            accept_stop,
-            accept_thread: Some(accept_thread),
-            connections,
-        })
+        let signal = Arc::new(ShutdownSignal::new());
+        let handler: Arc<dyn HttpHandler> =
+            Arc::new(ServeHandler { core: Arc::clone(&core), signal: Arc::clone(&signal) });
+        let listener = HttpListener::bind(addr, options, handler)?;
+        Ok(Server { core, listener, signal })
     }
 
     /// The bound address (with the resolved ephemeral port).
     pub fn local_addr(&self) -> SocketAddr {
-        self.local_addr
+        self.listener.local_addr()
     }
 
     /// Asks the server to shut down, as `POST /v1/shutdown` does.
@@ -169,8 +488,8 @@ impl Server {
 
     /// Blocks until shutdown is requested (via
     /// [`Server::request_shutdown`] or `POST /v1/shutdown`), then tears
-    /// down gracefully: stop accepting, join in-flight connections,
-    /// drain the scheduler queue, stop the workers.
+    /// down gracefully: stop accepting, unblock and join in-flight
+    /// connections, drain the scheduler queue, stop the workers.
     pub fn serve_until_shutdown(mut self) {
         self.signal.wait();
         self.teardown();
@@ -178,17 +497,7 @@ impl Server {
 
     fn teardown(&mut self) {
         self.signal.request();
-        self.accept_stop.store(true, Ordering::Release);
-        if let Some(handle) = self.accept_thread.take() {
-            let _ = handle.join();
-        }
-        let handles: Vec<JoinHandle<()>> = match self.connections.lock() {
-            Ok(mut conns) => conns.drain(..).collect(),
-            Err(_) => Vec::new(),
-        };
-        for handle in handles {
-            let _ = handle.join();
-        }
+        self.listener.stop();
         self.core.shutdown();
     }
 }
@@ -199,133 +508,14 @@ impl Drop for Server {
     }
 }
 
-/// One parsed request.
-struct Request {
-    method: String,
-    path: String,
-    body: Vec<u8>,
-}
-
-fn handle_connection(
-    core: &ServeCore,
-    signal: &ShutdownSignal,
-    options: HttpOptions,
-    stream: TcpStream,
-) {
-    let _ = stream.set_nodelay(true);
-    let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
-    let mut reader = BufReader::new(match stream.try_clone() {
-        Ok(clone) => clone,
-        Err(_) => return,
-    });
-    let mut stream = stream;
-    match read_request(&mut reader, options.max_body) {
-        Ok(Some(request)) => {
-            core.metrics().http_requests.fetch_add(1, Ordering::Relaxed);
-            let _span =
-                gobo_obs::span!("http.request", method = request.method, path = request.path);
-            let (status, content_type, body, shutdown_after) = route(core, &request);
-            let _ = write_response(&mut stream, status, content_type, body.as_bytes());
-            if shutdown_after {
-                signal.request();
-            }
-        }
-        Ok(None) => {} // client closed without sending anything
-        Err(HttpError::TooLarge { declared, limit }) => {
-            core.metrics().rejected_body_too_large.fetch_add(1, Ordering::Relaxed);
-            let body = error_body(
-                413,
-                "body_too_large",
-                &format!("request body of {declared} bytes exceeds the {limit}-byte limit"),
-            );
-            let _ = write_response(&mut stream, 413, "application/json", body.as_bytes());
-        }
-        Err(HttpError::Bad(msg)) => {
-            let body = error_body(400, "bad_request", &msg);
-            let _ = write_response(&mut stream, 400, "application/json", body.as_bytes());
-        }
-    }
-}
-
-fn read_request(
-    reader: &mut BufReader<TcpStream>,
-    max_body: usize,
-) -> Result<Option<Request>, HttpError> {
-    let bad = |msg: String| HttpError::Bad(msg);
-    let request_line = match read_line(reader)? {
-        Some(line) => line,
-        None => return Ok(None),
-    };
-    let mut parts = request_line.split_whitespace();
-    let method = parts.next().ok_or_else(|| bad("empty request line".into()))?.to_owned();
-    let path = parts.next().ok_or_else(|| bad("request line missing path".into()))?.to_owned();
-    let version = parts.next().ok_or_else(|| bad("request line missing version".into()))?;
-    if !version.starts_with("HTTP/1.") {
-        return Err(bad(format!("unsupported protocol `{version}`")));
-    }
-
-    let mut content_length = 0usize;
-    loop {
-        let line =
-            read_line(reader)?.ok_or_else(|| bad("connection closed inside headers".into()))?;
-        if line.is_empty() {
-            break;
-        }
-        let Some((name, value)) = line.split_once(':') else {
-            return Err(bad(format!("malformed header `{line}`")));
-        };
-        if name.eq_ignore_ascii_case("content-length") {
-            content_length = value
-                .trim()
-                .parse()
-                .map_err(|_| bad(format!("bad content-length `{}`", value.trim())))?;
-            // Reject before allocating or reading a single body byte.
-            if content_length > max_body {
-                return Err(HttpError::TooLarge { declared: content_length, limit: max_body });
-            }
-        }
-    }
-
-    let mut body = vec![0u8; content_length];
-    reader.read_exact(&mut body).map_err(|e| bad(format!("truncated body: {e}")))?;
-    Ok(Some(Request { method, path, body }))
-}
-
-/// Reads one CRLF- (or LF-) terminated line; `None` on clean EOF.
-fn read_line(reader: &mut BufReader<TcpStream>) -> Result<Option<String>, HttpError> {
-    let mut line = Vec::new();
-    let mut limited = reader.take(MAX_LINE as u64);
-    let n = limited
-        .read_until(b'\n', &mut line)
-        .map_err(|e| HttpError::Bad(format!("read failure: {e}")))?;
-    if n == 0 {
-        return Ok(None);
-    }
-    if line.last() != Some(&b'\n') {
-        return Err(HttpError::Bad("header line too long".into()));
-    }
-    while matches!(line.last(), Some(b'\n' | b'\r')) {
-        line.pop();
-    }
-    String::from_utf8(line).map(Some).map_err(|_| HttpError::Bad("header not utf-8".into()))
-}
-
-fn route(core: &ServeCore, request: &Request) -> (u16, &'static str, String, bool) {
-    match (request.method.as_str(), request.path.as_str()) {
-        ("POST", "/v1/encode") => match encode(core, &request.body) {
-            Ok(body) => (200, "application/json", body, false),
-            Err(e) => (e.http_status(), "application/json", serve_error_body(&e), false),
-        },
-        ("GET", "/v1/models") => (200, "application/json", models_body(core), false),
-        ("GET", "/metrics") => (200, "text/plain; version=0.0.4", core.metrics().render(), false),
-        ("POST", "/v1/shutdown") => {
-            (200, "application/json", "{\"status\":\"draining\"}".to_owned(), true)
-        }
-        _ => (404, "application/json", error_body(404, "not_found", "no such route"), false),
-    }
-}
-
-fn encode(core: &ServeCore, body: &[u8]) -> Result<String, ServeError> {
+/// Parses the `POST /v1/encode` request body into an [`EncodeRequest`].
+/// Shared with the cluster router, which speaks the same JSON dialect
+/// at its own front door.
+///
+/// # Errors
+///
+/// [`ServeError::BadRequest`] describing the first malformed field.
+pub fn parse_encode_body(body: &[u8]) -> Result<EncodeRequest, ServeError> {
     let text =
         std::str::from_utf8(body).map_err(|_| ServeError::BadRequest("body not utf-8".into()))?;
     let value = parse(text).map_err(ServeError::BadRequest)?;
@@ -361,9 +551,12 @@ fn encode(core: &ServeCore, body: &[u8]) -> Result<String, ServeError> {
                 as u64,
         )),
     };
+    Ok(EncodeRequest { model, bits, ids, type_ids, deadline })
+}
 
-    let response =
-        core.scheduler().encode_blocking(EncodeRequest { model, bits, ids, type_ids, deadline })?;
+fn encode(core: &ServeCore, body: &[u8]) -> Result<String, ServeError> {
+    let request = parse_encode_body(body)?;
+    let response = core.scheduler().encode_blocking(request)?;
     let pooled = match &response.pooled {
         Some(values) => Json::f32_array(values),
         None => Json::Null,
@@ -389,15 +582,16 @@ fn encode(core: &ServeCore, body: &[u8]) -> Result<String, ServeError> {
 fn models_body(core: &ServeCore) -> String {
     let models: Vec<Json> = core
         .registry()
-        .list()
+        .status()
         .iter()
-        .map(|entry| {
+        .map(|status| {
             Json::obj(vec![
-                ("name", Json::Str(entry.key.name.clone())),
-                ("bits", Json::Num(entry.key.bits as f64)),
-                ("quantized_layers", Json::Num(entry.quantized_layers as f64)),
-                ("decoded_bytes", Json::Num(entry.decoded_bytes as f64)),
-                ("compressed_bytes", Json::Num(entry.compressed_bytes as f64)),
+                ("name", Json::Str(status.key.name.clone())),
+                ("bits", Json::Num(status.key.bits as f64)),
+                ("resident", Json::Bool(status.resident)),
+                ("quantized_layers", Json::Num(status.quantized_layers as f64)),
+                ("decoded_bytes", Json::Num(status.decoded_bytes as f64)),
+                ("compressed_bytes", Json::Num(status.compressed_bytes as f64)),
             ])
         })
         .collect();
@@ -408,7 +602,8 @@ fn serve_error_body(e: &ServeError) -> String {
     error_body(e.http_status(), e.code(), &e.to_string())
 }
 
-fn error_body(status: u16, code: &str, message: &str) -> String {
+/// Renders the uniform `{status, error, message}` JSON error body.
+pub fn error_body(status: u16, code: &str, message: &str) -> String {
     Json::obj(vec![
         ("status", Json::Num(status as f64)),
         ("error", Json::Str(code.to_owned())),
@@ -417,28 +612,27 @@ fn error_body(status: u16, code: &str, message: &str) -> String {
     .to_string()
 }
 
-fn write_response(
-    stream: &mut TcpStream,
-    status: u16,
-    content_type: &str,
-    body: &[u8],
-) -> std::io::Result<()> {
-    let reason = match status {
+fn write_response(stream: &mut TcpStream, response: &HttpResponse) -> std::io::Result<()> {
+    let reason = match response.status {
         200 => "OK",
         400 => "Bad Request",
         404 => "Not Found",
         413 => "Payload Too Large",
         429 => "Too Many Requests",
+        502 => "Bad Gateway",
         503 => "Service Unavailable",
         504 => "Gateway Timeout",
         _ => "Internal Server Error",
     };
+    let connection = if response.close { "close" } else { "keep-alive" };
     let header = format!(
-        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\n\
-         Content-Length: {}\r\nConnection: close\r\n\r\n",
-        body.len()
+        "HTTP/1.1 {} {reason}\r\nContent-Type: {}\r\n\
+         Content-Length: {}\r\nConnection: {connection}\r\n\r\n",
+        response.status,
+        response.content_type,
+        response.body.len()
     );
     stream.write_all(header.as_bytes())?;
-    stream.write_all(body)?;
+    stream.write_all(response.body.as_bytes())?;
     stream.flush()
 }

@@ -59,6 +59,7 @@
 
 #![deny(missing_docs)]
 
+pub mod client;
 pub mod core;
 pub mod engine;
 pub mod error;
@@ -69,9 +70,13 @@ pub mod registry;
 pub mod scheduler;
 
 pub use crate::core::{Client, ServeCore, ServeOptions};
+pub use client::HttpClient;
 pub use engine::QuantizedEngine;
 pub use error::ServeError;
-pub use http::{HttpOptions, Server};
+pub use http::{
+    parse_encode_body, parse_request, HttpHandler, HttpListener, HttpOptions, HttpResponse,
+    ParsedRequest, Server, ShutdownSignal,
+};
 pub use metrics::Metrics;
-pub use registry::{ModelEntry, ModelKey, ModelRegistry, RegistryConfig};
+pub use registry::{ModelEntry, ModelKey, ModelRegistry, ModelStatus, RegistryConfig};
 pub use scheduler::{EncodeRequest, EncodeResponse, Scheduler, SchedulerConfig};

@@ -73,10 +73,36 @@ impl Default for RegistryConfig {
     }
 }
 
+/// Sizes remembered for a model after its decoded form was evicted.
+#[derive(Debug, Clone, Copy)]
+struct EvictedInfo {
+    compressed_bytes: usize,
+    quantized_layers: usize,
+}
+
+/// One row of [`ModelRegistry::status`]: a model the registry knows
+/// about, resident or evicted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModelStatus {
+    /// The cache key.
+    pub key: ModelKey,
+    /// Whether the decoded model is currently resident in the LRU.
+    pub resident: bool,
+    /// Decoded FP32 bytes charged against the budget (0 when evicted).
+    pub decoded_bytes: usize,
+    /// Serialized size of the compressed container.
+    pub compressed_bytes: usize,
+    /// Number of quantized layers in the archive.
+    pub quantized_layers: usize,
+}
+
 struct Inner {
     entries: HashMap<ModelKey, Arc<ModelEntry>>,
     /// Logical-clock recency stamps, bumped on every hit.
     recency: HashMap<ModelKey, u64>,
+    /// Models evicted from the LRU, remembered so `/v1/models` can
+    /// report them (cleared if the model is re-inserted).
+    evicted: HashMap<ModelKey, EvictedInfo>,
     tick: u64,
 }
 
@@ -93,7 +119,12 @@ impl ModelRegistry {
         ModelRegistry {
             config,
             metrics,
-            inner: Mutex::new(Inner { entries: HashMap::new(), recency: HashMap::new(), tick: 0 }),
+            inner: Mutex::new(Inner {
+                entries: HashMap::new(),
+                recency: HashMap::new(),
+                evicted: HashMap::new(),
+                tick: 0,
+            }),
         }
     }
 
@@ -156,6 +187,7 @@ impl ModelRegistry {
         let tick = inner.tick;
         inner.entries.insert(entry.key.clone(), Arc::clone(&entry));
         inner.recency.insert(entry.key.clone(), tick);
+        inner.evicted.remove(&entry.key);
         self.evict_beyond_budget(&mut inner, &entry.key);
         self.refresh_gauges(&inner);
         Ok(entry)
@@ -194,6 +226,46 @@ impl ModelRegistry {
         entries.into_iter().map(|(_, e)| e).collect()
     }
 
+    /// Status of every model the registry knows about — resident
+    /// entries first (most recently used first), then evicted ones the
+    /// registry still remembers. The router's load-aware replica
+    /// selection and `GET /v1/models` both read this.
+    pub fn status(&self) -> Vec<ModelStatus> {
+        let inner = self.lock_inner();
+        let mut resident: Vec<(u64, ModelStatus)> = inner
+            .entries
+            .iter()
+            .map(|(k, e)| {
+                (
+                    inner.recency.get(k).copied().unwrap_or(0),
+                    ModelStatus {
+                        key: k.clone(),
+                        resident: true,
+                        decoded_bytes: e.decoded_bytes,
+                        compressed_bytes: e.compressed_bytes,
+                        quantized_layers: e.quantized_layers,
+                    },
+                )
+            })
+            .collect();
+        resident.sort_by_key(|(recency, _)| std::cmp::Reverse(*recency));
+        let mut out: Vec<ModelStatus> = resident.into_iter().map(|(_, s)| s).collect();
+        let mut gone: Vec<ModelStatus> = inner
+            .evicted
+            .iter()
+            .map(|(k, info)| ModelStatus {
+                key: k.clone(),
+                resident: false,
+                decoded_bytes: 0,
+                compressed_bytes: info.compressed_bytes,
+                quantized_layers: info.quantized_layers,
+            })
+            .collect();
+        gone.sort_by(|a, b| (&a.key.name, a.key.bits).cmp(&(&b.key.name, b.key.bits)));
+        out.extend(gone);
+        out
+    }
+
     /// Total decoded bytes currently resident.
     pub fn resident_bytes(&self) -> usize {
         self.lock_inner().entries.values().map(|e| e.decoded_bytes).sum()
@@ -226,7 +298,15 @@ impl ModelRegistry {
                 .cloned();
             match victim {
                 Some(key) => {
-                    inner.entries.remove(&key);
+                    if let Some(entry) = inner.entries.remove(&key) {
+                        inner.evicted.insert(
+                            key.clone(),
+                            EvictedInfo {
+                                compressed_bytes: entry.compressed_bytes,
+                                quantized_layers: entry.quantized_layers,
+                            },
+                        );
+                    }
                     inner.recency.remove(&key);
                     self.metrics.registry_evictions.fetch_add(1, Ordering::Relaxed);
                 }
@@ -350,6 +430,28 @@ mod tests {
         r.get("a", None).unwrap();
         let names: Vec<String> = r.list().iter().map(|e| e.key.name.clone()).collect();
         assert_eq!(names, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn status_reports_resident_and_evicted() {
+        let r = registry(1, 16); // budget smaller than any model
+        r.insert("a", &compressed(1, 3)).unwrap();
+        r.insert("b", &compressed(2, 3)).unwrap(); // evicts `a`
+        let status = r.status();
+        assert_eq!(status.len(), 2);
+        let b = status.iter().find(|s| s.key.name == "b").unwrap();
+        assert!(b.resident);
+        assert!(b.decoded_bytes > 0);
+        let a = status.iter().find(|s| s.key.name == "a").unwrap();
+        assert!(!a.resident);
+        assert_eq!(a.decoded_bytes, 0);
+        assert!(a.compressed_bytes > 0);
+        // Re-inserting clears the evicted record.
+        let r2 = registry(usize::MAX, 16);
+        r2.insert("a", &compressed(1, 3)).unwrap();
+        let status = r2.status();
+        assert_eq!(status.len(), 1);
+        assert!(status[0].resident);
     }
 
     #[test]
