@@ -74,6 +74,7 @@ fn bench_serve_throughput(c: &mut Criterion) {
                 queue_capacity: 4 * CLIENTS * REQUESTS_PER_CLIENT,
                 ..SchedulerConfig::default()
             },
+            ..ServeOptions::default()
         });
         let client = Client::new(Arc::clone(&core));
         client.register("bench", &container).expect("register");
@@ -105,6 +106,7 @@ fn bench_serving_overhead(c: &mut Criterion) {
             max_wait: Duration::ZERO,
             ..SchedulerConfig::default()
         },
+        ..ServeOptions::default()
     });
     let client = Client::new(Arc::clone(&core));
     client.register("bench", &container).expect("register");

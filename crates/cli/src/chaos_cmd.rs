@@ -15,15 +15,23 @@ use std::time::{Duration, Instant};
 use gobo::pipeline::{quantize_model, QuantizeOptions};
 use gobo_model::config::ModelConfig;
 use gobo_model::TransformerModel;
-use gobo_serve::{Client, EncodeRequest, RegistryConfig, SchedulerConfig, ServeCore, ServeOptions};
+use gobo_serve::{
+    CanaryPolicy, Client, EncodeRequest, RegistryConfig, SchedulerConfig, ServeCore, ServeOptions,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::cmd::{Args, CliError};
 use crate::format::CompressedModel;
 
-const ALL_SCENARIOS: [&str; 5] =
-    ["worker-panic", "corrupt-model", "queue-overload", "node-kill", "network-partition"];
+const ALL_SCENARIOS: [&str; 6] = [
+    "worker-panic",
+    "corrupt-model",
+    "queue-overload",
+    "node-kill",
+    "network-partition",
+    "reload-under-load",
+];
 
 /// Outcome of one scenario: pass/fail plus human-readable evidence.
 struct Scenario {
@@ -54,6 +62,7 @@ pub(crate) fn chaos(args: &Args) -> Result<String, CliError> {
             "queue-overload" => queue_overload(requests, seed),
             "node-kill" => node_kill(requests, seed),
             "network-partition" => network_partition(requests, seed),
+            "reload-under-load" => reload_under_load(requests, seed),
             other => {
                 return Err(CliError::Usage(format!(
                     "unknown scenario `{other}` (have: {})",
@@ -110,6 +119,7 @@ fn worker_panic(requests: usize, seed: u64) -> Result<Scenario, CliError> {
                 default_deadline: Duration::from_secs(60),
                 ..SchedulerConfig::default()
             },
+            ..ServeOptions::default()
         });
         let client = Client::new(Arc::clone(&core));
         client.register("chaos", &compressed).map_err(|e| CliError::Failed(e.to_string()))?;
@@ -283,6 +293,7 @@ fn queue_overload(requests: usize, seed: u64) -> Result<Scenario, CliError> {
             default_deadline: Duration::from_millis(250),
             ..SchedulerConfig::default()
         },
+        ..ServeOptions::default()
     });
     let client = Client::new(Arc::clone(&core));
     client.register("chaos", &compressed).map_err(|e| CliError::Failed(e.to_string()))?;
@@ -372,6 +383,7 @@ fn build_cluster(
                 queue_capacity: 4096,
                 ..SchedulerConfig::default()
             },
+            ..ServeOptions::default()
         });
         Client::new(Arc::clone(&core))
             .register("chaos", &compressed)
@@ -621,6 +633,369 @@ fn network_partition(requests: usize, seed: u64) -> Result<Scenario, CliError> {
                 "healed: marked alive again {marked_alive} (mark_alive_total {mark_alive}); \
                  {ok2} ok, {} errors after heal",
                 errors2.len()
+            ),
+        ],
+    })
+}
+
+/// Bit-exact comparison of a served hidden tensor against a reference.
+fn bits_match(got: &[f32], want: &[f32]) -> bool {
+    got.len() == want.len() && got.iter().zip(want).all(|(a, b)| a.to_bits() == b.to_bits())
+}
+
+/// Nearest-rank p99 of a latency sample set, microseconds.
+fn p99_us(samples: &[u64]) -> u64 {
+    if samples.is_empty() {
+        return 0;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    sorted[(sorted.len() * 99 / 100).min(sorted.len() - 1)]
+}
+
+/// Drives `total` encodes of the reference patterns across 4 threads.
+/// Every response must be byte-identical to one of the two published
+/// revisions; returns `(ok, errors, mismatches, latencies_us)`.
+fn drive_lifecycle_load(
+    client: &Client,
+    patterns: &[Vec<usize>],
+    ref_a: &[Vec<f32>],
+    ref_b: &[Vec<f32>],
+    total: usize,
+) -> Result<(usize, Vec<String>, usize, Vec<u64>), CliError> {
+    let threads = 4usize;
+    let per_thread = (total / threads).max(1);
+    let mut joins = Vec::new();
+    for t in 0..threads {
+        let client = client.clone();
+        let patterns = patterns.to_vec();
+        let ref_a = ref_a.to_vec();
+        let ref_b = ref_b.to_vec();
+        joins.push(std::thread::spawn(move || {
+            let mut ok = 0usize;
+            let mut errors: Vec<String> = Vec::new();
+            let mut mismatches = 0usize;
+            let mut latencies = Vec::with_capacity(per_thread);
+            for r in 0..per_thread {
+                let p = (t * per_thread + r) % patterns.len();
+                let started = Instant::now();
+                match client.encode(EncodeRequest::new("chaos", patterns[p].clone())) {
+                    Ok(response) => {
+                        latencies.push(started.elapsed().as_micros() as u64);
+                        if bits_match(&response.hidden, &ref_a[p])
+                            || bits_match(&response.hidden, &ref_b[p])
+                        {
+                            ok += 1;
+                        } else {
+                            mismatches += 1;
+                        }
+                    }
+                    Err(e) => errors.push(e.code().to_owned()),
+                }
+            }
+            (ok, errors, mismatches, latencies)
+        }));
+    }
+    let mut ok = 0usize;
+    let mut errors = Vec::new();
+    let mut mismatches = 0usize;
+    let mut latencies = Vec::new();
+    for join in joins {
+        let (o, e, m, l) =
+            join.join().map_err(|_| CliError::Failed("chaos lifecycle client panicked".into()))?;
+        ok += o;
+        errors.extend(e);
+        mismatches += m;
+        latencies.extend(l);
+    }
+    Ok((ok, errors, mismatches, latencies))
+}
+
+/// Hot-reload storm under continuous load, in two phases.
+///
+/// Phase 1: two revisions of the "chaos" slot are published
+/// alternately through the CRC-validated `reload` path at least 50
+/// times while 4 client threads hammer the slot, with `registry.swap`
+/// and `registry.load` failpoints armed probabilistically. Rejected
+/// publishes must leave the registry untouched; every client response
+/// must be byte-identical to one of the two revisions; after the storm
+/// the draining list must drain to empty (no refcount leaks).
+///
+/// Phase 2: canary auto-rollback. An erroring canary
+/// (`serve.canary=error`) must roll back immediately with the failed
+/// batches transparently re-run on the active revision; a slow canary
+/// (`serve.canary=delay`) must roll back on the p95 comparison; and
+/// once rolled back, active-path p99 must return to within 2x the
+/// fault-free baseline.
+fn reload_under_load(requests: usize, seed: u64) -> Result<Scenario, CliError> {
+    let model_a = build_compressed(seed ^ 0xA)?;
+    let model_b = build_compressed(seed ^ 0xB)?;
+
+    // On-disk artifacts: reloads go through the CRC-validated path.
+    let dir = std::env::temp_dir().join("gobo-chaos-reload");
+    std::fs::create_dir_all(&dir)?;
+    let path_a = dir.join("a.gobom");
+    let path_b = dir.join("b.gobom");
+    std::fs::write(&path_a, model_a.to_bytes())?;
+    std::fs::write(&path_b, model_b.to_bytes())?;
+    let path_a = path_a.to_string_lossy().into_owned();
+    let path_b = path_b.to_string_lossy().into_owned();
+
+    // Reference outputs for every pattern from both revisions, served
+    // through the same scheduler path the load threads use.
+    let patterns: Vec<Vec<usize>> =
+        (0..8usize).map(|p| (0..12).map(|k| 1 + (p * 37 + k * 11) % 250).collect()).collect();
+    let (ref_a, ref_b) = {
+        let core = ServeCore::start(ServeOptions::default());
+        let client = Client::new(Arc::clone(&core));
+        client.register("a", &model_a).map_err(|e| CliError::Failed(e.to_string()))?;
+        client.register("b", &model_b).map_err(|e| CliError::Failed(e.to_string()))?;
+        let refs = |name: &str| -> Result<Vec<Vec<f32>>, CliError> {
+            patterns
+                .iter()
+                .map(|ids| {
+                    client
+                        .encode(EncodeRequest::new(name, ids.clone()))
+                        .map(|r| r.hidden)
+                        .map_err(|e| CliError::Failed(e.to_string()))
+                })
+                .collect()
+        };
+        let a = refs("a")?;
+        let b = refs("b")?;
+        core.shutdown();
+        (a, b)
+    };
+
+    let core = ServeCore::start(ServeOptions {
+        registry: RegistryConfig::default(),
+        scheduler: SchedulerConfig {
+            workers: 2,
+            queue_capacity: 4096,
+            default_deadline: Duration::from_secs(60),
+            ..SchedulerConfig::default()
+        },
+        lifecycle: CanaryPolicy {
+            traffic_pct: 50,
+            window: 4,
+            p95_factor_pct: 300,
+            min_baseline: 2,
+        },
+    });
+    let client = Client::new(Arc::clone(&core));
+    client.register("chaos", &model_a).map_err(|e| CliError::Failed(e.to_string()))?;
+    client
+        .encode(EncodeRequest::new("chaos", patterns[0].clone()))
+        .map_err(|e| CliError::Failed(e.to_string()))?;
+
+    // ---- Phase 1: publish storm under continuous load ----
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let mut loaders = Vec::new();
+    for t in 0..4usize {
+        let client = client.clone();
+        let patterns = patterns.clone();
+        let ref_a = ref_a.clone();
+        let ref_b = ref_b.clone();
+        let stop = Arc::clone(&stop);
+        loaders.push(std::thread::spawn(move || {
+            let mut ok = 0usize;
+            let mut errors: Vec<String> = Vec::new();
+            let mut mismatches = 0usize;
+            let mut r = 0usize;
+            while !stop.load(Ordering::Relaxed) {
+                let p = (t * 31 + r) % patterns.len();
+                r += 1;
+                match client.encode(EncodeRequest::new("chaos", patterns[p].clone())) {
+                    Ok(response) => {
+                        if bits_match(&response.hidden, &ref_a[p])
+                            || bits_match(&response.hidden, &ref_b[p])
+                        {
+                            ok += 1;
+                        } else {
+                            mismatches += 1;
+                        }
+                    }
+                    Err(e) => errors.push(e.code().to_owned()),
+                }
+            }
+            (ok, errors, mismatches)
+        }));
+    }
+
+    gobo_fault::configure_str("registry.swap=error(p=0.3,seed=11)")
+        .map_err(|e| CliError::Failed(e.to_string()))?;
+    gobo_fault::configure_str("registry.load=error(p=0.15,seed=13)")
+        .map_err(|e| CliError::Failed(e.to_string()))?;
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5EED);
+    let mut attempts = 0usize;
+    let mut published = 0usize;
+    let mut rejected = 0usize;
+    let mut forced_rollbacks = 0usize;
+    let mut verdict_waits = 0usize;
+    let mut stuck = 0usize;
+    while attempts < 200 && (attempts < 50 || published < 25) {
+        attempts += 1;
+        let path = if attempts.is_multiple_of(2) { &path_a } else { &path_b };
+        match core.reload("chaos", path) {
+            Ok((entry, _)) => {
+                published += 1;
+                let key = entry.key.clone();
+                if rng.gen_bool(0.5) {
+                    // Operator-style rollback of a pending canary.
+                    core.registry().rollback(&key);
+                    forced_rollbacks += 1;
+                } else {
+                    // Let live traffic drive the canary to a verdict.
+                    let deadline = Instant::now() + Duration::from_secs(10);
+                    while core.registry().canary_for(&key).is_some() && Instant::now() < deadline {
+                        std::thread::sleep(Duration::from_millis(1));
+                    }
+                    if core.registry().canary_for(&key).is_some() {
+                        stuck += 1;
+                        core.registry().rollback(&key);
+                    } else {
+                        verdict_waits += 1;
+                    }
+                }
+            }
+            Err(_) => rejected += 1,
+        }
+    }
+    let swap_fires = gobo_fault::fires("registry.swap");
+    gobo_fault::reset();
+
+    stop.store(true, Ordering::Relaxed);
+    let mut storm_ok = 0usize;
+    let mut storm_errors: Vec<String> = Vec::new();
+    let mut storm_mismatches = 0usize;
+    for join in loaders {
+        let (o, e, m) =
+            join.join().map_err(|_| CliError::Failed("chaos lifecycle loader panicked".into()))?;
+        storm_ok += o;
+        storm_errors.extend(e);
+        storm_mismatches += m;
+    }
+
+    // Refcount proof: with the load gone, every superseded revision
+    // must retire — the draining list drains to empty.
+    let drain_deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        core.registry().sweep();
+        if core.registry().draining_len() == 0 || Instant::now() > drain_deadline {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let drained = core.registry().draining_len() == 0;
+
+    // ---- Phase 2: canary auto-rollback and post-rollback latency ----
+    let phase_total = requests.clamp(64, 400);
+    let (base_ok, base_errors, base_mismatches, base_lat) =
+        drive_lifecycle_load(&client, &patterns, &ref_a, &ref_b, phase_total)?;
+    let p99_base = p99_us(&base_lat);
+
+    // (a) An erroring canary rolls back immediately; its batches are
+    // transparently re-run on the active revision.
+    let rollbacks_before = core.metrics().canary_rollbacks.load(Ordering::Relaxed);
+    gobo_fault::configure_str("serve.canary=error").map_err(|e| CliError::Failed(e.to_string()))?;
+    let (entry, _) = core.reload("chaos", &path_b).map_err(|e| CliError::Failed(e.to_string()))?;
+    let error_key = entry.key.clone();
+    let mut error_phase_errors: Vec<String> = Vec::new();
+    let mut error_rounds = 0usize;
+    while core.registry().canary_for(&error_key).is_some() && error_rounds < 20 {
+        error_rounds += 1;
+        let (_, e, m, _) = drive_lifecycle_load(&client, &patterns, &ref_a, &ref_b, 16)?;
+        error_phase_errors.extend(e);
+        if m > 0 {
+            error_phase_errors.push(format!("{m} byte-mismatches under erroring canary"));
+        }
+    }
+    gobo_fault::reset();
+    let error_rollback = core.metrics().canary_rollbacks.load(Ordering::Relaxed) > rollbacks_before
+        && core.registry().canary_for(&error_key).is_none();
+
+    // (b) A slow canary rolls back on the p95 comparison...
+    let rollbacks_before_slow = core.metrics().canary_rollbacks.load(Ordering::Relaxed);
+    // 250ms dwarfs any debug-build batch compute time, so the canary
+    // p95 lands well past the 3x policy factor regardless of batch
+    // size.
+    gobo_fault::configure_str("serve.canary=delay(ms=250)")
+        .map_err(|e| CliError::Failed(e.to_string()))?;
+    let (entry, _) = core.reload("chaos", &path_a).map_err(|e| CliError::Failed(e.to_string()))?;
+    let slow_key = entry.key.clone();
+    let mut slow_phase_errors: Vec<String> = Vec::new();
+    let mut slow_rounds = 0usize;
+    while core.registry().canary_for(&slow_key).is_some() && slow_rounds < 20 {
+        slow_rounds += 1;
+        let (_, e, m, _) = drive_lifecycle_load(&client, &patterns, &ref_a, &ref_b, 16)?;
+        slow_phase_errors.extend(e);
+        if m > 0 {
+            slow_phase_errors.push(format!("{m} byte-mismatches under slow canary"));
+        }
+    }
+    let slow_rollback = core.metrics().canary_rollbacks.load(Ordering::Relaxed)
+        > rollbacks_before_slow
+        && core.registry().canary_for(&slow_key).is_none();
+
+    // ...and with the canary gone the armed delay is unreachable:
+    // active-path p99 must return to within 2x the fault-free
+    // baseline (plus fixed slack for debug-build scheduler jitter).
+    let (after_ok, after_errors, after_mismatches, after_lat) =
+        drive_lifecycle_load(&client, &patterns, &ref_a, &ref_b, phase_total)?;
+    gobo_fault::reset();
+    let p99_after = p99_us(&after_lat);
+    let p99_budget = p99_base.saturating_mul(2) + 10_000;
+    let p99_ok = p99_after <= p99_budget;
+
+    core.shutdown();
+
+    let passed = storm_errors.is_empty()
+        && storm_mismatches == 0
+        && storm_ok > 0
+        && attempts >= 50
+        && published >= 25
+        && rejected >= 1
+        && swap_fires >= 1
+        && stuck == 0
+        && drained
+        && base_errors.is_empty()
+        && base_mismatches == 0
+        && base_ok > 0
+        && error_phase_errors.is_empty()
+        && error_rollback
+        && slow_phase_errors.is_empty()
+        && slow_rollback
+        && after_errors.is_empty()
+        && after_mismatches == 0
+        && after_ok > 0
+        && p99_ok;
+    Ok(Scenario {
+        name: "reload-under-load",
+        passed,
+        lines: vec![
+            format!(
+                "publish storm: {attempts} attempts, {published} published, {rejected} rejected \
+                 (registry.swap fired {swap_fires}x), {forced_rollbacks} operator rollbacks, \
+                 {verdict_waits} canary verdicts, {stuck} stuck (must be 0)"
+            ),
+            format!(
+                "under load: {storm_ok} ok, {} errors (must be 0), {storm_mismatches} \
+                 byte-mismatches (must be 0, every response identical to rev A or rev B)",
+                storm_errors.len()
+            ),
+            format!("draining list empty after storm (no refcount leaks): {drained}"),
+            format!(
+                "erroring canary rolled back with transparent fallback: {error_rollback}, \
+                 {} client errors (must be 0)",
+                error_phase_errors.len()
+            ),
+            format!(
+                "slow canary rolled back on p95 regression: {slow_rollback}, \
+                 {} client errors (must be 0)",
+                slow_phase_errors.len()
+            ),
+            format!(
+                "post-rollback p99 {p99_after}us <= 2x baseline {p99_base}us (+10ms slack): {p99_ok}"
             ),
         ],
     })

@@ -48,6 +48,7 @@ pub(crate) fn cluster_node(args: &Args) -> Result<String, CliError> {
             max_models: args.parse_num("max-models", registry_defaults.max_models)?,
         },
         scheduler: crate::serve_cmd::scheduler_config(args)?,
+        lifecycle: crate::serve_cmd::canary_policy(args)?,
     };
 
     let core = ServeCore::start(options);

@@ -58,6 +58,9 @@ USAGE:
                 [--workers N] [--max-batch N] [--max-wait-us N]
                 [--queue-capacity N] [--max-bytes N] [--max-models N]
                 [--max-body-bytes N] [--failpoints SPEC]
+                [--canary-pct N] [--canary-window N]
+                [--canary-p95-factor-pct N] [--canary-min-baseline N]
+  gobo reload   --name NAME --path <model.gobom> [--addr HOST:PORT]
   gobo cluster-node   --model <model.gobom> [--name NAME ...]
                 [--addr HOST:PORT] [--port-file PATH] [--failpoints SPEC]
                 [--workers N] [--max-batch N] [--max-bytes N]
@@ -66,7 +69,7 @@ USAGE:
                 [--virtual-nodes N] [--heartbeat-ms N] [--dead-after N]
                 [--hedge-us N] [--failpoints SPEC]
   gobo chaos    [--scenario worker-panic|corrupt-model|queue-overload
-                 |node-kill|network-partition]...
+                 |node-kill|network-partition|reload-under-load]...
                 [--requests N] [--corruptions N] [--seed N]
   gobo bench-serve [--output BENCH_serve.json] [--layers N] [--hidden N]
                 [--bits N] [--clients N] [--requests N] [--seq-len N]
@@ -81,9 +84,17 @@ FORMATS:
 
 SERVING:
   `serve` decodes each .gobom once, then answers POST /v1/encode with
-  dynamic batching; GET /v1/models lists residents, GET /metrics is
-  Prometheus text (counters, gauges, and latency histograms), POST
-  /v1/shutdown drains and exits. Coalesced batches run a cache-blocked
+  dynamic batching; GET /v1/models lists model revisions with
+  lifecycle state and resident bytes, GET /metrics is Prometheus text
+  (counters, gauges, and latency histograms), POST /v1/shutdown drains
+  and exits. `reload` (or POST /v1/reload) publishes a new revision of
+  a named model into a running server with zero downtime: the file's
+  CRC is validated before the registry is touched, the new revision
+  serves a canary slice (--canary-pct, default 20%) of traffic, and it
+  is auto-promoted after a clean window (--canary-window batches) or
+  auto-rolled-back on any canary error or p95 regression beyond
+  --canary-p95-factor-pct of the active baseline; the replaced
+  revision drains behind in-flight batches before retiring. Coalesced batches run a cache-blocked
   GEMM directly on the packed quantized indices, decoding each weight
   tile once per batch. `bench-serve` sweeps max_batch 1/8/32 with
   pipelined clients and (unless --kernels off) adds a per-batch-size
@@ -205,6 +216,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "inspect" => inspect(&args),
         "decode" => decode(&args),
         "serve" => crate::serve_cmd::serve(&args),
+        "reload" => crate::serve_cmd::reload(&args),
         "cluster-node" => crate::cluster_cmd::cluster_node(&args),
         "cluster-router" => crate::cluster_cmd::cluster_router(&args),
         "bench-serve" => crate::serve_cmd::bench_serve(&args),

@@ -9,8 +9,8 @@ use gobo_model::TransformerModel;
 use gobo_quant::{QuantConfig, QuantMethod, QuantizedLayer, QuantizedMatrix};
 use gobo_serve::json::Json;
 use gobo_serve::{
-    Client, EncodeRequest, HttpOptions, RegistryConfig, SchedulerConfig, ServeCore, ServeOptions,
-    Server,
+    CanaryPolicy, Client, EncodeRequest, HttpClient, HttpOptions, RegistryConfig, SchedulerConfig,
+    ServeCore, ServeOptions, Server,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -31,6 +31,20 @@ pub(crate) fn scheduler_config(args: &Args) -> Result<SchedulerConfig, CliError>
             args.parse_num("deadline-ms", defaults.default_deadline.as_millis() as u64)?,
         ),
     })
+}
+
+pub(crate) fn canary_policy(args: &Args) -> Result<CanaryPolicy, CliError> {
+    let defaults = CanaryPolicy::default();
+    let policy = CanaryPolicy {
+        traffic_pct: args.parse_num("canary-pct", defaults.traffic_pct)?,
+        window: args.parse_num("canary-window", defaults.window)?,
+        p95_factor_pct: args.parse_num("canary-p95-factor-pct", defaults.p95_factor_pct)?,
+        min_baseline: args.parse_num("canary-min-baseline", defaults.min_baseline)?,
+    };
+    if policy.traffic_pct > 100 {
+        return Err(CliError::Usage("--canary-pct must be 0..=100".into()));
+    }
+    Ok(policy)
 }
 
 /// `gobo serve`: load `.gobom` files, bind, and serve until shutdown.
@@ -62,6 +76,7 @@ pub(crate) fn serve(args: &Args) -> Result<String, CliError> {
             max_models: args.parse_num("max-models", registry_defaults.max_models)?,
         },
         scheduler: scheduler_config(args)?,
+        lifecycle: canary_policy(args)?,
     };
 
     let core = ServeCore::start(options);
@@ -107,6 +122,40 @@ pub(crate) fn serve(args: &Args) -> Result<String, CliError> {
         extras.push_str(&format!("; chrome trace written to `{path}`"));
     }
     Ok(format!("gobo-serve on {local} shut down after draining{extras}"))
+}
+
+/// `gobo reload`: publish a new model revision into a running server
+/// over `POST /v1/reload`. The server validates the container's CRC
+/// before touching its registry, then routes the canary traffic slice
+/// to the new revision until it is auto-promoted or auto-rolled-back.
+pub(crate) fn reload(args: &Args) -> Result<String, CliError> {
+    let addr = args.get("addr").unwrap_or("127.0.0.1:7070");
+    let name =
+        args.get("name").ok_or_else(|| CliError::Usage("reload needs --name <model>".into()))?;
+    let path = args
+        .get("path")
+        .ok_or_else(|| CliError::Usage("reload needs --path <file.gobom>".into()))?;
+    // The server reads the file itself, so the path must be absolute
+    // (or resolvable in the *server's* working directory). Resolve
+    // relative paths client-side to remove the footgun.
+    let resolved = std::fs::canonicalize(path)
+        .map(|p| p.to_string_lossy().into_owned())
+        .unwrap_or_else(|_| path.to_owned());
+    let body = Json::obj(vec![("name", Json::Str(name.to_owned())), ("path", Json::Str(resolved))])
+        .to_string();
+    let client = HttpClient::new(addr);
+    let (status, response) = client
+        .request("POST", "/v1/reload", &body)
+        .map_err(|e| CliError::Failed(format!("reload request to {addr}: {e}")))?;
+    if status != 200 {
+        return Err(CliError::Failed(format!("reload rejected ({status}): {response}")));
+    }
+    let value = gobo_serve::json::parse(&response)
+        .map_err(|e| CliError::Failed(format!("bad reload response: {e}")))?;
+    let state = value.get("status").and_then(Json::as_str).unwrap_or("?").to_owned();
+    let rev = value.get("rev").and_then(|v| v.as_usize()).unwrap_or(0);
+    let bits = value.get("bits").and_then(|v| v.as_usize()).unwrap_or(0);
+    Ok(format!("published {name}@{bits}b@r{rev} on {addr}: {state}"))
 }
 
 /// One measured throughput configuration for `bench-serve`.
@@ -387,6 +436,7 @@ pub(crate) fn bench_serve(args: &Args) -> Result<String, CliError> {
                 queue_capacity: requests + clients,
                 ..SchedulerConfig::default()
             },
+            ..ServeOptions::default()
         });
         let client = Client::new(Arc::clone(&core));
         client.register("bench", &compressed).map_err(|e| CliError::Failed(e.to_string()))?;

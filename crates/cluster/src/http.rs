@@ -4,14 +4,16 @@
 //! `POST /v1/encode` request and response bodies are shaped
 //! identically — so clients cannot tell a router from a node, and the
 //! serving tier can grow from one process to a cluster without a
-//! client change. Adds `GET /v1/cluster` (membership snapshot) and
-//! serves the cluster metrics on `GET /metrics`.
+//! client change. Adds `GET /v1/cluster` (membership snapshot,
+//! including any canary trial in flight), `POST /v1/canary` (start a
+//! canary trial on a member), and serves the cluster metrics on
+//! `GET /metrics`.
 
 use std::net::SocketAddr;
 use std::sync::Arc;
 
 use gobo_serve::http::error_body;
-use gobo_serve::json::Json;
+use gobo_serve::json::{parse, Json};
 use gobo_serve::{
     parse_encode_body, HttpHandler, HttpListener, HttpOptions, HttpResponse, ParsedRequest,
     ShutdownSignal,
@@ -36,6 +38,7 @@ impl HttpHandler for RouterHandler {
         match (request.method.as_str(), request.path.as_str()) {
             ("POST", "/v1/encode") => encode(&self.router, &request.body),
             ("GET", "/v1/cluster") => HttpResponse::json(200, membership_body(&self.router)),
+            ("POST", "/v1/canary") => canary(&self.router, &request.body),
             ("GET", "/metrics") => HttpResponse {
                 status: 200,
                 content_type: "text/plain; version=0.0.4",
@@ -102,6 +105,36 @@ fn encode(router: &Router, body: &[u8]) -> HttpResponse {
     }
 }
 
+/// `POST /v1/canary` — `{"node": "<id>"}` starts a canary trial on
+/// that member; the router then routes its configured traffic share to
+/// the node and auto-promotes or auto-rolls-back on the latency
+/// verdict.
+fn canary(router: &Router, body: &[u8]) -> HttpResponse {
+    let bad = |message: &str| HttpResponse::json(400, error_body(400, "bad_request", message));
+    let Ok(text) = std::str::from_utf8(body) else { return bad("body not utf-8") };
+    let value = match parse(text) {
+        Ok(value) => value,
+        Err(e) => return bad(&e),
+    };
+    let Some(node) = value.get("node").and_then(Json::as_str) else {
+        return bad("missing string field `node`");
+    };
+    if !router.set_canary(node) {
+        return HttpResponse::json(
+            404,
+            error_body(404, "node_not_found", &format!("`{node}` is not a cluster member")),
+        );
+    }
+    HttpResponse::json(
+        200,
+        Json::obj(vec![
+            ("status", Json::Str("canary".to_owned())),
+            ("node", Json::Str(node.to_owned())),
+        ])
+        .to_string(),
+    )
+}
+
 fn membership_body(router: &Router) -> String {
     let nodes: Vec<Json> = router
         .membership()
@@ -117,8 +150,13 @@ fn membership_body(router: &Router) -> String {
             ])
         })
         .collect();
+    let canary = match router.canary_node() {
+        Some(node) => Json::Str(node),
+        None => Json::Null,
+    };
     Json::obj(vec![
         ("nodes", Json::Arr(nodes)),
+        ("canary", canary),
         ("hedge_delay_us", Json::Num(router.hedge_delay().as_micros() as f64)),
     ])
     .to_string()

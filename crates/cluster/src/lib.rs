@@ -16,8 +16,11 @@
 //!   model residency), and graceful drain;
 //! * [`router`] — replica selection by health and load, heartbeat
 //!   membership with mark-dead/mark-alive, failover on retryable
-//!   errors, and hedged requests: a backup fires after a p95-derived
-//!   delay, the first answer wins, the loser is cancelled;
+//!   errors, hedged requests (a backup fires after a p95-derived
+//!   delay, the first answer wins, the loser is cancelled), and canary
+//!   trials: a designated node receives a configured traffic slice
+//!   and is auto-promoted on a clean latency window or auto-demoted on
+//!   an attempt failure or p95 regression;
 //! * [`metrics`] — `gobo_cluster_*` Prometheus counters and the
 //!   route-latency histogram;
 //! * [`http`] — the router's HTTP front door, speaking the exact JSON
@@ -25,7 +28,7 @@
 //!
 //! Failpoints: `cluster.route`, `cluster.node.recv`,
 //! `cluster.heartbeat` (plus `proto.frame.parse` in the wire layer).
-//! Spans: `gobo.cluster.route`, `gobo.hedge`.
+//! Spans: `gobo.cluster.route`, `gobo.cluster.canary`, `gobo.hedge`.
 
 #![deny(missing_docs)]
 

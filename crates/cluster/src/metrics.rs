@@ -33,6 +33,12 @@ pub struct ClusterMetrics {
     pub mark_dead: AtomicU64,
     /// Dead→healthy transitions.
     pub mark_alive: AtomicU64,
+    /// Requests routed preferentially to a node under canary trial.
+    pub canary_requests: AtomicU64,
+    /// Canary trials that ended in promotion (clean window).
+    pub canary_promotions: AtomicU64,
+    /// Canary trials rolled back (attempt failure or p95 regression).
+    pub canary_rollbacks: AtomicU64,
     /// End-to-end route latency of successful requests, microseconds.
     pub route_us: Histogram,
 }
@@ -110,6 +116,21 @@ impl ClusterMetrics {
             "dead-to-healthy membership transitions",
             self.mark_alive.load(Ordering::Relaxed),
         );
+        counter(
+            "canary_requests_total",
+            "requests routed preferentially to a node under canary trial",
+            self.canary_requests.load(Ordering::Relaxed),
+        );
+        counter(
+            "canary_promotions_total",
+            "canary trials that ended in promotion",
+            self.canary_promotions.load(Ordering::Relaxed),
+        );
+        counter(
+            "canary_rollbacks_total",
+            "canary trials rolled back on failure or p95 regression",
+            self.canary_rollbacks.load(Ordering::Relaxed),
+        );
 
         let healthy = nodes.iter().filter(|n| n.healthy).count() as u64;
         let down = nodes.iter().filter(|n| !n.healthy).count() as u64;
@@ -169,6 +190,7 @@ mod tests {
         let m = ClusterMetrics::new();
         m.requests.fetch_add(10, Ordering::Relaxed);
         m.hedge_fires.fetch_add(2, Ordering::Relaxed);
+        m.canary_rollbacks.fetch_add(1, Ordering::Relaxed);
         m.route_us.observe(1500);
         let nodes = vec![
             NodeHealthSample { id: "n1".into(), healthy: true, draining: false, queue_depth: 3 },
@@ -177,6 +199,8 @@ mod tests {
         let text = m.render(&nodes);
         assert!(text.contains("gobo_cluster_requests_total 10"), "{text}");
         assert!(text.contains("gobo_cluster_hedge_fires_total 2"), "{text}");
+        assert!(text.contains("gobo_cluster_canary_requests_total 0"), "{text}");
+        assert!(text.contains("gobo_cluster_canary_rollbacks_total 1"), "{text}");
         assert!(text.contains("gobo_cluster_node_down 1"), "{text}");
         assert!(text.contains("gobo_cluster_node_healthy{node=\"n1\"} 1"), "{text}");
         assert!(text.contains("gobo_cluster_node_healthy{node=\"n2\"} 0"), "{text}");

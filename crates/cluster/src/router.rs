@@ -39,6 +39,7 @@ use gobo_proto::frame::{
     HeartbeatAckFrame, MAX_PAYLOAD,
 };
 use gobo_proto::net::{connect_retry, RetryPolicy};
+use gobo_serve::CanaryPolicy;
 
 use crate::metrics::{ClusterMetrics, NodeHealthSample};
 use crate::ring::Ring;
@@ -70,6 +71,10 @@ pub struct RouterConfig {
     pub connect_timeout: Duration,
     /// Transient-connect retry policy of one encode attempt.
     pub retry: RetryPolicy,
+    /// Canary trial policy: traffic share, window size, and the p95
+    /// regression threshold — same semantics as a single node's
+    /// in-process canary.
+    pub canary: CanaryPolicy,
 }
 
 impl Default for RouterConfig {
@@ -88,8 +93,32 @@ impl Default for RouterConfig {
             // No connect retries by default: a dead replica should
             // fail over to the next one immediately, not be retried.
             retry: RetryPolicy::none(),
+            canary: CanaryPolicy::default(),
         }
     }
+}
+
+/// A canary trial in flight: one node receiving a preferential traffic
+/// slice while its latency is judged against the rest of the cluster.
+struct CanaryTrial {
+    node_id: String,
+    ticket: AtomicU64,
+    window: Mutex<TrialWindow>,
+}
+
+/// Sliding latency windows of one canary trial.
+#[derive(Default)]
+struct TrialWindow {
+    canary_us: Vec<u64>,
+    baseline_us: Vec<u64>,
+}
+
+/// Verdict of one canary latency sample.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TrialVerdict {
+    Pending,
+    Promote,
+    Rollback,
 }
 
 /// Saturating cap on a node's slow score (how far hedging can demote
@@ -222,6 +251,7 @@ struct Shared {
     metrics: ClusterMetrics,
     stop: AtomicBool,
     seq: AtomicU64,
+    canary: RwLock<Option<CanaryTrial>>,
 }
 
 /// The consistent-hash router over a set of [`NodeState`] members.
@@ -265,6 +295,7 @@ impl Router {
                 metrics: ClusterMetrics::new(),
                 stop: AtomicBool::new(false),
                 seq: AtomicU64::new(1),
+                canary: RwLock::new(None),
             }),
             heartbeat_thread: Mutex::new(None),
         }
@@ -383,6 +414,138 @@ impl Router {
         ordered
     }
 
+    /// Starts a canary trial on `node_id`: the configured traffic
+    /// share is routed to it preferentially while its latency is
+    /// judged against the rest of the cluster, ending in an automatic
+    /// promotion (trial cleared, node trusted) or rollback (trial
+    /// cleared, node demoted to last pick). Replaces any trial in
+    /// flight. Returns `false`, starting nothing, when the id is not a
+    /// member.
+    pub fn set_canary(&self, node_id: &str) -> bool {
+        if !lock_read(&self.shared.nodes).iter().any(|n| n.id == node_id) {
+            return false;
+        }
+        *lock_write(&self.shared.canary) = Some(CanaryTrial {
+            node_id: node_id.to_owned(),
+            ticket: AtomicU64::new(0),
+            window: Mutex::new(TrialWindow::default()),
+        });
+        true
+    }
+
+    /// The node under canary trial right now, if any.
+    pub fn canary_node(&self) -> Option<String> {
+        lock_read(&self.shared.canary).as_ref().map(|t| t.node_id.clone())
+    }
+
+    /// Ends any trial in flight without a verdict (no counter moves,
+    /// no demotion).
+    pub fn clear_canary(&self) {
+        *lock_write(&self.shared.canary) = None;
+    }
+
+    /// Reorders `ordered` for an active canary trial and says whether
+    /// this request is a canary attempt.
+    ///
+    /// On a canary ticket the trial node moves (or is inserted) at the
+    /// front — a canary sees its slice of *all* traffic, not only the
+    /// keys that happen to hash onto it. On a baseline ticket the
+    /// trial node is steered *away* from the primary slot when a
+    /// fallback exists, so the comparison window keeps filling even
+    /// when the canary would be the natural first pick.
+    fn maybe_front_canary(&self, ordered: &mut Vec<Arc<NodeState>>) -> bool {
+        let guard = lock_read(&self.shared.canary);
+        let Some(trial) = guard.as_ref() else { return false };
+        let pct = u64::from(self.shared.config.canary.traffic_pct.min(100));
+        if pct == 0 {
+            return false;
+        }
+        let ticket = trial.ticket.fetch_add(1, Ordering::Relaxed);
+        if (ticket * pct) % 100 >= pct {
+            if ordered.len() > 1 && ordered.first().is_some_and(|n| n.id == trial.node_id) {
+                ordered.swap(0, 1);
+            }
+            return false;
+        }
+        match ordered.iter().position(|n| n.id == trial.node_id) {
+            Some(0) => true,
+            Some(i) => {
+                let node = ordered.remove(i);
+                ordered.insert(0, node);
+                true
+            }
+            None => {
+                let node = lock_read(&self.shared.nodes)
+                    .iter()
+                    .find(|n| n.id == trial.node_id && n.is_healthy())
+                    .cloned();
+                match node {
+                    Some(node) => {
+                        ordered.insert(0, node);
+                        true
+                    }
+                    None => false,
+                }
+            }
+        }
+    }
+
+    /// Feeds one successful request latency to the trial window.
+    /// Returns a verdict only once the canary window is full.
+    fn record_trial_sample(&self, us: u64, canary: bool) -> TrialVerdict {
+        let policy = self.shared.config.canary;
+        let guard = lock_read(&self.shared.canary);
+        let Some(trial) = guard.as_ref() else { return TrialVerdict::Pending };
+        let mut window = trial.window.lock().unwrap_or_else(PoisonError::into_inner);
+        let cap = (policy.window as usize).saturating_mul(4).max(1);
+        let bucket = if canary { &mut window.canary_us } else { &mut window.baseline_us };
+        if bucket.len() >= cap {
+            bucket.remove(0);
+        }
+        bucket.push(us);
+        if !canary || window.canary_us.len() < policy.window as usize {
+            return TrialVerdict::Pending;
+        }
+        if window.baseline_us.len() < policy.min_baseline as usize {
+            // Too little baseline to judge against — a clean full
+            // window promotes outright, same as a single node's
+            // in-process canary.
+            return TrialVerdict::Promote;
+        }
+        let canary_p95 = p95(&window.canary_us);
+        let baseline_p95 = p95(&window.baseline_us).max(1);
+        if canary_p95 > baseline_p95.saturating_mul(u64::from(policy.p95_factor_pct)) / 100 {
+            TrialVerdict::Rollback
+        } else {
+            TrialVerdict::Promote
+        }
+    }
+
+    /// Applies a trial verdict. Counters move only when the trial was
+    /// still in flight — two racing verdicts resolve to one
+    /// transition.
+    fn apply_verdict(&self, verdict: TrialVerdict) {
+        if verdict == TrialVerdict::Pending {
+            return;
+        }
+        let Some(trial) = lock_write(&self.shared.canary).take() else { return };
+        match verdict {
+            TrialVerdict::Promote => {
+                self.shared.metrics.canary_promotions.fetch_add(1, Ordering::Relaxed);
+            }
+            TrialVerdict::Rollback => {
+                self.shared.metrics.canary_rollbacks.fetch_add(1, Ordering::Relaxed);
+                // Demote the failed node to last pick; the slow-score
+                // walk-back lets it earn its way forward again.
+                let nodes = lock_read(&self.shared.nodes);
+                if let Some(node) = nodes.iter().find(|n| n.id == trial.node_id) {
+                    node.slow_score.store(SLOW_SCORE_CAP, Ordering::Relaxed);
+                }
+            }
+            TrialVerdict::Pending => {}
+        }
+    }
+
     /// The hedge delay the router would use right now: the configured
     /// override, or `HEDGE_P95_FACTOR`× the p95 of observed route
     /// latency (floored), or the initial default before enough
@@ -438,10 +601,17 @@ impl Router {
         let key = ring_key(model, bits);
         let _span = gobo_obs::span!("gobo.cluster.route", key = key);
         let start = Instant::now();
-        let ordered = self.replicas_for(model, bits);
+        let mut ordered = self.replicas_for(model, bits);
         if ordered.is_empty() {
             return Err(RouterError::NoReplica(key));
         }
+        let canary_attempt = self.maybe_front_canary(&mut ordered);
+        let _canary_span = if canary_attempt {
+            self.shared.metrics.canary_requests.fetch_add(1, Ordering::Relaxed);
+            ordered.first().map(|n| gobo_obs::span!("gobo.cluster.canary", node = n.id))
+        } else {
+            None
+        };
 
         let request = EncodeRequestFrame {
             id: self.shared.seq.fetch_add(1, Ordering::Relaxed),
@@ -482,6 +652,7 @@ impl Router {
         let mut hedge_idx: Option<usize> = None;
         let deadline = start + config.request_timeout;
         let mut last_err: Option<RouterError> = None;
+        let mut canary_failed = false;
 
         let outcome: Result<(usize, EncodeOkFrame), RouterError> = loop {
             let now = Instant::now();
@@ -502,8 +673,15 @@ impl Router {
                 Ok((_, Err(AttemptError::App(err)))) if is_terminal(&err.code) => {
                     break Err(RouterError::Upstream(err));
                 }
-                Ok((_, Err(err))) => {
+                Ok((idx, Err(err))) => {
                     finished += 1;
+                    if canary_attempt && idx == 0 {
+                        // The canary attempt itself failed with a
+                        // retryable/transport error: that is the
+                        // node's fault, not the client's — roll the
+                        // trial back once the request settles.
+                        canary_failed = true;
+                    }
                     last_err = Some(match err {
                         AttemptError::Transport(msg) => RouterError::Exhausted(msg),
                         AttemptError::App(app) => {
@@ -552,6 +730,11 @@ impl Router {
             }
         }
 
+        if canary_failed {
+            // Roll back even when the whole request later failed: the
+            // trial node already proved unreliable.
+            self.apply_verdict(TrialVerdict::Rollback);
+        }
         let (winner_idx, ok) = outcome?;
         if winner_idx == 0 {
             // Primary won: walk its slow score back one step.
@@ -582,9 +765,32 @@ impl Router {
                 self.shared.metrics.hedge_wins.fetch_add(1, Ordering::Relaxed);
             }
         }
-        self.shared.metrics.route_us.observe(start.elapsed().as_micros() as u64);
+        let elapsed_us = start.elapsed().as_micros() as u64;
+        if !canary_failed {
+            if canary_attempt {
+                // A hedge win over the canary still charges the full
+                // elapsed time to the canary window — a slow canary
+                // must not hide behind its backups.
+                let verdict = self.record_trial_sample(elapsed_us, true);
+                self.apply_verdict(verdict);
+            } else {
+                let _ = self.record_trial_sample(elapsed_us, false);
+            }
+        }
+        self.shared.metrics.route_us.observe(elapsed_us);
         Ok(ok)
     }
+}
+
+/// Nearest-rank p95 of a non-empty sample window.
+fn p95(samples: &[u64]) -> u64 {
+    if samples.is_empty() {
+        return 0;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    let idx = (sorted.len() * 95 / 100).min(sorted.len() - 1);
+    sorted.get(idx).copied().unwrap_or(0)
 }
 
 impl Drop for Router {

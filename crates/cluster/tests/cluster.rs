@@ -13,7 +13,7 @@ use gobo_cluster::{ClusterNode, Router, RouterConfig, RouterServer};
 use gobo_model::config::ModelConfig;
 use gobo_model::TransformerModel;
 use gobo_serve::json::{parse, Json};
-use gobo_serve::{Client, EncodeRequest, ServeCore, ServeOptions};
+use gobo_serve::{CanaryPolicy, Client, EncodeRequest, ServeCore, ServeOptions};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -252,6 +252,113 @@ fn injected_route_failpoint_surfaces_as_internal() {
     assert_eq!(err.code(), "internal");
 }
 
+/// A healthy canary node under a trial with a generous regression
+/// threshold fills its window and is auto-promoted; every routed
+/// response stays byte-identical throughout the trial.
+#[test]
+fn canary_trial_promotes_a_healthy_node() {
+    let config = RouterConfig {
+        canary: CanaryPolicy {
+            traffic_pct: 50,
+            window: 4,
+            // Identical tiny nodes on one machine: a generous factor
+            // keeps scheduler jitter from failing a healthy canary.
+            p95_factor_pct: 10_000,
+            min_baseline: 2,
+        },
+        ..RouterConfig::default()
+    };
+    let (nodes, router) = start_cluster(3, config);
+    let direct = Client::new(Arc::clone(&nodes[0].core))
+        .encode(EncodeRequest::new("demo", vec![1, 2, 3]))
+        .unwrap();
+
+    assert!(!router.set_canary("ghost"), "unknown ids must not start a trial");
+    let trial = (primary_index(&nodes, &router) + 1) % nodes.len();
+    assert!(router.set_canary(&nodes[trial].id));
+    assert_eq!(router.canary_node().as_deref(), Some(nodes[trial].id.as_str()));
+
+    let mut spins = 0;
+    while router.canary_node().is_some() {
+        let ok = router.encode("demo", None, &[1, 2, 3], &[], 0).unwrap();
+        assert_bits_identical(&ok.hidden, &direct.hidden);
+        spins += 1;
+        assert!(spins < 200, "trial never reached a verdict");
+    }
+    let m = router.metrics();
+    assert_eq!(m.canary_promotions.load(std::sync::atomic::Ordering::Relaxed), 1);
+    assert_eq!(m.canary_rollbacks.load(std::sync::atomic::Ordering::Relaxed), 0);
+    assert!(m.canary_requests.load(std::sync::atomic::Ordering::Relaxed) >= 4);
+}
+
+/// A slow canary node is rolled back on the p95 comparison and
+/// demoted to last pick — while hedged backups keep every client
+/// response fast and byte-identical.
+#[test]
+fn canary_trial_rolls_back_a_slow_node() {
+    let config = RouterConfig {
+        hedge_after: Some(Duration::from_millis(25)),
+        canary: CanaryPolicy { traffic_pct: 50, window: 4, p95_factor_pct: 300, min_baseline: 2 },
+        ..RouterConfig::default()
+    };
+    let (nodes, router) = start_cluster(3, config);
+    let direct = Client::new(Arc::clone(&nodes[0].core))
+        .encode(EncodeRequest::new("demo", vec![4, 5]))
+        .unwrap();
+
+    let trial = (primary_index(&nodes, &router) + 1) % nodes.len();
+    nodes[trial].node.set_artificial_delay(Duration::from_millis(100));
+    assert!(router.set_canary(&nodes[trial].id));
+
+    let mut spins = 0;
+    while router.canary_node().is_some() {
+        let ok = router.encode("demo", None, &[4, 5], &[], 0).unwrap();
+        assert_bits_identical(&ok.hidden, &direct.hidden);
+        spins += 1;
+        assert!(spins < 200, "trial never reached a verdict");
+    }
+    let m = router.metrics();
+    assert_eq!(m.canary_rollbacks.load(std::sync::atomic::Ordering::Relaxed), 1);
+    assert_eq!(m.canary_promotions.load(std::sync::atomic::Ordering::Relaxed), 0);
+    let info = router
+        .membership()
+        .into_iter()
+        .find(|n| n.id == nodes[trial].id)
+        .expect("trial node in membership");
+    assert!(info.slow_score >= 8, "rolled-back node must be demoted, score {}", info.slow_score);
+    assert_ne!(
+        router.replicas_for("demo", None).first().unwrap().id,
+        nodes[trial].id,
+        "rolled-back node must not be the primary pick"
+    );
+}
+
+/// A canary node that dies mid-trial rolls back on the first failed
+/// attempt; the request itself fails over and still succeeds.
+#[test]
+fn canary_rolls_back_when_the_trial_node_dies() {
+    let config = RouterConfig {
+        canary: CanaryPolicy { traffic_pct: 100, window: 8, p95_factor_pct: 300, min_baseline: 1 },
+        ..RouterConfig::default()
+    };
+    let (mut nodes, router) = start_cluster(3, config);
+    let direct = Client::new(Arc::clone(&nodes[0].core))
+        .encode(EncodeRequest::new("demo", vec![6]))
+        .unwrap();
+
+    let trial = (primary_index(&nodes, &router) + 1) % nodes.len();
+    assert!(router.set_canary(&nodes[trial].id));
+    nodes[trial].node.shutdown();
+    nodes[trial].core.shutdown();
+
+    let ok = router.encode("demo", None, &[6], &[], 0).unwrap();
+    assert_bits_identical(&ok.hidden, &direct.hidden);
+    assert_eq!(router.canary_node(), None, "trial must end on the failed attempt");
+    let m = router.metrics();
+    assert_eq!(m.canary_rollbacks.load(std::sync::atomic::Ordering::Relaxed), 1);
+    assert!(m.failovers.load(std::sync::atomic::Ordering::Relaxed) >= 1);
+}
+
 fn http_request(addr: std::net::SocketAddr, method: &str, path: &str, body: &str) -> (u16, String) {
     let mut stream = TcpStream::connect(addr).expect("connect");
     stream.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
@@ -310,6 +417,20 @@ fn http_front_speaks_the_node_dialect() {
     let (status, metrics) = http_request(addr, "GET", "/metrics", "");
     assert_eq!(status, 200);
     assert!(metrics.contains("gobo_cluster_requests_total"), "{metrics}");
+    assert!(metrics.contains("gobo_cluster_canary_requests_total"), "{metrics}");
+
+    // Canary admin: start a trial on a member, see it in the
+    // snapshot, and get a 404 for an unknown id.
+    let (status, body) = http_request(addr, "POST", "/v1/canary", "{\"node\":\"n2\"}");
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"canary\""), "{body}");
+    let (_, body) = http_request(addr, "GET", "/v1/cluster", "");
+    assert_eq!(parse(&body).unwrap().get("canary").and_then(Json::as_str), Some("n2"), "{body}");
+    let (status, body) = http_request(addr, "POST", "/v1/canary", "{\"node\":\"ghost\"}");
+    assert_eq!(status, 404, "{body}");
+    assert!(body.contains("node_not_found"), "{body}");
+    let (status, _) = http_request(addr, "POST", "/v1/canary", "{}");
+    assert_eq!(status, 400);
 
     let (status, body) =
         http_request(addr, "POST", "/v1/encode", "{\"model\":\"missing\",\"ids\":[1]}");

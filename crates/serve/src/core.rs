@@ -2,13 +2,15 @@
 //! plus the in-process [`Client`] that tests and benchmarks use to
 //! bypass the socket entirely.
 
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
 use gobo::format::CompressedModel;
 
 use crate::error::ServeError;
+use crate::lifecycle::{CanaryPolicy, LifecycleController};
 use crate::metrics::Metrics;
-use crate::registry::{ModelEntry, ModelRegistry, RegistryConfig};
+use crate::registry::{ModelEntry, ModelRegistry, RegistryConfig, RevState};
 use crate::scheduler::{EncodeRequest, EncodeResponse, Scheduler, SchedulerConfig};
 
 /// Combined configuration for a serving core.
@@ -18,13 +20,17 @@ pub struct ServeOptions {
     pub registry: RegistryConfig,
     /// Scheduling and batching parameters.
     pub scheduler: SchedulerConfig,
+    /// Canary routing and verdict policy for published revisions.
+    pub lifecycle: CanaryPolicy,
 }
 
-/// Registry, scheduler, and metrics wired together. The HTTP front end
-/// and the in-process [`Client`] are both thin layers over this.
+/// Registry, scheduler, lifecycle controller, and metrics wired
+/// together. The HTTP front end and the in-process [`Client`] are both
+/// thin layers over this.
 pub struct ServeCore {
     metrics: Arc<Metrics>,
     registry: Arc<ModelRegistry>,
+    lifecycle: Arc<LifecycleController>,
     scheduler: Scheduler,
 }
 
@@ -33,14 +39,60 @@ impl ServeCore {
     pub fn start(options: ServeOptions) -> Arc<ServeCore> {
         let metrics = Arc::new(Metrics::new());
         let registry = Arc::new(ModelRegistry::new(options.registry, Arc::clone(&metrics)));
-        let scheduler =
-            Scheduler::start(options.scheduler, Arc::clone(&registry), Arc::clone(&metrics));
-        Arc::new(ServeCore { metrics, registry, scheduler })
+        let lifecycle = Arc::new(LifecycleController::new(
+            options.lifecycle,
+            Arc::clone(&registry),
+            Arc::clone(&metrics),
+        ));
+        let scheduler = Scheduler::start(
+            options.scheduler,
+            Arc::clone(&registry),
+            Arc::clone(&lifecycle),
+            Arc::clone(&metrics),
+        );
+        Arc::new(ServeCore { metrics, registry, lifecycle, scheduler })
     }
 
     /// The model registry.
     pub fn registry(&self) -> &ModelRegistry {
         &self.registry
+    }
+
+    /// The canary lifecycle controller.
+    pub fn lifecycle(&self) -> &LifecycleController {
+        &self.lifecycle
+    }
+
+    /// Publishes a new revision of `name` from a `.gobom` file through
+    /// the canary lifecycle — the admin path behind `POST /v1/reload`
+    /// and `gobo reload`. The container's CRC is validated before the
+    /// registry is touched; a rejected reload (unreadable file, corrupt
+    /// container, armed `registry.load`/`registry.decode`/
+    /// `registry.swap` failpoint) leaves serving untouched and counts
+    /// in `gobo_serve_reload_rejected_total`.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`ModelRegistry::publish_file`] rejects.
+    pub fn reload(
+        &self,
+        name: &str,
+        path: &str,
+    ) -> Result<(Arc<ModelEntry>, RevState), ServeError> {
+        match self.registry.publish_file(name, path) {
+            Ok(published) => {
+                self.metrics.reloads.fetch_add(1, Ordering::Relaxed);
+                // A fresh canary must be judged on its own samples,
+                // not ones left over from a superseded or out-of-band
+                // rolled-back predecessor.
+                self.lifecycle.reset_window(&published.0.key);
+                Ok(published)
+            }
+            Err(e) => {
+                self.metrics.reload_rejected.fetch_add(1, Ordering::Relaxed);
+                Err(e)
+            }
+        }
     }
 
     /// The request scheduler.

@@ -11,7 +11,11 @@
 //! in behind it. [`Server`] is the serve-core handler with routes:
 //!
 //! * `POST /v1/encode` — run one sequence through a registered model;
-//! * `GET  /v1/models` — list models with resident/evicted state;
+//! * `GET  /v1/models` — list model revisions with lifecycle state
+//!   (active/canary/draining/retired/evicted) and resident byte sizes;
+//! * `POST /v1/reload` — publish a new model revision from a `.gobom`
+//!   file through the canary lifecycle (CRC-validated before the
+//!   registry is touched);
 //! * `GET  /metrics` — Prometheus text exposition;
 //! * `POST /v1/shutdown` — begin graceful shutdown (drain, then exit).
 //!
@@ -244,8 +248,14 @@ impl HttpListener {
             Err(_) => Vec::new(),
         };
         for (handle, stream) in conns {
-            let _ = stream.shutdown(Shutdown::Both);
+            // Close only the read half first: a handler parked in a
+            // keep-alive read sees EOF and exits, while a handler
+            // mid-response (e.g. the `/v1/shutdown` acknowledgement
+            // that triggered this teardown) can still finish its
+            // write. Full shutdown only after the handler is done.
+            let _ = stream.shutdown(Shutdown::Read);
             let _ = handle.join();
+            let _ = stream.shutdown(Shutdown::Both);
         }
     }
 }
@@ -420,6 +430,10 @@ impl HttpHandler for ServeHandler {
                 Err(e) => HttpResponse::json(e.http_status(), serve_error_body(&e)),
             },
             ("GET", "/v1/models") => HttpResponse::json(200, models_body(&self.core)),
+            ("POST", "/v1/reload") => match reload(&self.core, &request.body) {
+                Ok(body) => HttpResponse::json(200, body),
+                Err(e) => HttpResponse::json(e.http_status(), serve_error_body(&e)),
+            },
             ("GET", "/metrics") => HttpResponse {
                 status: 200,
                 content_type: "text/plain; version=0.0.4",
@@ -564,6 +578,7 @@ fn encode(core: &ServeCore, body: &[u8]) -> Result<String, ServeError> {
     Ok(Json::obj(vec![
         ("model", Json::Str(response.model.name.clone())),
         ("bits", Json::Num(response.model.bits as f64)),
+        ("rev", Json::Num(response.rev as f64)),
         ("batch_size", Json::Num(response.batch_size as f64)),
         ("queue_us", Json::Num(response.queue_us as f64)),
         ("compute_us", Json::Num(response.compute_us as f64)),
@@ -579,6 +594,35 @@ fn encode(core: &ServeCore, body: &[u8]) -> Result<String, ServeError> {
     .to_string())
 }
 
+/// Parses the `POST /v1/reload` body (`{name, path}`) and publishes the
+/// file through [`ServeCore::reload`]. The registry validates the
+/// container CRC before any state changes, so a corrupt artifact (or an
+/// armed `registry.*` failpoint) rejects the reload mid-flight without
+/// touching the serving path.
+fn reload(core: &ServeCore, body: &[u8]) -> Result<String, ServeError> {
+    let text =
+        std::str::from_utf8(body).map_err(|_| ServeError::BadRequest("body not utf-8".into()))?;
+    let value = parse(text).map_err(ServeError::BadRequest)?;
+    let name = value
+        .get("name")
+        .and_then(Json::as_str)
+        .ok_or_else(|| ServeError::BadRequest("missing string field `name`".into()))?
+        .to_owned();
+    let path = value
+        .get("path")
+        .and_then(Json::as_str)
+        .ok_or_else(|| ServeError::BadRequest("missing string field `path`".into()))?
+        .to_owned();
+    let (entry, state) = core.reload(&name, &path)?;
+    Ok(Json::obj(vec![
+        ("status", Json::Str(state.as_str().to_owned())),
+        ("name", Json::Str(entry.key.name.clone())),
+        ("bits", Json::Num(entry.key.bits as f64)),
+        ("rev", Json::Num(entry.rev as f64)),
+    ])
+    .to_string())
+}
+
 fn models_body(core: &ServeCore) -> String {
     let models: Vec<Json> = core
         .registry()
@@ -588,7 +632,10 @@ fn models_body(core: &ServeCore) -> String {
             Json::obj(vec![
                 ("name", Json::Str(status.key.name.clone())),
                 ("bits", Json::Num(status.key.bits as f64)),
+                ("rev", Json::Num(status.rev as f64)),
+                ("state", Json::Str(status.state.as_str().to_owned())),
                 ("resident", Json::Bool(status.resident)),
+                ("resident_bytes", Json::Num(status.decoded_bytes as f64)),
                 ("quantized_layers", Json::Num(status.quantized_layers as f64)),
                 ("decoded_bytes", Json::Num(status.decoded_bytes as f64)),
                 ("compressed_bytes", Json::Num(status.compressed_bytes as f64)),

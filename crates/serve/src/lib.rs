@@ -6,8 +6,14 @@
 //! into a [`gobo_model::TransformerModel`], and serves encode requests
 //! over HTTP/1.1 with dynamic batching:
 //!
-//! * [`registry`] — named model cache keyed by *name/bits*, LRU-evicted
-//!   under a decoded-byte budget;
+//! * [`registry`] — named, *versioned* model cache keyed by
+//!   *name/bits*, LRU-evicted under a decoded-byte budget, with an
+//!   atomic publish/promote/rollback revision lifecycle (in-flight
+//!   batches drain on the old revision before it is retired);
+//! * [`lifecycle`] — the canary controller: routes a configurable
+//!   traffic slice to a freshly published revision, auto-promotes on a
+//!   clean latency window, auto-rolls-back on any canary error or p95
+//!   regression;
 //! * [`engine`] — the compute-on-compressed engine: archived FC layers
 //!   run the cache-blocked batched GEMM straight on the packed 3/4-bit
 //!   indices, decoding each weight tile once per batch;
@@ -65,6 +71,7 @@ pub mod engine;
 pub mod error;
 pub mod http;
 pub mod json;
+pub mod lifecycle;
 pub mod metrics;
 pub mod registry;
 pub mod scheduler;
@@ -77,6 +84,7 @@ pub use http::{
     parse_encode_body, parse_request, HttpHandler, HttpListener, HttpOptions, HttpResponse,
     ParsedRequest, Server, ShutdownSignal,
 };
+pub use lifecycle::{CanaryPolicy, CanaryVerdict, LifecycleController};
 pub use metrics::Metrics;
-pub use registry::{ModelEntry, ModelKey, ModelRegistry, ModelStatus, RegistryConfig};
+pub use registry::{ModelEntry, ModelKey, ModelRegistry, ModelStatus, RegistryConfig, RevState};
 pub use scheduler::{EncodeRequest, EncodeResponse, Scheduler, SchedulerConfig};

@@ -1,0 +1,351 @@
+//! Canary lifecycle controller: routes a traffic slice to a pending
+//! revision, judges it against the active baseline, and auto-promotes
+//! or auto-rolls-back.
+//!
+//! The controller owns no threads and takes no locks on the request
+//! path beyond one short mutex around the per-slot latency windows. The
+//! scheduler calls it at three points:
+//!
+//! * [`LifecycleController::should_try_canary`] — a ticket counter
+//!   spreads the configured traffic share evenly (Bresenham-style)
+//!   instead of front-loading it, so a canary sees steady load from the
+//!   first second;
+//! * [`LifecycleController::record_canary_ok`] /
+//!   [`LifecycleController::record_active`] — batch latencies feed a
+//!   sliding window per slot; once the canary window fills, its p95 is
+//!   compared against the active baseline and the revision is promoted
+//!   (clean window) or rolled back (p95 regression beyond the
+//!   configured factor);
+//! * [`LifecycleController::record_canary_error`] — any canary-side
+//!   error (decode/integrity failure, injected fault, panic) rolls the
+//!   revision back immediately; the batch itself is transparently
+//!   re-run on the active revision, so the client never sees the
+//!   failure.
+//!
+//! Promotion and rollback go through [`crate::registry::ModelRegistry`]
+//! and are counted only when the registry actually held the canary —
+//! two racing verdicts for one slot resolve to a single lifecycle
+//! transition.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+
+use crate::metrics::Metrics;
+use crate::registry::{ModelKey, ModelRegistry};
+
+/// Canary routing and verdict policy.
+///
+/// All fields are integers so the policy can ride inside the `Copy +
+/// Eq` [`crate::ServeOptions`]; percentages are expressed in whole
+/// percent (`p95_factor_pct = 300` means "roll back when the canary p95
+/// exceeds 3× the active baseline").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CanaryPolicy {
+    /// Share of batches routed to a pending canary, in percent
+    /// (0 disables canary traffic; the revision then waits forever,
+    /// which is useful for manual promotion).
+    pub traffic_pct: u32,
+    /// Number of successful canary batches that make up one verdict
+    /// window.
+    pub window: u32,
+    /// Rollback threshold: canary p95 > active p95 × `pct`/100.
+    pub p95_factor_pct: u32,
+    /// Minimum active-side samples required before the p95 comparison
+    /// is trusted; with fewer, a full clean window promotes outright.
+    pub min_baseline: u32,
+}
+
+impl Default for CanaryPolicy {
+    fn default() -> Self {
+        CanaryPolicy { traffic_pct: 20, window: 16, p95_factor_pct: 300, min_baseline: 8 }
+    }
+}
+
+/// Outcome of feeding one canary observation to the controller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CanaryVerdict {
+    /// The window is still filling; keep routing canary traffic.
+    Pending,
+    /// Clean window — the revision was promoted to active.
+    Promoted,
+    /// Error or latency regression — the revision was rolled back.
+    RolledBack,
+}
+
+/// Sliding latency windows for one slot while a canary is pending.
+#[derive(Debug, Default)]
+struct WindowState {
+    canary_us: Vec<u64>,
+    active_us: Vec<u64>,
+}
+
+/// Shared canary controller; one per [`crate::ServeCore`].
+pub struct LifecycleController {
+    policy: CanaryPolicy,
+    registry: Arc<ModelRegistry>,
+    metrics: Arc<Metrics>,
+    ticket: AtomicU64,
+    windows: Mutex<HashMap<ModelKey, WindowState>>,
+}
+
+impl LifecycleController {
+    /// Creates a controller applying `policy` to `registry`.
+    pub fn new(policy: CanaryPolicy, registry: Arc<ModelRegistry>, metrics: Arc<Metrics>) -> Self {
+        LifecycleController {
+            policy,
+            registry,
+            metrics,
+            ticket: AtomicU64::new(0),
+            windows: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The policy this controller was built with.
+    pub fn policy(&self) -> CanaryPolicy {
+        self.policy
+    }
+
+    /// Windows hold plain latency samples; a poisoned lock at worst
+    /// loses part of one verdict window, so recover rather than take
+    /// the serving path down.
+    fn lock_windows(&self) -> MutexGuard<'_, HashMap<ModelKey, WindowState>> {
+        self.windows.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Consumes one routing ticket and reports whether this batch
+    /// should serve from the canary. Tickets spread the `traffic_pct`
+    /// share evenly: at 20% every 5th batch is a canary batch, not the
+    /// first 20 of every 100. Call only when a canary exists — tickets
+    /// consumed with no canary pending would skew the next window.
+    pub fn should_try_canary(&self) -> bool {
+        let pct = u64::from(self.policy.traffic_pct.min(100));
+        if pct == 0 {
+            return false;
+        }
+        let t = self.ticket.fetch_add(1, Ordering::Relaxed);
+        (t * pct) % 100 < pct
+    }
+
+    /// Drops any window state accumulated for `key`. Called when a new
+    /// canary is published into the slot: samples from a previous
+    /// trial (one that was rolled back out-of-band through the
+    /// registry, or superseded before reaching a verdict) must not
+    /// feed the fresh revision's verdict.
+    pub fn reset_window(&self, key: &ModelKey) {
+        self.lock_windows().remove(key);
+    }
+
+    /// Records one active-revision batch latency while a canary is
+    /// pending, building the comparison baseline.
+    pub fn record_active(&self, key: &ModelKey, micros: u64) {
+        let cap = self.window_cap();
+        let mut windows = self.lock_windows();
+        let w = windows.entry(key.clone()).or_default();
+        push_capped(&mut w.active_us, micros, cap);
+    }
+
+    /// Records one successful canary batch. Returns the verdict: once
+    /// `window` canary samples have accumulated, the canary p95 is
+    /// judged against the active baseline and the revision is promoted
+    /// or rolled back through the registry; otherwise the window keeps
+    /// filling.
+    pub fn record_canary_ok(&self, key: &ModelKey, micros: u64) -> CanaryVerdict {
+        let cap = self.window_cap();
+        let mut windows = self.lock_windows();
+        let w = windows.entry(key.clone()).or_default();
+        push_capped(&mut w.canary_us, micros, cap);
+        if (w.canary_us.len() as u64) < u64::from(self.policy.window.max(1)) {
+            return CanaryVerdict::Pending;
+        }
+        let regressed = if (w.active_us.len() as u64) >= u64::from(self.policy.min_baseline) {
+            let canary_p95 = p95(&w.canary_us);
+            let active_p95 = p95(&w.active_us).max(1);
+            canary_p95 > active_p95.saturating_mul(u64::from(self.policy.p95_factor_pct)) / 100
+        } else {
+            // Too little baseline to judge latency: a full window of
+            // successful canary batches is the best signal available.
+            false
+        };
+        windows.remove(key);
+        drop(windows);
+        if regressed {
+            self.do_rollback(key)
+        } else {
+            self.do_promote(key)
+        }
+    }
+
+    /// Records a canary-side error. The revision is rolled back
+    /// immediately — any decode or integrity failure disqualifies it,
+    /// regardless of how the latency window looked.
+    pub fn record_canary_error(&self, key: &ModelKey) -> CanaryVerdict {
+        self.lock_windows().remove(key);
+        self.do_rollback(key)
+    }
+
+    fn do_promote(&self, key: &ModelKey) -> CanaryVerdict {
+        if self.registry.promote(key).is_some() {
+            self.metrics.canary_promotions.fetch_add(1, Ordering::Relaxed);
+            CanaryVerdict::Promoted
+        } else {
+            // Lost a race against another verdict for the same slot.
+            CanaryVerdict::Pending
+        }
+    }
+
+    fn do_rollback(&self, key: &ModelKey) -> CanaryVerdict {
+        if self.registry.rollback(key).is_some() {
+            self.metrics.canary_rollbacks.fetch_add(1, Ordering::Relaxed);
+            CanaryVerdict::RolledBack
+        } else {
+            CanaryVerdict::Pending
+        }
+    }
+
+    /// Windows are bounded at the verdict window size (canary side) and
+    /// four windows of baseline, so a slot that never reaches a verdict
+    /// cannot grow without bound.
+    fn window_cap(&self) -> usize {
+        (self.policy.window.max(1) as usize) * 4
+    }
+}
+
+/// Appends to a bounded ring: once full, the oldest sample drops.
+fn push_capped(v: &mut Vec<u64>, value: u64, cap: usize) {
+    if v.len() >= cap {
+        v.remove(0);
+    }
+    v.push(value);
+}
+
+/// p95 by nearest-rank on a sorted copy; 0 for an empty window.
+fn p95(samples: &[u64]) -> u64 {
+    if samples.is_empty() {
+        return 0;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    let idx = (sorted.len() * 95 / 100).min(sorted.len() - 1);
+    sorted.get(idx).copied().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::{ModelRegistry, RegistryConfig, RevState};
+    use gobo::format::CompressedModel;
+    use gobo::pipeline::{quantize_model, QuantizeOptions};
+    use gobo_model::{config::ModelConfig, TransformerModel};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn compressed(seed: u64) -> CompressedModel {
+        let config = ModelConfig::tiny("Lc", 1, 16, 2, 40, 12).unwrap();
+        let model = TransformerModel::new(config, &mut StdRng::seed_from_u64(seed)).unwrap();
+        let outcome = quantize_model(&model, &QuantizeOptions::gobo(3).unwrap()).unwrap();
+        CompressedModel::new(&model, outcome.archive)
+    }
+
+    fn setup(
+        policy: CanaryPolicy,
+    ) -> (Arc<ModelRegistry>, Arc<Metrics>, LifecycleController, ModelKey) {
+        let metrics = Arc::new(Metrics::new());
+        let registry =
+            Arc::new(ModelRegistry::new(RegistryConfig::default(), Arc::clone(&metrics)));
+        registry.insert("m", &compressed(1)).unwrap();
+        let (entry, state) = registry.publish("m", &compressed(2)).unwrap();
+        assert_eq!(state, RevState::Canary);
+        let key = entry.key.clone();
+        let controller =
+            LifecycleController::new(policy, Arc::clone(&registry), Arc::clone(&metrics));
+        (registry, metrics, controller, key)
+    }
+
+    #[test]
+    fn ticket_spread_matches_traffic_pct() {
+        let (_r, _m, c, _k) = setup(CanaryPolicy { traffic_pct: 20, ..Default::default() });
+        let hits = (0..100).filter(|_| c.should_try_canary()).count();
+        assert_eq!(hits, 20);
+        // And the hits are spread, not front-loaded: no 2 adjacent.
+        let c2 = LifecycleController::new(
+            CanaryPolicy { traffic_pct: 20, ..Default::default() },
+            Arc::clone(&c.registry),
+            Arc::clone(&c.metrics),
+        );
+        let pattern: Vec<bool> = (0..10).map(|_| c2.should_try_canary()).collect();
+        assert_eq!(pattern.iter().filter(|&&b| b).count(), 2);
+        assert!(!pattern.windows(2).any(|w| w[0] && w[1]), "{pattern:?}");
+    }
+
+    #[test]
+    fn zero_pct_never_routes() {
+        let (_r, _m, c, _k) = setup(CanaryPolicy { traffic_pct: 0, ..Default::default() });
+        assert!((0..50).all(|_| !c.should_try_canary()));
+    }
+
+    #[test]
+    fn clean_window_promotes() {
+        let policy = CanaryPolicy { window: 4, min_baseline: 2, ..Default::default() };
+        let (registry, metrics, c, key) = setup(policy);
+        for _ in 0..8 {
+            c.record_active(&key, 100);
+        }
+        assert_eq!(c.record_canary_ok(&key, 110), CanaryVerdict::Pending);
+        assert_eq!(c.record_canary_ok(&key, 105), CanaryVerdict::Pending);
+        assert_eq!(c.record_canary_ok(&key, 95), CanaryVerdict::Pending);
+        assert_eq!(c.record_canary_ok(&key, 100), CanaryVerdict::Promoted);
+        assert_eq!(registry.get("m", None).unwrap().rev, 2);
+        assert!(registry.canary_for(&key).is_none());
+        assert_eq!(metrics.canary_promotions.load(Ordering::Relaxed), 1);
+        assert_eq!(metrics.canary_rollbacks.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn p95_regression_rolls_back() {
+        let policy =
+            CanaryPolicy { window: 4, min_baseline: 4, p95_factor_pct: 300, ..Default::default() };
+        let (registry, metrics, c, key) = setup(policy);
+        for _ in 0..8 {
+            c.record_active(&key, 100);
+        }
+        for i in 0..3 {
+            assert_eq!(c.record_canary_ok(&key, 400 + i), CanaryVerdict::Pending);
+        }
+        // 4th sample completes the window; canary p95 ≈ 400 > 3×100.
+        assert_eq!(c.record_canary_ok(&key, 400), CanaryVerdict::RolledBack);
+        assert_eq!(registry.get("m", None).unwrap().rev, 1, "active must keep serving rev 1");
+        assert!(registry.canary_for(&key).is_none());
+        assert_eq!(metrics.canary_rollbacks.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn canary_error_rolls_back_immediately() {
+        let (registry, metrics, c, key) = setup(CanaryPolicy::default());
+        assert_eq!(c.record_canary_error(&key), CanaryVerdict::RolledBack);
+        assert!(registry.canary_for(&key).is_none());
+        assert_eq!(registry.get("m", None).unwrap().rev, 1);
+        assert_eq!(metrics.canary_rollbacks.load(Ordering::Relaxed), 1);
+        // A second verdict for the already-resolved slot is a no-op.
+        assert_eq!(c.record_canary_error(&key), CanaryVerdict::Pending);
+        assert_eq!(metrics.canary_rollbacks.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn thin_baseline_promotes_on_clean_window() {
+        let policy = CanaryPolicy { window: 2, min_baseline: 8, ..Default::default() };
+        let (registry, _m, c, key) = setup(policy);
+        // No active samples at all: a clean window still promotes.
+        assert_eq!(c.record_canary_ok(&key, 500), CanaryVerdict::Pending);
+        assert_eq!(c.record_canary_ok(&key, 500), CanaryVerdict::Promoted);
+        assert_eq!(registry.get("m", None).unwrap().rev, 2);
+    }
+
+    #[test]
+    fn p95_nearest_rank() {
+        assert_eq!(p95(&[]), 0);
+        assert_eq!(p95(&[7]), 7);
+        let v: Vec<u64> = (1..=100).collect();
+        assert_eq!(p95(&v), 96); // nearest-rank: index 95 of 0..=99
+    }
+}

@@ -56,6 +56,23 @@ pub struct Metrics {
     pub registry_bytes: AtomicU64,
     /// Models evicted from the registry under the byte budget.
     pub registry_evictions: AtomicU64,
+    /// Model revisions currently draining — replaced but still pinned
+    /// by in-flight batches (gauge).
+    pub registry_draining: AtomicU64,
+    /// Draining model revisions retired after their refcount drained.
+    pub registry_retired: AtomicU64,
+    /// Batches routed to a canary revision.
+    pub canary_batches: AtomicU64,
+    /// Canary batches that failed and fell back to the active revision.
+    pub canary_errors: AtomicU64,
+    /// Canary revisions promoted to active after a clean window.
+    pub canary_promotions: AtomicU64,
+    /// Canary revisions rolled back on errors or latency regression.
+    pub canary_rollbacks: AtomicU64,
+    /// Successful `POST /v1/reload` publishes.
+    pub reloads: AtomicU64,
+    /// `POST /v1/reload` requests rejected before touching the registry.
+    pub reload_rejected: AtomicU64,
 }
 
 impl Metrics {
@@ -167,6 +184,41 @@ impl Metrics {
             "models evicted under the registry byte budget",
             self.registry_evictions.load(Ordering::Relaxed),
         );
+        counter(
+            "registry_retired_total",
+            "draining model revisions retired after their refcount drained",
+            self.registry_retired.load(Ordering::Relaxed),
+        );
+        counter(
+            "serve_canary_batches_total",
+            "batches routed to a canary revision",
+            self.canary_batches.load(Ordering::Relaxed),
+        );
+        counter(
+            "serve_canary_errors_total",
+            "canary batches that failed and fell back to the active revision",
+            self.canary_errors.load(Ordering::Relaxed),
+        );
+        counter(
+            "serve_canary_promotions_total",
+            "canary revisions promoted to active after a clean window",
+            self.canary_promotions.load(Ordering::Relaxed),
+        );
+        counter(
+            "serve_canary_rollbacks_total",
+            "canary revisions rolled back on errors or latency regression",
+            self.canary_rollbacks.load(Ordering::Relaxed),
+        );
+        counter(
+            "serve_reloads_total",
+            "successful reload publishes",
+            self.reloads.load(Ordering::Relaxed),
+        );
+        counter(
+            "serve_reload_rejected_total",
+            "reload requests rejected before touching the registry",
+            self.reload_rejected.load(Ordering::Relaxed),
+        );
         let mut gauge = |name: &str, help: &str, value: u64| {
             out.push_str(&format!(
                 "# HELP gobo_{name} {help}\n# TYPE gobo_{name} gauge\ngobo_{name} {value}\n"
@@ -198,6 +250,11 @@ impl Metrics {
             "registry_bytes",
             "decoded bytes resident in the registry",
             self.registry_bytes.load(Ordering::Relaxed),
+        );
+        gauge(
+            "registry_draining",
+            "model revisions draining behind in-flight batches",
+            self.registry_draining.load(Ordering::Relaxed),
         );
         // Batch amortization: average requests carried per executed
         // batch — how many activation rows each packed-tile decode was

@@ -1,14 +1,42 @@
-//! The model registry: named, decoded-once, LRU-bounded model cache.
+//! The model registry: named, decoded-once, LRU-bounded, *versioned*
+//! model cache.
 //!
 //! A `.gobom` container is loaded from disk (or handed over in memory),
 //! decoded **once** into a plug-in-compatible FP32
-//! [`TransformerModel`], and cached under a *name/bits* key — the same
+//! [`TransformerModel`], and cached under a *name/bits* slot — the same
 //! logical model quantized at different widths serves side by side.
 //! Residency is bounded by a decoded-byte budget with LRU eviction;
 //! handles already held by in-flight batches stay valid after eviction
 //! because entries are reference counted (`Arc`).
+//!
+//! # Revisions and the swap protocol
+//!
+//! Every entry carries a monotone per-slot revision (`name@bits@rN`),
+//! so a redeploy never mutates a served model in place:
+//!
+//! 1. [`ModelRegistry::publish`] decodes the incoming container
+//!    **outside** the registry lock, fires the `registry.swap`
+//!    failpoint *before any mutation* (an injected rejection leaves the
+//!    registry untouched), and installs the new revision as the slot's
+//!    **canary** (or directly as **active** when the slot was empty).
+//! 2. The canary serves a configured slice of traffic (see
+//!    [`crate::lifecycle`]) until it is promoted —
+//!    [`ModelRegistry::promote`] flips the active pointer atomically
+//!    under the lock — or rolled back ([`ModelRegistry::rollback`]).
+//! 3. The replaced revision moves to the **draining** list. Readers
+//!    never block: in-flight batches finish on the `Arc` handle they
+//!    already resolved. A draining revision is **retired** (dropped,
+//!    firing the `registry.retire` failpoint) only once its strong
+//!    count shows no handle outside the registry — the sweep runs on
+//!    every registry operation, so retirement trails the last in-flight
+//!    batch by at most one lookup.
+//!
+//! Budget eviction applies to *active* revisions only (canary and
+//! draining revisions are transient by construction); the resident-byte
+//! gauge still charges all three, so memory accounting stays honest
+//! while a swap is in flight.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::Ordering;
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
@@ -20,7 +48,7 @@ use crate::error::ServeError;
 use crate::metrics::Metrics;
 
 /// Cache key: model name plus the (maximum) quantization width of its
-/// archive.
+/// archive. One key addresses one *slot*, whose revisions share it.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct ModelKey {
     /// Registered model name.
@@ -36,11 +64,47 @@ impl std::fmt::Display for ModelKey {
     }
 }
 
-/// A resident decoded model plus its accounting.
+/// Lifecycle state of one model revision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RevState {
+    /// Serving the slot's main traffic share.
+    Active,
+    /// Incoming revision serving the canary traffic slice.
+    Canary,
+    /// Replaced; alive only for in-flight batches that still hold it.
+    Draining,
+    /// Drained and dropped; remembered for `/v1/models`.
+    Retired,
+    /// Evicted under the byte budget; the container must be re-loaded.
+    Evicted,
+}
+
+impl RevState {
+    /// Stable lower-case label used by `/v1/models`.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            RevState::Active => "active",
+            RevState::Canary => "canary",
+            RevState::Draining => "draining",
+            RevState::Retired => "retired",
+            RevState::Evicted => "evicted",
+        }
+    }
+}
+
+impl std::fmt::Display for RevState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A resident decoded model revision plus its accounting.
 #[derive(Debug)]
 pub struct ModelEntry {
-    /// The cache key.
+    /// The slot key.
     pub key: ModelKey,
+    /// Monotone per-slot revision number (1 for the first install).
+    pub rev: u64,
     /// The decoded FP32 model, shared with in-flight batches.
     pub model: Arc<TransformerModel>,
     /// The compute-on-compressed engine over the same model: archived
@@ -54,6 +118,13 @@ pub struct ModelEntry {
     pub compressed_bytes: usize,
     /// Number of quantized layers in the archive.
     pub quantized_layers: usize,
+}
+
+impl ModelEntry {
+    /// The full revision identity, `name@bits@rN`.
+    pub fn rev_id(&self) -> String {
+        format!("{}@r{}", self.key, self.rev)
+    }
 }
 
 /// Registry residency limits.
@@ -76,19 +147,28 @@ impl Default for RegistryConfig {
 /// Sizes remembered for a model after its decoded form was evicted.
 #[derive(Debug, Clone, Copy)]
 struct EvictedInfo {
+    rev: u64,
     compressed_bytes: usize,
     quantized_layers: usize,
 }
 
-/// One row of [`ModelRegistry::status`]: a model the registry knows
-/// about, resident or evicted.
+/// Retired revisions remembered for `/v1/models` (newest kept).
+const RETIRED_MEMORY: usize = 64;
+
+/// One row of [`ModelRegistry::status`]: a model revision the registry
+/// knows about, resident or not.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ModelStatus {
-    /// The cache key.
+    /// The slot key.
     pub key: ModelKey,
-    /// Whether the decoded model is currently resident in the LRU.
+    /// The revision number.
+    pub rev: u64,
+    /// Lifecycle state of this revision.
+    pub state: RevState,
+    /// Whether the decoded model currently occupies memory.
     pub resident: bool,
-    /// Decoded FP32 bytes charged against the budget (0 when evicted).
+    /// Decoded FP32 bytes resident for this revision (0 when not
+    /// resident).
     pub decoded_bytes: usize,
     /// Serialized size of the compressed container.
     pub compressed_bytes: usize,
@@ -97,7 +177,17 @@ pub struct ModelStatus {
 }
 
 struct Inner {
+    /// Active revision per slot.
     entries: HashMap<ModelKey, Arc<ModelEntry>>,
+    /// Canary (incoming) revision per slot, at most one each.
+    canaries: HashMap<ModelKey, Arc<ModelEntry>>,
+    /// Replaced revisions waiting for their in-flight handles to drain.
+    draining: Vec<Arc<ModelEntry>>,
+    /// Recently retired revisions, remembered for `/v1/models`.
+    retired: VecDeque<(ModelKey, u64)>,
+    /// Last assigned revision per slot (never reset, even across
+    /// eviction, so a re-published model is distinguishable).
+    revs: HashMap<ModelKey, u64>,
     /// Logical-clock recency stamps, bumped on every hit.
     recency: HashMap<ModelKey, u64>,
     /// Models evicted from the LRU, remembered so `/v1/models` can
@@ -106,11 +196,26 @@ struct Inner {
     tick: u64,
 }
 
-/// Thread-safe model cache with LRU eviction under a byte budget.
+/// Thread-safe versioned model cache with LRU eviction under a byte
+/// budget and an atomic active/canary/draining revision lifecycle.
 pub struct ModelRegistry {
     config: RegistryConfig,
     metrics: Arc<Metrics>,
     inner: Mutex<Inner>,
+}
+
+/// Everything [`ModelRegistry::insert`]/[`publish`] need that can be
+/// computed *outside* the registry lock: the decode and engine build
+/// dominate a swap, so the lock is held only for pointer flips.
+///
+/// [`publish`]: ModelRegistry::publish
+struct DecodedParts {
+    key: ModelKey,
+    model: Arc<TransformerModel>,
+    engine: Arc<QuantizedEngine>,
+    decoded_bytes: usize,
+    compressed_bytes: usize,
+    quantized_layers: usize,
 }
 
 impl ModelRegistry {
@@ -121,6 +226,10 @@ impl ModelRegistry {
             metrics,
             inner: Mutex::new(Inner {
                 entries: HashMap::new(),
+                canaries: HashMap::new(),
+                draining: Vec::new(),
+                retired: VecDeque::new(),
+                revs: HashMap::new(),
                 recency: HashMap::new(),
                 evicted: HashMap::new(),
                 tick: 0,
@@ -138,7 +247,8 @@ impl ModelRegistry {
     }
 
     /// Loads a `.gobom` container from disk and registers it under
-    /// `name`. Returns the resident entry.
+    /// `name` as the immediately-active revision. Returns the resident
+    /// entry.
     ///
     /// # Errors
     ///
@@ -154,8 +264,76 @@ impl ModelRegistry {
         self.insert(name, &compressed)
     }
 
-    /// Decodes `compressed` once and registers it under `name`,
-    /// evicting LRU entries beyond the configured budget.
+    /// Loads a `.gobom` container from disk and publishes it through
+    /// the canary lifecycle ([`ModelRegistry::publish`]). The CRC is
+    /// validated by the container parse *before* the registry is
+    /// touched, so a corrupt file can never enter the lifecycle.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Io`] for unreadable files, [`ServeError::Format`]
+    /// for corrupt containers, plus everything `publish` rejects.
+    pub fn publish_file(
+        &self,
+        name: &str,
+        path: &str,
+    ) -> Result<(Arc<ModelEntry>, RevState), ServeError> {
+        gobo_fault::fail_point!(
+            "registry.load",
+            ServeError::Io("injected registry.load fault".to_owned())
+        );
+        let bytes = std::fs::read(path).map_err(|e| ServeError::Io(format!("{path}: {e}")))?;
+        let compressed = CompressedModel::from_bytes(&bytes)?;
+        self.publish(name, &compressed)
+    }
+
+    /// Decodes `compressed` and the serving engine, outside the lock.
+    fn decode_parts(
+        &self,
+        name: &str,
+        compressed: &CompressedModel,
+    ) -> Result<DecodedParts, ServeError> {
+        gobo_fault::fail_point!(
+            "registry.decode",
+            ServeError::Internal("injected registry.decode fault")
+        );
+        let model = Arc::new(compressed.decode()?);
+        let engine = Arc::new(QuantizedEngine::new(Arc::clone(&model), compressed)?);
+        let bits = compressed.archive.iter().map(|(_, l)| l.bits()).max().unwrap_or(32);
+        let decoded_bytes = model_bytes(&model);
+        Ok(DecodedParts {
+            key: ModelKey { name: name.to_owned(), bits },
+            model,
+            engine,
+            decoded_bytes,
+            compressed_bytes: compressed.serialized_bytes(),
+            quantized_layers: compressed.archive.len(),
+        })
+    }
+
+    /// Assembles the entry under the lock, assigning the slot's next
+    /// revision number.
+    fn next_entry(inner: &mut Inner, parts: DecodedParts) -> Arc<ModelEntry> {
+        let rev = inner
+            .revs
+            .entry(parts.key.clone())
+            .and_modify(|r| *r = r.saturating_add(1))
+            .or_insert(1);
+        Arc::new(ModelEntry {
+            key: parts.key,
+            rev: *rev,
+            model: parts.model,
+            engine: parts.engine,
+            decoded_bytes: parts.decoded_bytes,
+            compressed_bytes: parts.compressed_bytes,
+            quantized_layers: parts.quantized_layers,
+        })
+    }
+
+    /// Decodes `compressed` once and registers it under `name` as the
+    /// immediately-active revision — a prior active revision for the
+    /// slot moves to draining — evicting LRU entries beyond the
+    /// configured budget.
     ///
     /// # Errors
     ///
@@ -165,36 +343,106 @@ impl ModelRegistry {
         name: &str,
         compressed: &CompressedModel,
     ) -> Result<Arc<ModelEntry>, ServeError> {
-        gobo_fault::fail_point!(
-            "registry.decode",
-            ServeError::Internal("injected registry.decode fault")
-        );
-        let model = Arc::new(compressed.decode()?);
-        let engine = Arc::new(QuantizedEngine::new(Arc::clone(&model), compressed)?);
-        let bits = compressed.archive.iter().map(|(_, l)| l.bits()).max().unwrap_or(32);
-        let decoded_bytes = model_bytes(&model);
-        let entry = Arc::new(ModelEntry {
-            key: ModelKey { name: name.to_owned(), bits },
-            model,
-            engine,
-            decoded_bytes,
-            compressed_bytes: compressed.serialized_bytes(),
-            quantized_layers: compressed.archive.len(),
-        });
-
+        let parts = self.decode_parts(name, compressed)?;
         let mut inner = self.lock_inner();
+        let entry = Self::next_entry(&mut inner, parts);
         inner.tick += 1;
         let tick = inner.tick;
-        inner.entries.insert(entry.key.clone(), Arc::clone(&entry));
+        if let Some(old) = inner.entries.insert(entry.key.clone(), Arc::clone(&entry)) {
+            inner.draining.push(old);
+        }
         inner.recency.insert(entry.key.clone(), tick);
         inner.evicted.remove(&entry.key);
         self.evict_beyond_budget(&mut inner, &entry.key);
+        self.sweep_draining(&mut inner);
         self.refresh_gauges(&inner);
         Ok(entry)
     }
 
+    /// Publishes a new revision of `name` through the canary lifecycle:
+    /// the container is decoded outside the lock, the `registry.swap`
+    /// failpoint fires *before any mutation* (an injected rejection
+    /// leaves the registry exactly as it was), and the revision is
+    /// installed as the slot's canary — or directly as active when the
+    /// slot had no active revision. A previously-pending canary for the
+    /// slot is superseded and moves to draining.
+    ///
+    /// # Errors
+    ///
+    /// Propagates decode failures and injected `registry.swap` /
+    /// `registry.decode` faults; on any error the registry is
+    /// untouched.
+    pub fn publish(
+        &self,
+        name: &str,
+        compressed: &CompressedModel,
+    ) -> Result<(Arc<ModelEntry>, RevState), ServeError> {
+        let parts = self.decode_parts(name, compressed)?;
+        gobo_fault::fail_point!(
+            "registry.swap",
+            ServeError::Internal("injected registry.swap fault")
+        );
+        let mut inner = self.lock_inner();
+        let entry = Self::next_entry(&mut inner, parts);
+        let state = if inner.entries.contains_key(&entry.key) {
+            if let Some(superseded) = inner.canaries.insert(entry.key.clone(), Arc::clone(&entry)) {
+                inner.draining.push(superseded);
+            }
+            RevState::Canary
+        } else {
+            inner.tick += 1;
+            let tick = inner.tick;
+            inner.entries.insert(entry.key.clone(), Arc::clone(&entry));
+            inner.recency.insert(entry.key.clone(), tick);
+            inner.evicted.remove(&entry.key);
+            self.evict_beyond_budget(&mut inner, &entry.key);
+            RevState::Active
+        };
+        self.sweep_draining(&mut inner);
+        self.refresh_gauges(&inner);
+        Ok((entry, state))
+    }
+
+    /// Atomically flips the slot's canary to active. The replaced
+    /// active revision moves to draining; in-flight batches finish on
+    /// whichever revision they already resolved. Returns the newly
+    /// active entry, or `None` when the slot has no canary.
+    pub fn promote(&self, key: &ModelKey) -> Option<Arc<ModelEntry>> {
+        let mut inner = self.lock_inner();
+        let canary = inner.canaries.remove(key)?;
+        inner.tick += 1;
+        let tick = inner.tick;
+        if let Some(old) = inner.entries.insert(key.clone(), Arc::clone(&canary)) {
+            inner.draining.push(old);
+        }
+        inner.recency.insert(key.clone(), tick);
+        inner.evicted.remove(key);
+        self.sweep_draining(&mut inner);
+        self.refresh_gauges(&inner);
+        Some(canary)
+    }
+
+    /// Removes the slot's canary, moving it to draining; the active
+    /// revision keeps serving untouched. Returns the rolled-back entry,
+    /// or `None` when the slot has no canary.
+    pub fn rollback(&self, key: &ModelKey) -> Option<Arc<ModelEntry>> {
+        let mut inner = self.lock_inner();
+        let canary = inner.canaries.remove(key)?;
+        inner.draining.push(Arc::clone(&canary));
+        self.sweep_draining(&mut inner);
+        self.refresh_gauges(&inner);
+        Some(canary)
+    }
+
+    /// The slot's pending canary revision, if any.
+    pub fn canary_for(&self, key: &ModelKey) -> Option<Arc<ModelEntry>> {
+        self.lock_inner().canaries.get(key).cloned()
+    }
+
     /// Looks a model up by name (any bits, most recently used wins) or
-    /// by exact name/bits, bumping its recency.
+    /// by exact name/bits, bumping its recency. Only *active* revisions
+    /// are returned — canary traffic is routed explicitly by the
+    /// lifecycle controller.
     ///
     /// # Errors
     ///
@@ -211,10 +459,16 @@ impl ModelRegistry {
         inner.tick += 1;
         let tick = inner.tick;
         inner.recency.insert(entry.0, tick);
+        // Piggyback the retirement sweep on the hot path: it is a cheap
+        // scan of a near-always-empty list, and it is exactly the
+        // moment in-flight handles get dropped (batch dispatch).
+        self.sweep_draining(&mut inner);
+        self.refresh_gauges(&inner);
         Ok(entry.1)
     }
 
-    /// Snapshot of the resident entries, most recently used first.
+    /// Snapshot of the resident active entries, most recently used
+    /// first.
     pub fn list(&self) -> Vec<Arc<ModelEntry>> {
         let inner = self.lock_inner();
         let mut entries: Vec<(u64, Arc<ModelEntry>)> = inner
@@ -226,35 +480,50 @@ impl ModelRegistry {
         entries.into_iter().map(|(_, e)| e).collect()
     }
 
-    /// Status of every model the registry knows about — resident
-    /// entries first (most recently used first), then evicted ones the
-    /// registry still remembers. The router's load-aware replica
-    /// selection and `GET /v1/models` both read this.
+    /// Status of every model revision the registry knows about — active
+    /// revisions first (most recently used first), then canaries, then
+    /// draining, then remembered retired revisions, then evicted slots.
+    /// The router's load-aware replica selection and `GET /v1/models`
+    /// both read this.
     pub fn status(&self) -> Vec<ModelStatus> {
         let inner = self.lock_inner();
+        let row = |e: &Arc<ModelEntry>, state: RevState| ModelStatus {
+            key: e.key.clone(),
+            rev: e.rev,
+            state,
+            resident: true,
+            decoded_bytes: e.decoded_bytes,
+            compressed_bytes: e.compressed_bytes,
+            quantized_layers: e.quantized_layers,
+        };
         let mut resident: Vec<(u64, ModelStatus)> = inner
             .entries
             .iter()
-            .map(|(k, e)| {
-                (
-                    inner.recency.get(k).copied().unwrap_or(0),
-                    ModelStatus {
-                        key: k.clone(),
-                        resident: true,
-                        decoded_bytes: e.decoded_bytes,
-                        compressed_bytes: e.compressed_bytes,
-                        quantized_layers: e.quantized_layers,
-                    },
-                )
-            })
+            .map(|(k, e)| (inner.recency.get(k).copied().unwrap_or(0), row(e, RevState::Active)))
             .collect();
         resident.sort_by_key(|(recency, _)| std::cmp::Reverse(*recency));
         let mut out: Vec<ModelStatus> = resident.into_iter().map(|(_, s)| s).collect();
+        let mut canaries: Vec<ModelStatus> =
+            inner.canaries.values().map(|e| row(e, RevState::Canary)).collect();
+        canaries.sort_by(|a, b| (&a.key.name, a.key.bits).cmp(&(&b.key.name, b.key.bits)));
+        out.extend(canaries);
+        out.extend(inner.draining.iter().map(|e| row(e, RevState::Draining)));
+        out.extend(inner.retired.iter().rev().map(|(k, rev)| ModelStatus {
+            key: k.clone(),
+            rev: *rev,
+            state: RevState::Retired,
+            resident: false,
+            decoded_bytes: 0,
+            compressed_bytes: 0,
+            quantized_layers: 0,
+        }));
         let mut gone: Vec<ModelStatus> = inner
             .evicted
             .iter()
             .map(|(k, info)| ModelStatus {
                 key: k.clone(),
+                rev: info.rev,
+                state: RevState::Evicted,
                 resident: false,
                 decoded_bytes: 0,
                 compressed_bytes: info.compressed_bytes,
@@ -266,12 +535,14 @@ impl ModelRegistry {
         out
     }
 
-    /// Total decoded bytes currently resident.
+    /// Total decoded bytes currently occupying memory: active plus
+    /// canary plus draining revisions.
     pub fn resident_bytes(&self) -> usize {
-        self.lock_inner().entries.values().map(|e| e.decoded_bytes).sum()
+        let inner = self.lock_inner();
+        Self::memory_bytes(&inner)
     }
 
-    /// Number of resident models.
+    /// Number of resident active models.
     pub fn len(&self) -> usize {
         self.lock_inner().entries.len()
     }
@@ -279,6 +550,23 @@ impl ModelRegistry {
     /// Returns `true` when no model is resident.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Number of revisions currently draining (replaced but still
+    /// pinned by in-flight handles).
+    pub fn draining_len(&self) -> usize {
+        self.lock_inner().draining.len()
+    }
+
+    /// Runs a retirement sweep now: drops every draining revision whose
+    /// refcount has drained, firing `registry.retire` per retirement.
+    /// Sweeps also run on every registry mutation and lookup; this
+    /// exists for callers that want retirement to be observed without
+    /// traffic (shutdown checks, chaos assertions).
+    pub fn sweep(&self) {
+        let mut inner = self.lock_inner();
+        self.sweep_draining(&mut inner);
+        self.refresh_gauges(&inner);
     }
 
     fn evict_beyond_budget(&self, inner: &mut Inner, keep: &ModelKey) {
@@ -302,10 +590,16 @@ impl ModelRegistry {
                         inner.evicted.insert(
                             key.clone(),
                             EvictedInfo {
+                                rev: entry.rev,
                                 compressed_bytes: entry.compressed_bytes,
                                 quantized_layers: entry.quantized_layers,
                             },
                         );
+                    }
+                    // An orphaned canary cannot serve without its slot;
+                    // drain it with the eviction.
+                    if let Some(canary) = inner.canaries.remove(&key) {
+                        inner.draining.push(canary);
                     }
                     inner.recency.remove(&key);
                     self.metrics.registry_evictions.fetch_add(1, Ordering::Relaxed);
@@ -315,10 +609,42 @@ impl ModelRegistry {
         }
     }
 
+    /// Retires every draining revision whose strong count shows no
+    /// handle outside the registry. In-flight batches hold `Arc`
+    /// clones, so a pinned revision survives every sweep until its last
+    /// batch completes — readers never block, and a handle can never be
+    /// freed under a batch.
+    fn sweep_draining(&self, inner: &mut Inner) {
+        let mut still = Vec::with_capacity(inner.draining.len());
+        for entry in inner.draining.drain(..) {
+            if Arc::strong_count(&entry) > 1 {
+                still.push(entry);
+            } else {
+                gobo_fault::fail_point!("registry.retire");
+                self.metrics.registry_retired.fetch_add(1, Ordering::Relaxed);
+                if inner.retired.len() >= RETIRED_MEMORY {
+                    inner.retired.pop_front();
+                }
+                inner.retired.push_back((entry.key.clone(), entry.rev));
+            }
+        }
+        inner.draining = still;
+    }
+
+    fn memory_bytes(inner: &Inner) -> usize {
+        inner
+            .entries
+            .values()
+            .chain(inner.canaries.values())
+            .chain(inner.draining.iter())
+            .map(|e| e.decoded_bytes)
+            .sum()
+    }
+
     fn refresh_gauges(&self, inner: &Inner) {
         self.metrics.registry_models.store(inner.entries.len() as u64, Ordering::Relaxed);
-        let bytes: usize = inner.entries.values().map(|e| e.decoded_bytes).sum();
-        self.metrics.registry_bytes.store(bytes as u64, Ordering::Relaxed);
+        self.metrics.registry_bytes.store(Self::memory_bytes(inner) as u64, Ordering::Relaxed);
+        self.metrics.registry_draining.store(inner.draining.len() as u64, Ordering::Relaxed);
     }
 }
 
@@ -423,6 +749,51 @@ mod tests {
     }
 
     #[test]
+    fn concurrent_get_races_eviction_refcount_pin_wins() {
+        // Budget of one model: every insert evicts the previous entry,
+        // so every getter pin is racing an eviction. The pin must win:
+        // an entry evicted under a live handle keeps serving that
+        // handle, byte-identical, until the handle drops.
+        use std::sync::atomic::AtomicBool;
+        let models: Vec<CompressedModel> = (0..4u64).map(|s| compressed(s, 3)).collect();
+        let reference: Vec<_> =
+            models.iter().map(|c| c.decode().unwrap().encode(&[1, 2, 3], &[]).unwrap()).collect();
+        let r = Arc::new(registry(1, 16));
+        r.insert("m0", &models[0]).unwrap();
+        let stop = Arc::new(AtomicBool::new(false));
+        let mut getters = Vec::new();
+        for t in 0..3usize {
+            let r = Arc::clone(&r);
+            let stop = Arc::clone(&stop);
+            let reference = reference.clone();
+            getters.push(std::thread::spawn(move || {
+                let mut served = 0usize;
+                let mut j = t;
+                while !stop.load(Ordering::Relaxed) {
+                    j = (j + 1) % 4;
+                    let Ok(entry) = r.get(&format!("m{j}"), None) else { continue };
+                    // `entry` is now a pin. The inserter may evict the
+                    // slot at any point from here on; the encode must
+                    // still see the right weights.
+                    let out = entry.model.encode(&[1, 2, 3], &[]).expect("pinned encode failed");
+                    assert_eq!(out, reference[j], "pinned handle served wrong weights");
+                    served += 1;
+                }
+                served
+            }));
+        }
+        for i in 0..200usize {
+            let j = i % 4;
+            r.insert(&format!("m{j}"), &models[j]).unwrap();
+        }
+        stop.store(true, Ordering::Relaxed);
+        let served: usize = getters.into_iter().map(|g| g.join().unwrap()).sum();
+        assert!(served > 0, "getters never won a race against eviction");
+        // Only the newest insert survives the one-model budget.
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
     fn list_orders_by_recency() {
         let r = registry(usize::MAX, 16);
         r.insert("a", &compressed(1, 3)).unwrap();
@@ -442,10 +813,13 @@ mod tests {
         let b = status.iter().find(|s| s.key.name == "b").unwrap();
         assert!(b.resident);
         assert!(b.decoded_bytes > 0);
+        assert_eq!(b.state, RevState::Active);
+        assert_eq!(b.rev, 1);
         let a = status.iter().find(|s| s.key.name == "a").unwrap();
         assert!(!a.resident);
         assert_eq!(a.decoded_bytes, 0);
         assert!(a.compressed_bytes > 0);
+        assert_eq!(a.state, RevState::Evicted);
         // Re-inserting clears the evicted record.
         let r2 = registry(usize::MAX, 16);
         r2.insert("a", &compressed(1, 3)).unwrap();
@@ -466,5 +840,105 @@ mod tests {
         assert!(matches!(r.load_file("x", "/nonexistent/file.gobom"), Err(ServeError::Io(_))));
         std::fs::write(&path, b"garbage").unwrap();
         assert!(matches!(r.load_file("x", path.to_str().unwrap()), Err(ServeError::Format(_))));
+    }
+
+    #[test]
+    fn publish_promote_flips_active_and_drains_old_rev() {
+        let r = registry(usize::MAX, 16);
+        let first = r.insert("m", &compressed(1, 3)).unwrap();
+        assert_eq!(first.rev, 1);
+        let (second, state) = r.publish("m", &compressed(2, 3)).unwrap();
+        assert_eq!(state, RevState::Canary);
+        assert_eq!(second.rev, 2);
+        assert_eq!(second.rev_id(), "m@3b@r2");
+        // Active lookup still resolves rev 1 while the canary pends.
+        assert_eq!(r.get("m", None).unwrap().rev, 1);
+        assert_eq!(r.canary_for(&first.key).unwrap().rev, 2);
+
+        // An in-flight handle pins rev 1 across the promote.
+        let in_flight = r.get("m", None).unwrap();
+        let promoted = r.promote(&first.key).unwrap();
+        assert_eq!(promoted.rev, 2);
+        assert_eq!(r.get("m", None).unwrap().rev, 2);
+        assert!(r.canary_for(&first.key).is_none());
+        drop(first);
+        drop(second);
+        drop(promoted);
+        r.sweep();
+        assert_eq!(r.draining_len(), 1, "rev 1 still pinned by in_flight");
+        assert!(in_flight.model.encode(&[1, 2], &[]).is_ok());
+        drop(in_flight);
+        r.sweep();
+        assert_eq!(r.draining_len(), 0, "rev 1 retired once its refcount drained");
+        let status = r.status();
+        assert!(
+            status.iter().any(|s| s.state == RevState::Retired && s.rev == 1),
+            "retired rev remembered: {status:?}"
+        );
+    }
+
+    #[test]
+    fn publish_into_empty_slot_goes_straight_to_active() {
+        let r = registry(usize::MAX, 16);
+        let (entry, state) = r.publish("fresh", &compressed(1, 3)).unwrap();
+        assert_eq!(state, RevState::Active);
+        assert_eq!(entry.rev, 1);
+        assert_eq!(r.get("fresh", None).unwrap().rev, 1);
+    }
+
+    #[test]
+    fn rollback_keeps_active_serving() {
+        let r = registry(usize::MAX, 16);
+        let first = r.insert("m", &compressed(1, 3)).unwrap();
+        let (second, _) = r.publish("m", &compressed(2, 3)).unwrap();
+        let rolled = r.rollback(&first.key).unwrap();
+        assert_eq!(rolled.rev, second.rev);
+        assert!(r.canary_for(&first.key).is_none());
+        assert_eq!(r.get("m", None).unwrap().rev, 1);
+        // Rolling back twice is a no-op.
+        assert!(r.rollback(&first.key).is_none());
+        drop(second);
+        drop(rolled);
+        r.sweep();
+        assert_eq!(r.draining_len(), 0);
+    }
+
+    #[test]
+    fn superseded_canary_drains() {
+        let r = registry(usize::MAX, 16);
+        let first = r.insert("m", &compressed(1, 3)).unwrap();
+        let (c2, _) = r.publish("m", &compressed(2, 3)).unwrap();
+        let (c3, _) = r.publish("m", &compressed(3, 3)).unwrap();
+        assert_eq!(c3.rev, 3);
+        assert_eq!(r.canary_for(&first.key).unwrap().rev, 3);
+        drop(c2);
+        drop(c3);
+        r.sweep();
+        // c2 was superseded and nothing pins it; c3 is still the canary.
+        assert_eq!(r.draining_len(), 0);
+        assert_eq!(r.canary_for(&first.key).unwrap().rev, 3);
+    }
+
+    // The `registry.swap` / `registry.retire` failpoint tests live in
+    // `tests/chaos.rs`: configuring process-global failpoints from unit
+    // tests would race the other lib tests running in parallel.
+
+    #[test]
+    fn status_shows_canary_and_draining_revs() {
+        let r = registry(usize::MAX, 16);
+        let first = r.insert("m", &compressed(1, 3)).unwrap();
+        r.publish("m", &compressed(2, 3)).unwrap();
+        // `first` is still held here, so after promote it drains.
+        r.promote(&first.key).unwrap();
+        r.publish("m", &compressed(3, 3)).unwrap();
+        let status = r.status();
+        let states: Vec<(u64, RevState)> = status.iter().map(|s| (s.rev, s.state)).collect();
+        assert!(states.contains(&(2, RevState::Active)), "{states:?}");
+        assert!(states.contains(&(3, RevState::Canary)), "{states:?}");
+        assert!(states.contains(&(1, RevState::Draining)), "{states:?}");
+        // Revision bytes are charged while draining.
+        let draining_row = status.iter().find(|s| s.state == RevState::Draining).unwrap();
+        assert!(draining_row.resident);
+        assert!(draining_row.decoded_bytes > 0);
     }
 }

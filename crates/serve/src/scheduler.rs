@@ -63,8 +63,9 @@ use std::time::{Duration, Instant};
 use gobo_model::batch::EncodeInput;
 
 use crate::error::ServeError;
+use crate::lifecycle::LifecycleController;
 use crate::metrics::Metrics;
-use crate::registry::{ModelKey, ModelRegistry};
+use crate::registry::{ModelEntry, ModelKey, ModelRegistry};
 
 /// Worker-pool and batching parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -123,6 +124,9 @@ impl EncodeRequest {
 pub struct EncodeResponse {
     /// The model that served the request.
     pub model: ModelKey,
+    /// Revision of the model that served the request — during a canary
+    /// rollout this is the revision the batch actually ran on.
+    pub rev: u64,
     /// Final hidden states, row-major `hidden_dims`.
     pub hidden: Vec<f32>,
     /// Shape of `hidden`: `(seq_len, hidden)`.
@@ -160,6 +164,7 @@ struct State {
 struct Shared {
     config: SchedulerConfig,
     registry: Arc<ModelRegistry>,
+    lifecycle: Arc<LifecycleController>,
     metrics: Arc<Metrics>,
     state: Mutex<State>,
     cvar: Condvar,
@@ -231,11 +236,13 @@ impl Scheduler {
     pub fn start(
         config: SchedulerConfig,
         registry: Arc<ModelRegistry>,
+        lifecycle: Arc<LifecycleController>,
         metrics: Arc<Metrics>,
     ) -> Self {
         let shared = Arc::new(Shared {
             config,
             registry,
+            lifecycle,
             metrics,
             state: Mutex::new(State {
                 queue: VecDeque::new(),
@@ -640,10 +647,45 @@ fn execute_batch(shared: &Shared, model: &str, bits: Option<u8>, batch: &mut Vec
         gobo_fault::fail_point!("serve.encode");
     }
 
+    // Canary routing: when the slot has a pending revision, the
+    // lifecycle controller's ticket decides whether this batch trials
+    // it. A canary failure (real or injected) is *never*
+    // client-visible: the batch transparently re-runs on the active
+    // revision and the canary is rolled back.
+    let canary_pending = shared.registry.canary_for(&entry.key);
+    let canary = canary_pending.as_ref().filter(|_| shared.lifecycle.should_try_canary()).cloned();
+
     let start = Instant::now();
     let inputs: Vec<EncodeInput<'_>> =
         batch.iter().map(|p| EncodeInput { ids: &p.req.ids, type_ids: &p.req.type_ids }).collect();
-    let result = entry.engine.encode_batch(&inputs);
+    let (result, served) = match canary {
+        Some(c) => {
+            shared.metrics.canary_batches.fetch_add(1, Ordering::Relaxed);
+            let _canary_span = gobo_obs::span!("gobo.canary", model = model, rev = c.rev);
+            match canary_encode(&c, &inputs) {
+                Ok(outputs) => {
+                    shared.lifecycle.record_canary_ok(&c.key, start.elapsed().as_micros() as u64);
+                    (Ok(outputs), c)
+                }
+                Err(_) => {
+                    // Any canary-side error disqualifies the revision
+                    // immediately; the active revision absorbs the
+                    // batch so the client never observes the failure.
+                    shared.metrics.canary_errors.fetch_add(1, Ordering::Relaxed);
+                    shared.lifecycle.record_canary_error(&c.key);
+                    (entry.engine.encode_batch(&inputs), Arc::clone(&entry))
+                }
+            }
+        }
+        None => {
+            let result = entry.engine.encode_batch(&inputs);
+            if canary_pending.is_some() && result.is_ok() {
+                // Feed the baseline only while a verdict is pending.
+                shared.lifecycle.record_active(&entry.key, start.elapsed().as_micros() as u64);
+            }
+            (result, Arc::clone(&entry))
+        }
+    };
     drop(inputs);
     let compute_us = start.elapsed().as_micros() as u64;
 
@@ -659,7 +701,8 @@ fn execute_batch(shared: &Shared, model: &str, bits: Option<u8>, batch: &mut Vec
                     continue;
                 };
                 let response = EncodeResponse {
-                    model: entry.key.clone(),
+                    model: served.key.clone(),
+                    rev: served.rev,
                     hidden: out.hidden.into_vec(),
                     hidden_dims: [d0, d1],
                     pooled: out.pooled.map(|t| t.into_vec()),
@@ -684,4 +727,19 @@ fn execute_batch(shared: &Shared, model: &str, bits: Option<u8>, batch: &mut Vec
             }
         }
     }
+}
+
+/// Runs a batch on the canary revision. The `serve.canary` failpoint
+/// injects a canary-side failure, which the caller treats exactly like
+/// a real one: roll the revision back and re-run on the active
+/// revision — the injected error itself never reaches a client.
+fn canary_encode(
+    canary: &ModelEntry,
+    inputs: &[EncodeInput<'_>],
+) -> Result<Vec<gobo_model::forward::EncoderOutput>, gobo_model::ModelError> {
+    gobo_fault::fail_point!(
+        "serve.canary",
+        gobo_model::ModelError::InvalidInput { what: "injected serve.canary fault" }
+    );
+    canary.engine.encode_batch(inputs)
 }

@@ -14,7 +14,8 @@ use gobo::pipeline::{quantize_model, QuantizeOptions};
 use gobo_model::config::ModelConfig;
 use gobo_model::TransformerModel;
 use gobo_serve::{
-    Client, EncodeRequest, RegistryConfig, SchedulerConfig, ServeCore, ServeError, ServeOptions,
+    CanaryPolicy, Client, EncodeRequest, Metrics, ModelRegistry, RegistryConfig, RevState,
+    SchedulerConfig, ServeCore, ServeError, ServeOptions,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -55,6 +56,7 @@ fn start_core(workers: usize) -> Arc<ServeCore> {
             default_deadline: Duration::from_secs(10),
             ..SchedulerConfig::default()
         },
+        ..ServeOptions::default()
     })
 }
 
@@ -147,6 +149,132 @@ fn delay_failpoint_slows_but_serves() {
     let started = Instant::now();
     client.encode(EncodeRequest::new("chaos", vec![1, 2, 3])).unwrap();
     assert!(started.elapsed() >= Duration::from_millis(30));
+    core.shutdown();
+}
+
+/// An armed `registry.swap` failpoint rejects `publish` mid-flight,
+/// before the registry mutates: the active revision keeps serving, no
+/// canary appears, and the revision counter is not consumed.
+#[test]
+fn swap_failpoint_rejects_publish_without_mutation() {
+    let _guard = FaultGuard::lock();
+    let r = ModelRegistry::new(RegistryConfig::default(), Arc::new(Metrics::new()));
+    let first = r.insert("m", &compressed(11)).unwrap();
+
+    gobo_fault::configure_str("registry.swap=error").unwrap();
+    let err = r.publish("m", &compressed(12)).unwrap_err();
+    assert_eq!(err.code(), "internal");
+    assert!(err.to_string().contains("registry.swap"), "{err}");
+    assert!(gobo_fault::fires("registry.swap") > 0);
+
+    gobo_fault::reset();
+    // Registry untouched: same active rev, no canary, and the next
+    // accepted publish still gets the next rev number.
+    assert_eq!(r.get("m", None).unwrap().rev, 1);
+    assert!(r.canary_for(&first.key).is_none());
+    let (entry, state) = r.publish("m", &compressed(12)).unwrap();
+    assert_eq!(entry.rev, 2);
+    assert_eq!(state, RevState::Canary);
+}
+
+/// `registry.retire` fires once per retired revision, and retirement
+/// happens only after the refcount drains.
+#[test]
+fn retire_failpoint_fires_once_per_retirement() {
+    let _guard = FaultGuard::lock();
+    // A zero-delay policy is a pass-through that lets `fires` observe
+    // each retirement without changing behaviour.
+    gobo_fault::configure_str("registry.retire=delay(ms=0)").unwrap();
+    let r = ModelRegistry::new(RegistryConfig::default(), Arc::new(Metrics::new()));
+    let first = r.insert("m", &compressed(13)).unwrap();
+    let (second, _) = r.publish("m", &compressed(14)).unwrap();
+    let key = first.key.clone();
+    drop(first);
+    drop(second);
+    r.promote(&key).unwrap();
+    r.sweep();
+    assert_eq!(r.draining_len(), 0);
+    assert_eq!(gobo_fault::fires("registry.retire"), 1);
+}
+
+/// An injected `serve.canary` error is invisible to clients: the batch
+/// transparently re-runs on the active revision (byte-identical to a
+/// fault-free response) and the canary is rolled back immediately.
+#[test]
+fn canary_error_falls_back_and_rolls_back() {
+    let _guard = FaultGuard::lock();
+    let core = ServeCore::start(ServeOptions {
+        scheduler: SchedulerConfig { workers: 1, ..SchedulerConfig::default() },
+        // Every batch trials the canary, so the first one decides.
+        lifecycle: CanaryPolicy { traffic_pct: 100, ..CanaryPolicy::default() },
+        ..ServeOptions::default()
+    });
+    let client = Client::new(Arc::clone(&core));
+    client.register("chaos", &compressed(3)).unwrap();
+    let baseline = client.encode(EncodeRequest::new("chaos", vec![1, 2, 3])).unwrap();
+    assert_eq!(baseline.rev, 1);
+
+    gobo_fault::configure_str("serve.canary=error").unwrap();
+    let (entry, state) = core.registry().publish("chaos", &compressed(4)).unwrap();
+    assert_eq!(state, RevState::Canary);
+
+    let fallback = client.encode(EncodeRequest::new("chaos", vec![1, 2, 3])).unwrap();
+    assert_eq!(fallback.rev, 1, "failed canary batch must serve from the active rev");
+    assert_eq!(
+        fallback.hidden.iter().map(|f| f.to_bits()).collect::<Vec<_>>(),
+        baseline.hidden.iter().map(|f| f.to_bits()).collect::<Vec<_>>(),
+        "fallback response must be byte-identical to the active revision"
+    );
+    assert!(core.registry().canary_for(&entry.key).is_none(), "canary must be rolled back");
+    assert_eq!(core.metrics().canary_rollbacks.load(Ordering::Relaxed), 1);
+    assert!(core.metrics().canary_errors.load(Ordering::Relaxed) >= 1);
+
+    // The active revision keeps serving cleanly after the rollback.
+    gobo_fault::reset();
+    for r in 0..10usize {
+        let resp = client.encode(EncodeRequest::new("chaos", vec![1 + r % 30, 2, 3])).unwrap();
+        assert_eq!(resp.rev, 1);
+    }
+    core.shutdown();
+}
+
+/// A slow canary (3x artificial delay via `serve.canary=delay`) is
+/// rolled back on the p95 comparison once its verdict window fills —
+/// no client request fails in the process.
+#[test]
+fn slow_canary_rolled_back_on_p95_regression() {
+    let _guard = FaultGuard::lock();
+    let window = 4u32;
+    let core = ServeCore::start(ServeOptions {
+        scheduler: SchedulerConfig { workers: 1, ..SchedulerConfig::default() },
+        lifecycle: CanaryPolicy { traffic_pct: 50, window, p95_factor_pct: 300, min_baseline: 2 },
+        ..ServeOptions::default()
+    });
+    let client = Client::new(Arc::clone(&core));
+    client.register("chaos", &compressed(5)).unwrap();
+    client.encode(EncodeRequest::new("chaos", vec![1, 2, 3])).unwrap();
+
+    // Tiny model batches run in well under a millisecond; a 20 ms delay
+    // dwarfs any plausible 3x baseline.
+    gobo_fault::configure_str("serve.canary=delay(ms=20)").unwrap();
+    let (entry, _) = core.registry().publish("chaos", &compressed(6)).unwrap();
+
+    let mut served = 0usize;
+    for r in 0..64usize {
+        let resp = client.encode(EncodeRequest::new("chaos", vec![1 + r % 30, 2, 3])).unwrap();
+        served += 1;
+        if core.registry().canary_for(&entry.key).is_none() {
+            break;
+        }
+        let _ = resp;
+    }
+    assert!(
+        core.registry().canary_for(&entry.key).is_none(),
+        "slow canary should be rolled back within {served} requests"
+    );
+    assert_eq!(core.metrics().canary_rollbacks.load(Ordering::Relaxed), 1);
+    assert_eq!(core.metrics().canary_promotions.load(Ordering::Relaxed), 0);
+    assert_eq!(core.registry().get("chaos", None).unwrap().rev, 1, "active keeps serving");
     core.shutdown();
 }
 

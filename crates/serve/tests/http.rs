@@ -140,6 +140,86 @@ fn http_round_trip_byte_identical_and_graceful_shutdown() {
     }
 }
 
+/// `POST /v1/reload` publishes a new revision as a canary over the
+/// wire, the models listing reports per-revision lifecycle state and
+/// resident byte sizes, and a corrupt `.gobom` is rejected with a 500
+/// before the registry is touched.
+#[test]
+fn reload_over_http_publishes_canary_and_models_report_lifecycle() {
+    let dir = std::env::temp_dir().join("gobo-http-reload-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let good = dir.join("good.gobom");
+    std::fs::write(&good, compressed(23).to_bytes()).unwrap();
+    let corrupt = dir.join("corrupt.gobom");
+    let mut bytes = compressed(23).to_bytes();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0xff; // payload bit-flip: the CRC check must reject it
+    std::fs::write(&corrupt, &bytes).unwrap();
+
+    let core = ServeCore::start(ServeOptions::default());
+    let client = Client::new(Arc::clone(&core));
+    client.register("demo", &compressed(11)).unwrap();
+    let server = Server::bind(Arc::clone(&core), "127.0.0.1:0").unwrap();
+    let addr = server.local_addr();
+    let serve_thread = std::thread::spawn(move || server.serve_until_shutdown());
+
+    // A fresh artifact arrives as revision 2 in the canary state.
+    let body = format!("{{\"name\":\"demo\",\"path\":{:?}}}", good.display().to_string());
+    let (status, response) = request(addr, "POST", "/v1/reload", &body);
+    assert_eq!(status, 200, "reload failed: {response}");
+    let value = parse(&response).unwrap();
+    assert_eq!(value.get("status").and_then(Json::as_str), Some("canary"));
+    assert_eq!(value.get("name").and_then(Json::as_str), Some("demo"));
+    assert_eq!(value.get("rev").and_then(Json::as_usize), Some(2));
+
+    // The listing now carries both revisions with state + byte sizes.
+    let (status, body) = request(addr, "GET", "/v1/models", "");
+    assert_eq!(status, 200);
+    let listing = parse(&body).unwrap();
+    let models = listing.get("models").and_then(Json::as_array).unwrap();
+    assert_eq!(models.len(), 2, "{body}");
+    let state_of = |rev: usize| -> String {
+        models
+            .iter()
+            .find(|m| m.get("rev").and_then(Json::as_usize) == Some(rev))
+            .and_then(|m| m.get("state").and_then(Json::as_str))
+            .unwrap_or_else(|| panic!("no rev {rev} in {body}"))
+            .to_owned()
+    };
+    assert_eq!(state_of(1), "active");
+    assert_eq!(state_of(2), "canary");
+    for model in models {
+        assert_eq!(model.get("name").and_then(Json::as_str), Some("demo"));
+        assert!(model.get("resident_bytes").and_then(Json::as_f64).unwrap() > 0.0, "{body}");
+        assert!(model.get("compressed_bytes").and_then(Json::as_f64).unwrap() > 0.0, "{body}");
+    }
+
+    // A corrupt artifact is refused and the registry stays as it was.
+    let body = format!("{{\"name\":\"demo\",\"path\":{:?}}}", corrupt.display().to_string());
+    let (status, response) = request(addr, "POST", "/v1/reload", &body);
+    assert_eq!(status, 500, "{response}");
+    assert_eq!(
+        parse(&response).unwrap().get("error").and_then(Json::as_str),
+        Some("corrupt_model")
+    );
+    let (_, body) = request(addr, "GET", "/v1/models", "");
+    let listing = parse(&body).unwrap();
+    assert_eq!(listing.get("models").and_then(Json::as_array).unwrap().len(), 2, "{body}");
+
+    // Malformed request bodies are 400s, not registry operations.
+    let (status, _) = request(addr, "POST", "/v1/reload", "{\"name\":\"demo\"}");
+    assert_eq!(status, 400);
+
+    // The admin counters saw one accepted and one rejected reload.
+    let (_, metrics) = request(addr, "GET", "/metrics", "");
+    assert!(metrics.contains("gobo_serve_reloads_total 1"), "{metrics}");
+    assert!(metrics.contains("gobo_serve_reload_rejected_total 1"), "{metrics}");
+
+    let (status, _) = request(addr, "POST", "/v1/shutdown", "");
+    assert_eq!(status, 200);
+    serve_thread.join().unwrap();
+}
+
 #[test]
 fn request_shutdown_api_stops_server() {
     let core = ServeCore::start(ServeOptions::default());

@@ -25,7 +25,11 @@ fn compressed(seed: u64) -> CompressedModel {
 }
 
 fn core_with(scheduler: SchedulerConfig) -> (Arc<ServeCore>, Client) {
-    let core = ServeCore::start(ServeOptions { registry: RegistryConfig::default(), scheduler });
+    let core = ServeCore::start(ServeOptions {
+        registry: RegistryConfig::default(),
+        scheduler,
+        ..ServeOptions::default()
+    });
     let client = Client::new(Arc::clone(&core));
     client.register("m", &compressed(1)).unwrap();
     (core, client)
@@ -206,6 +210,7 @@ fn served_outputs_byte_identical_at_every_batch_size() {
                 queue_capacity: 256,
                 default_deadline: Duration::from_secs(30),
             },
+            ..ServeOptions::default()
         });
         let client = Client::new(Arc::clone(&core));
         client.register("m", &container).unwrap();
