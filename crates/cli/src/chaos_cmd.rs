@@ -71,7 +71,22 @@ pub(crate) fn chaos(args: &Args) -> Result<String, CliError> {
             }
         };
         gobo_fault::reset();
-        let scenario = result?;
+        let mut scenario = result?;
+        // With the concurrency sanitizer recording (GOBO_SANITIZE=1),
+        // a failure-class report during the scenario — a potential
+        // deadlock cycle, condvar misuse, blocking I/O under a lock —
+        // fails the scenario even if the workload itself degraded
+        // gracefully.
+        if gobo_sanitize::enabled() {
+            let failures: Vec<_> =
+                gobo_sanitize::take_reports().into_iter().filter(|r| r.kind.is_failure()).collect();
+            if !failures.is_empty() {
+                scenario.passed = false;
+                for r in failures {
+                    scenario.lines.push(format!("sanitizer: {r}"));
+                }
+            }
+        }
         out.push_str(&format!(
             "scenario {:<14} {}\n",
             scenario.name,

@@ -71,6 +71,7 @@ USAGE:
   gobo chaos    [--scenario worker-panic|corrupt-model|queue-overload
                  |node-kill|network-partition|reload-under-load]...
                 [--requests N] [--corruptions N] [--seed N]
+  gobo sanitize-report [--requests N] [--seed N] [--watchdog-ms N]
   gobo bench-serve [--output BENCH_serve.json] [--layers N] [--hidden N]
                 [--bits N] [--clients N] [--requests N] [--seq-len N]
                 [--kernels on|off] [--cluster on|off] [--trace-out trace.json]
@@ -129,7 +130,14 @@ OBSERVABILITY:
   Perfetto); `trace` quantizes a synthetic BERT-base model under
   tracing; `--telemetry-out` writes per-layer quantization telemetry
   (outlier fraction, iterations, final L1, bin occupancy, wall time)
-  that `telemetry-check` validates.";
+  that `telemetry-check` validates. `sanitize-report` runs a built-in
+  serve exercise with the concurrency sanitizer recording and prints
+  the observed lock-order graph (both acquisition sites per edge),
+  per-lock hold/wait statistics, and any reports; failure-class
+  reports (potential deadlock cycles, condvar misuse, blocking I/O
+  under a lock) make it exit non-zero. The same instrumentation runs
+  inside any gobo process under GOBO_SANITIZE=1 (record) or =fail
+  (panic at the detection site).";
 
 /// Minimal flag parser: `--name value` pairs after the subcommand.
 pub(crate) struct Args {
@@ -137,7 +145,7 @@ pub(crate) struct Args {
 }
 
 impl Args {
-    fn parse(args: &[String]) -> Result<Self, CliError> {
+    pub(crate) fn parse(args: &[String]) -> Result<Self, CliError> {
         let mut pairs = Vec::new();
         let mut i = 0;
         while i < args.len() {
@@ -221,6 +229,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "cluster-router" => crate::cluster_cmd::cluster_router(&args),
         "bench-serve" => crate::serve_cmd::bench_serve(&args),
         "chaos" => crate::chaos_cmd::chaos(&args),
+        "sanitize-report" => crate::sanitize_cmd::sanitize_report(&args),
         "trace" => crate::obs_cmd::trace(&args),
         "telemetry-check" => crate::obs_cmd::telemetry_check(&args),
         "help" | "--help" | "-h" => Ok(USAGE.to_owned()),

@@ -21,6 +21,7 @@ pub mod cmd;
 pub mod format;
 mod lint_cmd;
 mod obs_cmd;
+mod sanitize_cmd;
 mod serve_cmd;
 
 pub use cmd::{run, CliError};

@@ -7,15 +7,17 @@ use crate::cmd::CliError;
 const LINT_USAGE: &str = "\
 USAGE:
   gobo lint [--root PATH] [--deny-warnings] [--write-catalogs]
-            [--list-panic-sites]
+            [--list-panic-sites] [--locks]
 
   --root PATH         workspace root to lint (default: .)
   --deny-warnings     treat warnings (budget slack, dead allowlist
                       entries) as failures — what CI runs
-  --write-catalogs    regenerate FAILPOINTS.md and SPANS.md in place
-                      instead of checking them for staleness
+  --write-catalogs    regenerate FAILPOINTS.md, SPANS.md, and LOCKS.md
+                      in place instead of checking them for staleness
   --list-panic-sites  print every panic site counted against the
-                      ratchet budget (for burning them down)";
+                      ratchet budget (for burning them down)
+  --locks             print the instrumented-lock table (name, kind,
+                      rank, documented nesting) before the report";
 
 /// Runs `gobo lint`; returns the rendered report.
 ///
@@ -28,6 +30,7 @@ pub fn lint(args: &[String]) -> Result<String, CliError> {
     let mut deny_warnings = false;
     let mut options = gobo_lint::Options::default();
     let mut list_panic_sites = false;
+    let mut show_locks = false;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -39,6 +42,7 @@ pub fn lint(args: &[String]) -> Result<String, CliError> {
             "--deny-warnings" => deny_warnings = true,
             "--write-catalogs" => options.write_catalogs = true,
             "--list-panic-sites" => list_panic_sites = true,
+            "--locks" => show_locks = true,
             "--help" | "-h" => return Ok(LINT_USAGE.to_owned()),
             other => {
                 return Err(CliError::Usage(format!("unknown lint flag `{other}`\n\n{LINT_USAGE}")))
@@ -46,7 +50,13 @@ pub fn lint(args: &[String]) -> Result<String, CliError> {
         }
     }
     let report = gobo_lint::run(&root, options).map_err(CliError::Failed)?;
-    let rendered = report.render(list_panic_sites);
+    let mut rendered = String::new();
+    if show_locks {
+        let ws = gobo_lint::Workspace::load(&root).map_err(CliError::Failed)?;
+        rendered.push_str(&gobo_lint::catalog::render_locks(&ws));
+        rendered.push('\n');
+    }
+    rendered.push_str(&report.render(list_panic_sites));
     if report.failed(deny_warnings) {
         Err(CliError::Failed(rendered))
     } else {

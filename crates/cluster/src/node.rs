@@ -18,7 +18,9 @@
 use std::io::BufReader;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
+
+use gobo_sanitize::SanMutex;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
@@ -44,7 +46,7 @@ struct NodeShared {
 
 /// Live connections: each worker's join handle plus a tracked clone
 /// of its socket, so shutdown can close streams a peer holds open.
-type ConnectionSet = Arc<Mutex<Vec<(JoinHandle<()>, TcpStream)>>>;
+type ConnectionSet = Arc<SanMutex<Vec<(JoinHandle<()>, TcpStream)>>>;
 
 /// A running protocol listener over a [`ServeCore`].
 pub struct ClusterNode {
@@ -73,7 +75,8 @@ impl ClusterNode {
             artificial_delay_us: AtomicU64::new(0),
             drain_signal: ShutdownSignal::new(),
         });
-        let connections: ConnectionSet = Arc::new(Mutex::new(Vec::new()));
+        let connections: ConnectionSet =
+            Arc::new(SanMutex::new("cluster.node.connections", 12, Vec::new()));
 
         let accept_thread = {
             let shared = Arc::clone(&shared);
@@ -90,10 +93,9 @@ impl ClusterNode {
                             let handle = std::thread::spawn(move || {
                                 let _ = handle_conn(&shared, stream);
                             });
-                            if let Ok(mut conns) = connections.lock() {
-                                conns.retain(|(h, _)| !h.is_finished());
-                                conns.push((handle, tracked));
-                            }
+                            let mut conns = connections.lock();
+                            conns.retain(|(h, _)| !h.is_finished());
+                            conns.push((handle, tracked));
                         }
                         Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                             std::thread::sleep(ACCEPT_POLL);
@@ -152,10 +154,7 @@ impl ClusterNode {
         if let Some(handle) = self.accept_thread.take() {
             let _ = handle.join();
         }
-        let conns: Vec<(JoinHandle<()>, TcpStream)> = match self.connections.lock() {
-            Ok(mut conns) => conns.drain(..).collect(),
-            Err(_) => Vec::new(),
-        };
+        let conns: Vec<(JoinHandle<()>, TcpStream)> = self.connections.lock().drain(..).collect();
         for (handle, stream) in conns {
             let _ = stream.shutdown(Shutdown::Both);
             let _ = handle.join();
@@ -175,6 +174,7 @@ fn handle_conn(shared: &NodeShared, stream: TcpStream) -> Result<(), ProtoError>
     let mut reader = BufReader::new(stream.try_clone().map_err(ProtoError::Io)?);
     let mut writer = stream;
     loop {
+        gobo_sanitize::blocking_io("cluster.node.read_frame");
         let frame = match read_frame(&mut reader, MAX_PAYLOAD)? {
             Some(frame) => frame,
             None => return Ok(()), // peer closed cleanly
@@ -204,7 +204,10 @@ fn handle_conn(shared: &NodeShared, stream: TcpStream) -> Result<(), ProtoError>
             Frame::EncodeResponse(_) | Frame::HeartbeatAck(_) | Frame::DrainAck => None,
         };
         match reply {
-            Some(frame) => write_frame(&mut writer, &frame).map_err(ProtoError::Io)?,
+            Some(frame) => {
+                gobo_sanitize::blocking_io("cluster.node.write_frame");
+                write_frame(&mut writer, &frame).map_err(ProtoError::Io)?
+            }
             None => {
                 return Err(ProtoError::Corrupt("unexpected frame kind for a node".to_string()))
             }

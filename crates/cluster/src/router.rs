@@ -30,7 +30,9 @@
 use std::net::TcpStream;
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::mpsc::{self, RecvTimeoutError};
-use std::sync::{Arc, Mutex, PoisonError, RwLock};
+use std::sync::Arc;
+
+use gobo_sanitize::{SanMutex, SanRwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -103,7 +105,7 @@ impl Default for RouterConfig {
 struct CanaryTrial {
     node_id: String,
     ticket: AtomicU64,
-    window: Mutex<TrialWindow>,
+    window: SanMutex<TrialWindow>,
 }
 
 /// Sliding latency windows of one canary trial.
@@ -246,18 +248,18 @@ impl std::error::Error for RouterError {}
 
 struct Shared {
     config: RouterConfig,
-    nodes: RwLock<Vec<Arc<NodeState>>>,
-    ring: RwLock<Ring>,
+    nodes: SanRwLock<Vec<Arc<NodeState>>>,
+    ring: SanRwLock<Ring>,
     metrics: ClusterMetrics,
     stop: AtomicBool,
     seq: AtomicU64,
-    canary: RwLock<Option<CanaryTrial>>,
+    canary: SanRwLock<Option<CanaryTrial>>,
 }
 
 /// The consistent-hash router over a set of [`NodeState`] members.
 pub struct Router {
     shared: Arc<Shared>,
-    heartbeat_thread: Mutex<Option<JoinHandle<()>>>,
+    heartbeat_thread: SanMutex<Option<JoinHandle<()>>>,
 }
 
 enum AttemptError {
@@ -276,12 +278,14 @@ fn is_terminal(code: &str) -> bool {
     )
 }
 
-fn lock_write<T>(lock: &RwLock<T>) -> std::sync::RwLockWriteGuard<'_, T> {
-    lock.write().unwrap_or_else(PoisonError::into_inner)
+#[track_caller]
+fn lock_write<T>(lock: &SanRwLock<T>) -> gobo_sanitize::SanRwLockWriteGuard<'_, T> {
+    lock.write()
 }
 
-fn lock_read<T>(lock: &RwLock<T>) -> std::sync::RwLockReadGuard<'_, T> {
-    lock.read().unwrap_or_else(PoisonError::into_inner)
+#[track_caller]
+fn lock_read<T>(lock: &SanRwLock<T>) -> gobo_sanitize::SanRwLockReadGuard<'_, T> {
+    lock.read()
 }
 
 impl Router {
@@ -290,14 +294,19 @@ impl Router {
         Router {
             shared: Arc::new(Shared {
                 config,
-                nodes: RwLock::new(Vec::new()),
-                ring: RwLock::new(Ring::default()),
+                // Documented acquisition order (ranks enforced by
+                // gobo-sanitize): canary(50) -> nodes(52) -> ring(54);
+                // the trial window(56) nests under a canary guard.
+                // ACQUIRES-AFTER: cluster.router.canary
+                nodes: SanRwLock::new("cluster.router.nodes", 52, Vec::new()),
+                // ACQUIRES-AFTER: cluster.router.nodes
+                ring: SanRwLock::new("cluster.router.ring", 54, Ring::default()),
                 metrics: ClusterMetrics::new(),
                 stop: AtomicBool::new(false),
                 seq: AtomicU64::new(1),
-                canary: RwLock::new(None),
+                canary: SanRwLock::new("cluster.router.canary", 50, None),
             }),
-            heartbeat_thread: Mutex::new(None),
+            heartbeat_thread: SanMutex::new("cluster.router.heartbeat", 13, None),
         }
     }
 
@@ -325,7 +334,7 @@ impl Router {
 
     /// Starts the heartbeat/membership thread. Idempotent.
     pub fn start(&self) {
-        let mut guard = self.heartbeat_thread.lock().unwrap_or_else(PoisonError::into_inner);
+        let mut guard = self.heartbeat_thread.lock();
         if guard.is_some() {
             return;
         }
@@ -341,7 +350,7 @@ impl Router {
     /// Stops the heartbeat thread. Idempotent.
     pub fn shutdown(&self) {
         self.shared.stop.store(true, Ordering::Release);
-        let handle = self.heartbeat_thread.lock().unwrap_or_else(PoisonError::into_inner).take();
+        let handle = self.heartbeat_thread.lock().take();
         if let Some(handle) = handle {
             let _ = handle.join();
         }
@@ -428,7 +437,7 @@ impl Router {
         *lock_write(&self.shared.canary) = Some(CanaryTrial {
             node_id: node_id.to_owned(),
             ticket: AtomicU64::new(0),
-            window: Mutex::new(TrialWindow::default()),
+            window: SanMutex::new("cluster.router.trial_window", 56, TrialWindow::default()),
         });
         true
     }
@@ -496,7 +505,7 @@ impl Router {
         let policy = self.shared.config.canary;
         let guard = lock_read(&self.shared.canary);
         let Some(trial) = guard.as_ref() else { return TrialVerdict::Pending };
-        let mut window = trial.window.lock().unwrap_or_else(PoisonError::into_inner);
+        let mut window = trial.window.lock();
         let cap = (policy.window as usize).saturating_mul(4).max(1);
         let bucket = if canary { &mut window.canary_us } else { &mut window.baseline_us };
         if bucket.len() >= cap {
@@ -623,7 +632,8 @@ impl Router {
         };
 
         let (tx, rx) = mpsc::channel::<(usize, Result<EncodeOkFrame, AttemptError>)>();
-        let streams: Arc<Mutex<Vec<(usize, TcpStream)>>> = Arc::new(Mutex::new(Vec::new()));
+        let streams: Arc<SanMutex<Vec<(usize, TcpStream)>>> =
+            Arc::new(SanMutex::new("cluster.router.hedge_streams", 58, Vec::new()));
         let config = &self.shared.config;
         let launch = |attempt: usize| {
             let Some(node) = ordered.get(attempt) else { return };
@@ -637,9 +647,7 @@ impl Router {
             std::thread::spawn(move || {
                 let result =
                     attempt_once(&addr, &frame, connect_timeout, request_timeout, &retry, |s| {
-                        if let Ok(mut streams) = streams.lock() {
-                            streams.push((attempt, s));
-                        }
+                        streams.lock().push((attempt, s));
                     });
                 let _ = tx.send((attempt, result));
             });
@@ -722,7 +730,8 @@ impl Router {
             Ok((idx, _)) => Some(*idx),
             Err(_) => None,
         };
-        if let Ok(streams) = streams.lock() {
+        {
+            let streams = streams.lock();
             for (idx, stream) in streams.iter() {
                 if Some(*idx) != winner {
                     let _ = stream.shutdown(std::net::Shutdown::Both);
@@ -832,6 +841,7 @@ fn attempt_once(
     retry: &RetryPolicy,
     register: impl FnOnce(TcpStream),
 ) -> Result<EncodeOkFrame, AttemptError> {
+    gobo_sanitize::blocking_io("cluster.router.attempt_connect");
     let stream = connect_retry(addr, connect_timeout, retry)
         .map_err(|e| AttemptError::Transport(format!("connect {addr}: {e}")))?;
     let _ = stream.set_nodelay(true);
@@ -930,6 +940,7 @@ fn heartbeat_once(addr: &str, seq: u64, timeout: Duration) -> Result<HeartbeatAc
             .next()
             .ok_or_else(|| format!("{addr} resolved to nothing"))?
     };
+    gobo_sanitize::blocking_io("cluster.router.heartbeat_connect");
     let stream = TcpStream::connect_timeout(&sockaddr, timeout)
         .map_err(|e| format!("connect {addr}: {e}"))?;
     let _ = stream.set_nodelay(true);

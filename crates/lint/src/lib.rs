@@ -17,20 +17,37 @@
 //! 4. **Vendored-dep hygiene** ([`rules::deps`]) — `use` roots must
 //!    resolve to the standard library, workspace crates, or crates
 //!    vendored under `vendor/`.
+//! 5. **Cast audit** ([`audits::cast_audit`]) — truncating `as` casts
+//!    outside tests need a `// CAST:` justification or a checked
+//!    conversion; the unjustified count ratchets down.
+//! 6. **Arithmetic audit** ([`audits::arith_audit`]) — raw `+`/`*`/`<<`
+//!    on untrusted-input parser paths must become
+//!    `checked_*`/`saturating_*` or carry an `// ARITH:` bound.
+//! 7. **Lock order** ([`locks::locks`]) — `SanMutex`/`SanRwLock`
+//!    declarations carry literal ranks, `ACQUIRES-AFTER` annotations
+//!    must agree with them, and the documented graph stays acyclic;
+//!    cataloged in the generated `LOCKS.md`.
+//!
+//! All findings and panic-site listings are sorted by `path:line:col`
+//! so lint output is deterministic and diffable run to run.
 //!
 //! The crate also ships [`interleave`], a deterministic
-//! exhaustive-interleaving explorer used by the concurrency audit
-//! harness (`crates/obs/tests/interleave.rs` and this crate's
-//! `tests/interleave.rs`) to prove small lock-free protocols correct
-//! across every 2-thread schedule.
+//! exhaustive-interleaving explorer (with sleep-set DPOR) used by the
+//! concurrency audit harness (`crates/obs/tests/interleave.rs`,
+//! `crates/serve/tests/interleave.rs`,
+//! `crates/cluster/tests/interleave.rs`, and this crate's
+//! `tests/interleave.rs`) to prove small concurrent protocols correct
+//! across every schedule.
 //!
 //! Run it as `gobo lint` (see `crates/cli`); configuration lives in
 //! `lint.toml` at the workspace root.
 
+pub mod audits;
 pub mod catalog;
 pub mod config;
 pub mod interleave;
 pub mod lexer;
+pub mod locks;
 pub mod rules;
 pub mod source;
 
@@ -75,11 +92,21 @@ pub fn run_with_config(root: &Path, config: &Config, options: Options) -> Result
     rules::unsafe_audit(&ws, config, &mut report);
     rules::naming(&ws, config, &mut report);
     rules::deps(&ws, config, &mut report);
+    audits::cast_audit(&ws, config, &mut report);
+    audits::arith_audit(&ws, config, &mut report);
+    locks::locks(&ws, config, &mut report);
     // Catalog generation/staleness only applies to workspaces that opt
     // in with a `[catalogs]` section (the real one does; most fixtures
     // do not).
     if config.has_section("catalogs") {
         catalog::check_or_write(&ws, options.write_catalogs, &mut report);
     }
+    // Deterministic output: findings and panic sites in path:line:col
+    // order (stable, so equal positions keep rule emission order);
+    // workspace-level findings (empty path) sort first.
+    report
+        .findings
+        .sort_by(|a, b| (a.path.as_str(), a.line, a.col).cmp(&(b.path.as_str(), b.line, b.col)));
+    report.panic_sites.sort();
     Ok(report)
 }

@@ -99,7 +99,14 @@ impl Report {
         out
     }
 
-    fn error(&mut self, rule: &'static str, path: &str, line: usize, col: usize, message: String) {
+    pub(crate) fn error(
+        &mut self,
+        rule: &'static str,
+        path: &str,
+        line: usize,
+        col: usize,
+        message: String,
+    ) {
         self.findings.push(Finding {
             rule,
             severity: Severity::Error,
@@ -110,7 +117,7 @@ impl Report {
         });
     }
 
-    fn warning(
+    pub(crate) fn warning(
         &mut self,
         rule: &'static str,
         path: &str,
@@ -133,13 +140,13 @@ impl Report {
 /// workspace-relative path (waives the whole file) or `path @ needle`
 /// (waives findings on lines containing `needle`). Entries that never
 /// match anything are reported as warnings — dead waivers hide drift.
-struct Allow {
+pub(crate) struct Allow {
     entries: Vec<(String, Option<String>)>,
     used: Vec<bool>,
 }
 
 impl Allow {
-    fn new(entries: &[String]) -> Allow {
+    pub(crate) fn new(entries: &[String]) -> Allow {
         let entries: Vec<(String, Option<String>)> = entries
             .iter()
             .map(|e| match e.split_once('@') {
@@ -151,7 +158,7 @@ impl Allow {
         Allow { entries, used }
     }
 
-    fn matches(&mut self, path: &str, line_text: &str) -> bool {
+    pub(crate) fn matches(&mut self, path: &str, line_text: &str) -> bool {
         let mut hit = false;
         for (i, (entry_path, needle)) in self.entries.iter().enumerate() {
             if entry_path != path {
@@ -172,7 +179,7 @@ impl Allow {
         hit
     }
 
-    fn warn_dead_entries(&self, rule: &'static str, report: &mut Report) {
+    pub(crate) fn warn_dead_entries(&self, rule: &'static str, report: &mut Report) {
         for (i, (path, needle)) in self.entries.iter().enumerate() {
             if !self.used[i] {
                 let entry = match needle {
@@ -285,7 +292,7 @@ pub fn panic_freedom(ws: &Workspace, config: &Config, report: &mut Report) {
     allow.warn_dead_entries(rule, report);
 }
 
-fn is_index_base(prev: &crate::lexer::Token) -> bool {
+pub(crate) fn is_index_base(prev: &crate::lexer::Token) -> bool {
     use crate::lexer::TokenKind;
     match prev.kind {
         TokenKind::Ident => !NON_INDEX_KEYWORDS.contains(&prev.text.as_str()),
@@ -452,8 +459,8 @@ fn check_metrics_golden(ws: &Workspace, golden_rel: &str, report: &mut Report) {
     }
 }
 
-/// Shape rule for span and failpoint names.
-fn well_formed_name(name: &str) -> bool {
+/// Shape rule for span, failpoint, and lock names.
+pub(crate) fn well_formed_name(name: &str) -> bool {
     !name.is_empty()
         && name.chars().next().is_some_and(|c| c.is_ascii_lowercase())
         && name

@@ -143,3 +143,72 @@ fn workspace_self_check_passes_deny_warnings() {
     // Sanity: this really was the full workspace, not a stray subdir.
     assert!(report.files_scanned > 50, "only {} files scanned", report.files_scanned);
 }
+
+#[test]
+fn audit_violation_fixture_fails_both_ratchets() {
+    let report = lint("audit_violation");
+    assert!(report.failed(false));
+    let casts = rule_errors(&report, "cast_audit").join("\n");
+    assert!(casts.contains("truncating `as u8` cast"), "{casts}");
+    let ariths = rule_errors(&report, "arith_audit").join("\n");
+    for needle in ["unchecked `+`", "unchecked `*`", "unchecked `<<`"] {
+        assert!(ariths.contains(needle), "missing {needle:?} in:\n{ariths}");
+    }
+    // One cast + three arith sites + one over-budget summary each.
+    assert_eq!(rule_errors(&report, "cast_audit").len(), 2);
+    assert_eq!(rule_errors(&report, "arith_audit").len(), 4);
+}
+
+#[test]
+fn audit_justified_fixture_passes_deny_warnings() {
+    // `// CAST:` / `// ARITH:` justifications, `saturating_add`, and
+    // `+= 1` bumps in every terminator position count zero sites.
+    let report = lint("audit_justified");
+    assert!(!report.failed(true), "{}", report.render(true));
+}
+
+#[test]
+fn locks_cycle_fixture_fails() {
+    let report = lint("locks_cycle");
+    let messages = rule_errors(&report, "locks").join("\n");
+    for needle in [
+        "documented lock-order cycle: app.first -> app.second -> app.first",
+        "ranks must strictly increase",
+        "`ACQUIRES-AFTER: app.missing` on `app.orphan` references an undeclared lock",
+        "lock `app.no_rank` needs a literal integer rank",
+        "lock name `BadName` must be lowercase dotted",
+    ] {
+        assert!(messages.contains(needle), "missing {needle:?} in:\n{messages}");
+    }
+}
+
+#[test]
+fn locks_annotated_exception_fixture_passes() {
+    // The deliberate rank inversion is waived by a live `path @ needle`
+    // allow entry, so no error and no dead-waiver warning.
+    let report = lint("locks_annotated_exception");
+    assert!(!report.failed(true), "{}", report.render(true));
+}
+
+#[test]
+fn locks_clean_fixture_passes_deny_warnings() {
+    let report = lint("locks_clean");
+    assert!(!report.failed(true), "{}", report.render(true));
+}
+
+#[test]
+fn findings_and_panic_sites_are_sorted_by_position() {
+    // Deterministic output contract: every report comes back ordered
+    // by path:line:col regardless of rule emission order.
+    for name in ["panic_violation", "audit_violation", "locks_cycle", "naming_violation"] {
+        let report = lint(name);
+        let positions: Vec<_> =
+            report.findings.iter().map(|f| (f.path.clone(), f.line, f.col)).collect();
+        let mut sorted = positions.clone();
+        sorted.sort();
+        assert_eq!(positions, sorted, "{name} findings out of order");
+        let mut sites = report.panic_sites.clone();
+        sites.sort();
+        assert_eq!(report.panic_sites, sites, "{name} panic sites out of order");
+    }
+}

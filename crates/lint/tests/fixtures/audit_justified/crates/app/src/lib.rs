@@ -1,0 +1,35 @@
+//! Fixture: everything the audits must *not* count — justified sites,
+//! checked arithmetic, and `+= 1` byte-position bumps in all three
+//! terminator positions (`;`, match-arm `,`, block-closing `}`).
+
+pub struct Cursor {
+    pos: usize,
+}
+
+impl Cursor {
+    pub fn advance(&mut self) {
+        self.pos += 1;
+    }
+
+    pub fn skip(&mut self, b: u8) {
+        match b {
+            b',' => self.pos += 1,
+            _ => {}
+        }
+        if b == b' ' {
+            self.pos += 1
+        }
+    }
+
+    pub fn header(&self, len: usize) -> u32 {
+        // CAST: len is validated against the frame cap (< 2^16)
+        // before this is reached.
+        let header = len as u32;
+        // ARITH: header < 2^16, so the shift fits u32 with room.
+        header << 8
+    }
+
+    pub fn padded(&self, len: usize) -> usize {
+        len.saturating_add(8)
+    }
+}

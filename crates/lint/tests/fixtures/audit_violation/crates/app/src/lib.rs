@@ -1,0 +1,10 @@
+//! Fixture: one unjustified narrowing cast and one each of raw `+`,
+//! `*`, and `<<` on a parser path.
+
+pub fn parse(len: usize) -> (usize, usize, usize, u8) {
+    let padded = len + 8;
+    let scaled = padded * 2;
+    let mask = 1 << len;
+    let tag = len as u8;
+    (padded, scaled, mask, tag)
+}

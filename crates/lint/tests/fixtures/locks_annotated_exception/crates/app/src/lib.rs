@@ -1,0 +1,14 @@
+//! Fixture: a documented nesting that inverts the rank order on
+//! purpose, waived centrally in `lint.toml`.
+
+use gobo_sanitize::SanMutex;
+
+pub fn build() -> (SanMutex<u32>, SanMutex<u32>) {
+    let outer = SanMutex::new("app.outer", 20, 0);
+    // Deliberate inversion, waived in lint.toml: `app.inner` is only
+    // ever taken on the shutdown path, where `app.outer` is already
+    // held and no other thread can still reach `app.inner`.
+    // ACQUIRES-AFTER: app.outer
+    let inner = SanMutex::new("app.inner", 10, 0);
+    (outer, inner)
+}

@@ -1,0 +1,27 @@
+//! Fixture: a clean two-lock hierarchy. Ranks strictly increase down
+//! the documented acquisition order; the condvar carries no rank.
+
+use gobo_sanitize::{SanCondvar, SanMutex, SanRwLock};
+
+pub struct App {
+    pub state: SanMutex<u32>,
+    pub cache: SanRwLock<u32>,
+    pub state_cvar: SanCondvar,
+}
+
+impl App {
+    pub fn new() -> Self {
+        Self {
+            state: SanMutex::new("app.state", 10, 0),
+            // ACQUIRES-AFTER: app.state
+            cache: SanRwLock::new("app.cache", 20, 0),
+            state_cvar: SanCondvar::new("app.state_cvar"),
+        }
+    }
+}
+
+impl Default for App {
+    fn default() -> Self {
+        Self::new()
+    }
+}

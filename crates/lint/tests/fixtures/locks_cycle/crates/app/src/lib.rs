@@ -1,0 +1,30 @@
+//! Fixture: every way a lock declaration can go wrong. `app.first`
+//! and `app.second` document a two-lock cycle (which is also a rank
+//! inversion on one side), `app.orphan` nests under a lock nobody
+//! declares, `app.no_rank` forgets its rank, and `BadName` is not a
+//! lowercase dotted identifier.
+
+use gobo_sanitize::SanMutex;
+
+pub struct State {
+    pub first: SanMutex<u32>,
+    pub second: SanMutex<u32>,
+    pub orphan: SanMutex<u32>,
+    pub no_rank: SanMutex<u32>,
+    pub bad: SanMutex<u32>,
+}
+
+impl State {
+    pub fn new(rank: u64) -> Self {
+        Self {
+            // ACQUIRES-AFTER: app.second
+            first: SanMutex::new("app.first", 10, 0),
+            // ACQUIRES-AFTER: app.first
+            second: SanMutex::new("app.second", 20, 0),
+            // ACQUIRES-AFTER: app.missing
+            orphan: SanMutex::new("app.orphan", 30, 0),
+            no_rank: SanMutex::new("app.no_rank", rank, 0),
+            bad: SanMutex::new("BadName", 40, 0),
+        }
+    }
+}

@@ -30,8 +30,10 @@
 
 use std::cell::{Cell, RefCell};
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, OnceLock};
 use std::time::Instant;
+
+use gobo_sanitize::SanMutex;
 
 use crate::json;
 
@@ -47,14 +49,16 @@ fn epoch() -> Instant {
     *EPOCH.get_or_init(Instant::now)
 }
 
-fn thread_names() -> &'static Mutex<Vec<(u32, String)>> {
-    static NAMES: OnceLock<Mutex<Vec<(u32, String)>>> = OnceLock::new();
-    NAMES.get_or_init(|| Mutex::new(Vec::new()))
+// The obs registries are innermost locks: spans can be emitted while
+// any serve/cluster lock is held, so these rank above everything.
+fn thread_names() -> &'static SanMutex<Vec<(u32, String)>> {
+    static NAMES: OnceLock<SanMutex<Vec<(u32, String)>>> = OnceLock::new();
+    NAMES.get_or_init(|| SanMutex::new("obs.trace.names", 90, Vec::new()))
 }
 
-fn ring_slot() -> &'static Mutex<Arc<Ring>> {
-    static RING: OnceLock<Mutex<Arc<Ring>>> = OnceLock::new();
-    RING.get_or_init(|| Mutex::new(Arc::new(Ring::new(DEFAULT_CAPACITY))))
+fn ring_slot() -> &'static SanMutex<Arc<Ring>> {
+    static RING: OnceLock<SanMutex<Arc<Ring>>> = OnceLock::new();
+    RING.get_or_init(|| SanMutex::new("obs.trace.ring", 91, Arc::new(Ring::new(DEFAULT_CAPACITY))))
 }
 
 /// One recorded span.
@@ -170,9 +174,7 @@ fn current_tid() -> u32 {
         cell.set(tid);
         let name =
             std::thread::current().name().map_or_else(|| format!("thread-{tid}"), str::to_owned);
-        if let Ok(mut names) = thread_names().lock() {
-            names.push((tid, name));
-        }
+        thread_names().lock().push((tid, name));
         tid
     })
 }
@@ -191,7 +193,7 @@ fn current_ring() -> Arc<Ring> {
         match cached.as_ref() {
             Some((cached_generation, ring)) if *cached_generation == generation => Arc::clone(ring),
             _ => {
-                let ring = Arc::clone(&ring_slot().lock().expect("trace ring lock"));
+                let ring = Arc::clone(&ring_slot().lock());
                 *cached = Some((generation, Arc::clone(&ring)));
                 ring
             }
@@ -227,7 +229,7 @@ pub fn is_enabled() -> bool {
 /// discards the old one. In-flight spans from before the reset may
 /// still write to the old buffer; those events vanish with it.
 pub fn reset_with_capacity(capacity: usize) {
-    let mut slot = ring_slot().lock().expect("trace ring lock");
+    let mut slot = ring_slot().lock();
     *slot = Arc::new(Ring::new(capacity));
     // ORDERING: Release pairs with the Acquire generation load in
     // `current_ring`, invalidating thread-local ring caches only after
@@ -243,13 +245,13 @@ pub fn reset() {
 /// Events dropped because the current buffer was full.
 pub fn dropped_events() -> u64 {
     // ORDERING: Relaxed — a statistics read of an independent counter.
-    ring_slot().lock().expect("trace ring lock").dropped.load(Ordering::Relaxed)
+    ring_slot().lock().dropped.load(Ordering::Relaxed)
 }
 
 /// Snapshots every recorded event without clearing the buffer, sorted
 /// by thread then start time (deeper spans after their parents).
 pub fn snapshot_events() -> Vec<SpanEvent> {
-    let ring = Arc::clone(&ring_slot().lock().expect("trace ring lock"));
+    let ring = Arc::clone(&ring_slot().lock());
     let mut events = ring.collect();
     events.sort_by_key(|e| (e.tid, e.start_us, e.depth));
     events
@@ -259,7 +261,7 @@ pub fn snapshot_events() -> Vec<SpanEvent> {
 /// [`snapshot_events`]), leaving a fresh buffer of the same capacity.
 pub fn take_events() -> Vec<SpanEvent> {
     let ring = {
-        let mut slot = ring_slot().lock().expect("trace ring lock");
+        let mut slot = ring_slot().lock();
         let capacity = slot.slots.len();
         let old = Arc::clone(&slot);
         *slot = Arc::new(Ring::new(capacity));
@@ -390,7 +392,8 @@ pub fn export_chrome_trace() -> String {
         out.push('\n');
     };
 
-    if let Ok(names) = thread_names().lock() {
+    {
+        let names = thread_names().lock();
         for &(tid, ref name) in names.iter() {
             if !seen_tids.contains(&tid) {
                 continue;
@@ -430,6 +433,7 @@ mod tests {
     /// The trace buffer is process-global, so every test that records
     /// runs under this lock to avoid interleaving with its neighbours.
     fn test_lock() -> std::sync::MutexGuard<'static, ()> {
+        use std::sync::Mutex;
         static LOCK: Mutex<()> = Mutex::new(());
         LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
     }

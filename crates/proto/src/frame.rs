@@ -18,7 +18,7 @@ pub const PROTOCOL_VERSION: u8 = 1;
 /// Default upper bound on a frame payload (64 MiB) — far above any
 /// realistic encode response, low enough that a corrupt length prefix
 /// cannot drive an out-of-memory allocation.
-pub const MAX_PAYLOAD: u32 = 64 << 20;
+pub const MAX_PAYLOAD: u32 = 64 << 20; // ARITH: const 2^26, fits u32
 
 /// Frame magic: the first four bytes of every frame.
 pub const MAGIC: [u8; 4] = *b"GOBP";
@@ -474,7 +474,7 @@ fn decode_payload(kind: u8, payload: &[u8]) -> Result<Frame, ProtoError> {
 pub fn write_frame<W: Write>(w: &mut W, frame: &Frame) -> io::Result<()> {
     let payload = encode_payload(frame);
     let kind = frame.kind();
-    let mut out = Vec::with_capacity(14 + payload.len());
+    let mut out = Vec::with_capacity(payload.len().saturating_add(14));
     out.extend_from_slice(&MAGIC);
     out.push(PROTOCOL_VERSION);
     out.push(kind);
@@ -482,7 +482,7 @@ pub fn write_frame<W: Write>(w: &mut W, frame: &Frame) -> io::Result<()> {
     out.extend_from_slice(&payload);
     // CRC covers version|kind|payload (not the length prefix: a bad
     // length already shows up as truncation or a shifted CRC).
-    let mut covered = Vec::with_capacity(2 + payload.len());
+    let mut covered = Vec::with_capacity(payload.len().saturating_add(2));
     covered.push(PROTOCOL_VERSION);
     covered.push(kind);
     covered.extend_from_slice(&payload);
@@ -535,7 +535,7 @@ pub fn read_frame<R: Read>(r: &mut R, max_payload: u32) -> Result<Option<Frame>,
     read_exact_frame(r, &mut crc_bytes, "crc")?;
     let got_crc = u32::from_le_bytes(crc_bytes);
 
-    let mut covered = Vec::with_capacity(2 + payload.len());
+    let mut covered = Vec::with_capacity(payload.len().saturating_add(2));
     covered.push(version);
     covered.push(kind);
     covered.extend_from_slice(&payload);

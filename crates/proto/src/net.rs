@@ -61,7 +61,7 @@ impl RetryPolicy {
             return capped;
         }
         let jitter_us = splitmix64(self.seed ^ u64::from(attempt)) % half.as_micros().max(1) as u64;
-        capped - half + Duration::from_micros(jitter_us)
+        (capped - half).saturating_add(Duration::from_micros(jitter_us))
     }
 
     /// Whether an I/O error kind is a *transient connect* failure —

@@ -140,7 +140,7 @@ fn array<const N: usize>(bytes: &[u8]) -> Result<[u8; N], QuantError> {
 
 impl QuantizedLayer {
     fn body_bytes(&self, version: u8) -> BytesMut {
-        let mut out = BytesMut::with_capacity(self.compressed_bytes() + 24);
+        let mut out = BytesMut::with_capacity(self.compressed_bytes().saturating_add(24));
         out.put_u32_le(LAYER_MAGIC);
         out.put_u8(version);
         out.put_u8(method_tag(self.method()));
@@ -246,6 +246,8 @@ impl QuantizedLayer {
             return Err(QuantError::CorruptPayload { what: "more outliers than weights" });
         }
         let codebook_len = r.u32()? as usize;
+        // ARITH: `bits` is validated to 1..=8 above, so the shift is
+        // at most 1 << 8 = 256.
         if codebook_len == 0 || codebook_len > 1 << bits {
             return Err(QuantError::CorruptPayload {
                 what: "codebook size inconsistent with bits",
@@ -356,11 +358,12 @@ impl ModelArchive {
     /// Total serialized size in bytes (v2 layout: each entry carries a
     /// trailing CRC32).
     pub fn serialized_bytes(&self) -> usize {
-        16 + self
+        let entries: usize = self
             .entries
             .iter()
-            .map(|(n, l)| 2 + n.len() + 4 + l.to_bytes().len() + 4)
-            .sum::<usize>()
+            .map(|(n, l)| 2 + n.len() + 4 + l.to_bytes().len() + 4) // ARITH: live buffer lengths
+            .sum();
+        16 + entries // ARITH: sums lengths of live in-memory entries, < isize::MAX
     }
 
     /// Serializes the archive (v2: a CRC32 seals every entry).

@@ -1,0 +1,202 @@
+//! The canonical deadlock, on real threads: thread 1 locks A then B,
+//! thread 2 locks B then A, a barrier guarantees the interleaving.
+//! The sanitizer must name both sites *while the threads are wedged*
+//! — edges are recorded before an acquisition blocks — and the
+//! watchdog must flag the stall within its window.
+
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+use gobo_sanitize::{
+    enable, reports, set_watchdog, LockEdge, Mode, ReportKind, SanMutex, SanRwLock,
+};
+
+fn wait_for_report(deadline: Duration, pred: impl Fn(&gobo_sanitize::Report) -> bool) -> bool {
+    let start = Instant::now();
+    while start.elapsed() < deadline {
+        if reports().iter().any(&pred) {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    false
+}
+
+#[test]
+fn abba_deadlock_is_reported_with_both_sites() {
+    enable(Mode::Record);
+    set_watchdog(Duration::from_millis(200));
+
+    let a = Arc::new(SanMutex::new("abba.test.lock_a", 100, ()));
+    let b = Arc::new(SanMutex::new("abba.test.lock_b", 101, ()));
+    let barrier = Arc::new(Barrier::new(2));
+
+    // Thread 1: A, then B. Thread 2: B, then A. The barrier sits
+    // between the first and second acquisition on both sides, so the
+    // deadlock is guaranteed, not probabilistic.
+    let (a1, b1, bar1) = (Arc::clone(&a), Arc::clone(&b), Arc::clone(&barrier));
+    std::thread::Builder::new()
+        .name("abba-t1".into())
+        .spawn(move || {
+            let _ga = a1.lock();
+            bar1.wait();
+            let _gb = b1.lock(); // blocks forever
+        })
+        .expect("spawn t1");
+    let (a2, b2, bar2) = (Arc::clone(&a), Arc::clone(&b), Arc::clone(&barrier));
+    std::thread::Builder::new()
+        .name("abba-t2".into())
+        .spawn(move || {
+            let _gb = b2.lock();
+            bar2.wait();
+            let _ga = a2.lock(); // blocks forever
+        })
+        .expect("spawn t2");
+
+    // The cycle report fires at the second thread's acquisition
+    // *attempt*, well before any watchdog — both threads stay wedged.
+    assert!(
+        wait_for_report(Duration::from_secs(10), |r| {
+            r.kind == ReportKind::Cycle
+                && r.message.contains("abba.test.lock_a")
+                && r.message.contains("abba.test.lock_b")
+        }),
+        "no cycle report within 10s; reports: {:?}",
+        reports()
+    );
+
+    // Two-site precision: the report names the acquisition site on
+    // each side of the conflicting order (this file, twice).
+    let cycle = reports()
+        .into_iter()
+        .find(|r| r.kind == ReportKind::Cycle && r.message.contains("abba.test.lock_a"))
+        .expect("cycle report");
+    let site_mentions = cycle.message.matches("tests/abba.rs").count();
+    assert!(site_mentions >= 2, "expected both sites in report: {}", cycle.message);
+    assert!(cycle.message.contains("while holding"), "{}", cycle.message);
+
+    // The watchdog flags the stalled acquisition within its window.
+    assert!(
+        wait_for_report(Duration::from_secs(10), |r| {
+            r.kind == ReportKind::Watchdog
+                && (r.message.contains("abba.test.lock_a")
+                    || r.message.contains("abba.test.lock_b"))
+        }),
+        "no watchdog report within 10s; reports: {:?}",
+        reports()
+    );
+
+    // Both conflicting edges are in the recorded graph.
+    let edges: Vec<LockEdge> = gobo_sanitize::lock_order_edges();
+    let has = |from: &str, to: &str| edges.iter().any(|e| e.held == from && e.acquired == to);
+    assert!(has("abba.test.lock_a", "abba.test.lock_b"), "missing A->B edge");
+    assert!(has("abba.test.lock_b", "abba.test.lock_a"), "missing B->A edge");
+
+    // The wedged threads are deliberately leaked: the test proved the
+    // report, the process exits when the suite does.
+}
+
+#[test]
+fn consistent_order_stays_clean() {
+    enable(Mode::Record);
+    let outer = Arc::new(SanMutex::new("abba.test.outer", 10, ()));
+    let inner = Arc::new(SanMutex::new("abba.test.inner", 20, ()));
+    let mut handles = Vec::new();
+    for i in 0..4 {
+        let (o, f) = (Arc::clone(&outer), Arc::clone(&inner));
+        handles.push(
+            std::thread::Builder::new()
+                .name(format!("ordered-{i}"))
+                .spawn(move || {
+                    for _ in 0..50 {
+                        let _g1 = o.lock();
+                        let _g2 = f.lock();
+                    }
+                })
+                .expect("spawn"),
+        );
+    }
+    for h in handles {
+        h.join().expect("join");
+    }
+    assert!(
+        !reports()
+            .iter()
+            .any(|r| r.kind == ReportKind::Cycle && r.message.contains("abba.test.outer")),
+        "false cycle on a consistently ordered pair"
+    );
+    // Contention statistics accumulated for the shared outer lock.
+    let stats = gobo_sanitize::lock_stats();
+    let outer_stats = stats.iter().find(|s| s.name == "abba.test.outer").expect("stats");
+    assert_eq!(outer_stats.rank, 10);
+    assert!(outer_stats.acquisitions >= 200);
+}
+
+#[test]
+fn rank_inversion_and_blocking_io_are_flagged() {
+    enable(Mode::Record);
+    let low = SanMutex::new("abba.test.rank_low", 5, ());
+    let high = SanMutex::new("abba.test.rank_high", 50, ());
+    // Acquire against declared order: high first, then low.
+    let _gh = high.lock();
+    let _gl = low.lock();
+    assert!(
+        reports().iter().any(
+            |r| r.kind == ReportKind::RankInversion && r.message.contains("abba.test.rank_low")
+        ),
+        "missing rank-inversion report"
+    );
+    gobo_sanitize::blocking_io("abba.test.socket_read");
+    assert!(
+        reports().iter().any(|r| r.kind == ReportKind::BlockingIoUnderLock
+            && r.message.contains("abba.test.socket_read")),
+        "missing blocking-io report"
+    );
+}
+
+#[test]
+fn rwlock_cycle_against_mutex_is_reported() {
+    enable(Mode::Record);
+    let table = Arc::new(SanRwLock::new("abba.test.table", 60, 0u32));
+    let meta = Arc::new(SanMutex::new("abba.test.meta", 61, 0u32));
+    // Record table -> meta on this thread…
+    {
+        let _t = table.read();
+        let _m = meta.lock();
+    }
+    // …then meta -> table on another: the closing edge is a cycle
+    // even though nothing deadlocks right now.
+    let (t2, m2) = (Arc::clone(&table), Arc::clone(&meta));
+    std::thread::Builder::new()
+        .name("rw-cycle".into())
+        .spawn(move || {
+            let _m = m2.lock();
+            let _t = t2.write();
+        })
+        .expect("spawn")
+        .join()
+        .expect("join");
+    assert!(
+        reports().iter().any(|r| r.kind == ReportKind::Cycle
+            && r.message.contains("abba.test.table")
+            && r.message.contains("abba.test.meta")),
+        "missing rwlock/mutex cycle report; reports: {:?}",
+        reports()
+    );
+}
+
+#[test]
+fn prometheus_render_is_well_formed() {
+    enable(Mode::Record);
+    let m = SanMutex::new("abba.test.render", 70, ());
+    drop(m.lock());
+    let mut out = String::new();
+    gobo_sanitize::render_prometheus(&mut out);
+    assert!(out.contains("# TYPE gobo_sanitize_lock_acquisitions_total counter"));
+    assert!(out.contains("gobo_sanitize_lock_acquisitions_total{lock=\"abba.test.render\"}"));
+    assert!(out.contains("# TYPE gobo_sanitize_lock_hold_us histogram"));
+    assert!(
+        out.contains("gobo_sanitize_lock_hold_us_bucket{lock=\"abba.test.render\",le=\"+Inf\"}")
+    );
+    assert!(out.contains("gobo_sanitize_reports_total{kind=\"cycle\"}"));
+}

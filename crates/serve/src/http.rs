@@ -28,7 +28,9 @@
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::Arc;
+
+use gobo_sanitize::{SanCondvar, SanMutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
@@ -75,8 +77,8 @@ pub enum HttpError {
 /// A condition variable a thread can park on until shutdown is asked
 /// for. Shared by [`Server`] and the cluster router front end.
 pub struct ShutdownSignal {
-    requested: Mutex<bool>,
-    cvar: Condvar,
+    requested: SanMutex<bool>,
+    cvar: SanCondvar,
 }
 
 impl Default for ShutdownSignal {
@@ -88,26 +90,22 @@ impl Default for ShutdownSignal {
 impl ShutdownSignal {
     /// A fresh, un-signalled instance.
     pub fn new() -> Self {
-        ShutdownSignal { requested: Mutex::new(false), cvar: Condvar::new() }
+        ShutdownSignal {
+            requested: SanMutex::new("serve.http.shutdown", 10, false),
+            cvar: SanCondvar::new("serve.http.shutdown_cvar"),
+        }
     }
 
     /// Marks shutdown as requested and wakes every waiter.
     pub fn request(&self) {
-        if let Ok(mut requested) = self.requested.lock() {
-            *requested = true;
-        }
+        *self.requested.lock() = true;
         self.cvar.notify_all();
     }
 
     /// Blocks until [`ShutdownSignal::request`] has been called.
     pub fn wait(&self) {
-        let Ok(mut requested) = self.requested.lock() else { return };
-        while !*requested {
-            requested = match self.cvar.wait(requested) {
-                Ok(guard) => guard,
-                Err(_) => return,
-            };
-        }
+        let guard = self.cvar.wait_while(self.requested.lock(), |requested| !*requested);
+        drop(guard);
     }
 }
 
@@ -161,7 +159,7 @@ pub trait HttpHandler: Send + Sync + 'static {
 /// Live connections: each worker's join handle plus a tracked clone
 /// of its socket, so `stop` can shut the TCP stream down under a
 /// keep-alive client.
-type ConnectionSet = Arc<Mutex<Vec<(JoinHandle<()>, TcpStream)>>>;
+type ConnectionSet = Arc<SanMutex<Vec<(JoinHandle<()>, TcpStream)>>>;
 
 /// A bound, accepting HTTP/1.1 listener delegating to an
 /// [`HttpHandler`]. Owns the accept thread and every per-connection
@@ -189,13 +187,15 @@ impl HttpListener {
         listener.set_nonblocking(true)?;
         let local_addr = listener.local_addr()?;
         let accept_stop = Arc::new(AtomicBool::new(false));
-        let connections: ConnectionSet = Arc::new(Mutex::new(Vec::new()));
+        let connections: ConnectionSet =
+            Arc::new(SanMutex::new("serve.http.connections", 11, Vec::new()));
 
         let accept_thread = {
             let accept_stop = Arc::clone(&accept_stop);
             let connections = Arc::clone(&connections);
             std::thread::Builder::new().name("gobo-http-accept".into()).spawn(move || {
                 while !accept_stop.load(Ordering::Acquire) {
+                    gobo_sanitize::blocking_io("serve.http.accept");
                     match listener.accept() {
                         Ok((stream, _)) => {
                             let tracked = match stream.try_clone() {
@@ -206,7 +206,8 @@ impl HttpListener {
                             let handle = std::thread::spawn(move || {
                                 handle_connection(handler.as_ref(), options, stream);
                             });
-                            if let Ok(mut conns) = connections.lock() {
+                            {
+                                let mut conns = connections.lock();
                                 // Reap finished handlers so the vector
                                 // does not grow with every connection.
                                 conns.retain(|(h, _)| !h.is_finished());
@@ -243,10 +244,7 @@ impl HttpListener {
         if let Some(handle) = self.accept_thread.take() {
             let _ = handle.join();
         }
-        let conns: Vec<(JoinHandle<()>, TcpStream)> = match self.connections.lock() {
-            Ok(mut conns) => conns.drain(..).collect(),
-            Err(_) => Vec::new(),
-        };
+        let conns: Vec<(JoinHandle<()>, TcpStream)> = self.connections.lock().drain(..).collect();
         for (handle, stream) in conns {
             // Close only the read half first: a handler parked in a
             // keep-alive read sees EOF and exits, while a handler
@@ -277,6 +275,7 @@ fn handle_connection(handler: &dyn HttpHandler, options: HttpOptions, stream: Tc
     // Keep-alive loop: serve requests in arrival order until the peer
     // closes, asks to close, or an error makes the stream unusable.
     loop {
+        gobo_sanitize::blocking_io("serve.http.read_request");
         match parse_request(&mut reader, options.max_body) {
             Ok(Some(request)) => {
                 handler.on_request();
@@ -660,6 +659,7 @@ pub fn error_body(status: u16, code: &str, message: &str) -> String {
 }
 
 fn write_response(stream: &mut TcpStream, response: &HttpResponse) -> std::io::Result<()> {
+    gobo_sanitize::blocking_io("serve.http.write_response");
     let reason = match response.status {
         200 => "OK",
         400 => "Bad Request",

@@ -211,7 +211,7 @@ impl<'a> Parser<'a> {
 
     fn literal(&mut self, lit: &str, value: Json) -> Result<Json, String> {
         if self.bytes.get(self.pos..).unwrap_or_default().starts_with(lit.as_bytes()) {
-            self.pos += lit.len();
+            self.pos = self.pos.saturating_add(lit.len());
             Ok(value)
         } else {
             Err(format!("invalid literal at byte {}", self.pos))
@@ -245,7 +245,7 @@ impl<'a> Parser<'a> {
         }
         loop {
             self.skip_ws();
-            items.push(self.value(depth + 1)?);
+            items.push(self.value(depth.saturating_add(1))?);
             self.skip_ws();
             match self.peek() {
                 Some(b',') => self.pos += 1,
@@ -272,7 +272,7 @@ impl<'a> Parser<'a> {
             self.skip_ws();
             self.expect_byte(b':')?;
             self.skip_ws();
-            let value = self.value(depth + 1)?;
+            let value = self.value(depth.saturating_add(1))?;
             pairs.push((key, value));
             self.skip_ws();
             match self.peek() {
@@ -331,11 +331,15 @@ impl<'a> Parser<'a> {
                                     .unwrap_or_default()
                                     .starts_with(b"\\u")
                                 {
-                                    self.pos += 2;
+                                    self.pos = self.pos.saturating_add(2);
                                     let low = self.hex4()?;
-                                    let combined = 0x10000
-                                        + ((code - 0xD800) << 10)
-                                        + (low.wrapping_sub(0xDC00) & 0x3FF);
+                                    // ARITH: `code` is a validated high
+                                    // surrogate (0xD800..0xDC00).
+                                    let high = (code - 0xD800) << 10;
+                                    let low10 = low.wrapping_sub(0xDC00) & 0x3FF;
+                                    // ARITH: low is masked to 10 bits;
+                                    // the scalar tops out at 0x10FFFF.
+                                    let combined = 0x10000 + high + low10;
                                     char::from_u32(combined).unwrap_or('\u{FFFD}')
                                 } else {
                                     '\u{FFFD}'
@@ -356,7 +360,7 @@ impl<'a> Parser<'a> {
     }
 
     fn hex4(&mut self) -> Result<u32, String> {
-        let end = self.pos + 4;
+        let end = self.pos.saturating_add(4);
         let digits =
             self.bytes.get(self.pos..end).ok_or_else(|| "truncated \\u escape".to_owned())?;
         let hex = std::str::from_utf8(digits).map_err(|_| "bad \\u escape".to_owned())?;

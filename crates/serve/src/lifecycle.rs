@@ -29,7 +29,9 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::sync::Arc;
+
+use gobo_sanitize::{SanMutex, SanMutexGuard};
 
 use crate::metrics::Metrics;
 use crate::registry::{ModelKey, ModelRegistry};
@@ -86,7 +88,7 @@ pub struct LifecycleController {
     registry: Arc<ModelRegistry>,
     metrics: Arc<Metrics>,
     ticket: AtomicU64,
-    windows: Mutex<HashMap<ModelKey, WindowState>>,
+    windows: SanMutex<HashMap<ModelKey, WindowState>>,
 }
 
 impl LifecycleController {
@@ -97,7 +99,7 @@ impl LifecycleController {
             registry,
             metrics,
             ticket: AtomicU64::new(0),
-            windows: Mutex::new(HashMap::new()),
+            windows: SanMutex::new("serve.lifecycle.windows", 30, HashMap::new()),
         }
     }
 
@@ -109,8 +111,8 @@ impl LifecycleController {
     /// Windows hold plain latency samples; a poisoned lock at worst
     /// loses part of one verdict window, so recover rather than take
     /// the serving path down.
-    fn lock_windows(&self) -> MutexGuard<'_, HashMap<ModelKey, WindowState>> {
-        self.windows.lock().unwrap_or_else(PoisonError::into_inner)
+    fn lock_windows(&self) -> SanMutexGuard<'_, HashMap<ModelKey, WindowState>> {
+        self.windows.lock()
     }
 
     /// Consumes one routing ticket and reports whether this batch

@@ -280,6 +280,12 @@ impl Metrics {
             &[],
             &mut out,
         );
+        // Sanitizer series appear only when GOBO_SANITIZE is on — an
+        // env-dependent debug section, excluded from the golden schema
+        // (see tests/observability.rs).
+        if gobo_sanitize::enabled() {
+            gobo_sanitize::render_prometheus(&mut out);
+        }
         out
     }
 }

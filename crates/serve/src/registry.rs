@@ -38,7 +38,9 @@
 
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::Ordering;
-use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::sync::Arc;
+
+use gobo_sanitize::{SanMutex, SanMutexGuard};
 
 use gobo::format::CompressedModel;
 use gobo_model::TransformerModel;
@@ -201,7 +203,7 @@ struct Inner {
 pub struct ModelRegistry {
     config: RegistryConfig,
     metrics: Arc<Metrics>,
-    inner: Mutex<Inner>,
+    inner: SanMutex<Inner>,
 }
 
 /// Everything [`ModelRegistry::insert`]/[`publish`] need that can be
@@ -224,16 +226,20 @@ impl ModelRegistry {
         ModelRegistry {
             config,
             metrics,
-            inner: Mutex::new(Inner {
-                entries: HashMap::new(),
-                canaries: HashMap::new(),
-                draining: Vec::new(),
-                retired: VecDeque::new(),
-                revs: HashMap::new(),
-                recency: HashMap::new(),
-                evicted: HashMap::new(),
-                tick: 0,
-            }),
+            inner: SanMutex::new(
+                "serve.registry.inner",
+                40,
+                Inner {
+                    entries: HashMap::new(),
+                    canaries: HashMap::new(),
+                    draining: Vec::new(),
+                    retired: VecDeque::new(),
+                    revs: HashMap::new(),
+                    recency: HashMap::new(),
+                    evicted: HashMap::new(),
+                    tick: 0,
+                },
+            ),
         }
     }
 
@@ -242,8 +248,8 @@ impl ModelRegistry {
     /// (a panic in between at worst loses a recency stamp, which reads
     /// default to 0), so a poisoned lock must not take the registry —
     /// and with it every model — out of service.
-    fn lock_inner(&self) -> MutexGuard<'_, Inner> {
-        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    fn lock_inner(&self) -> SanMutexGuard<'_, Inner> {
+        self.inner.lock()
     }
 
     /// Loads a `.gobom` container from disk and registers it under
@@ -259,6 +265,7 @@ impl ModelRegistry {
             "registry.load",
             ServeError::Io("injected registry.load fault".to_owned())
         );
+        gobo_sanitize::blocking_io("serve.registry.read_container");
         let bytes = std::fs::read(path).map_err(|e| ServeError::Io(format!("{path}: {e}")))?;
         let compressed = CompressedModel::from_bytes(&bytes)?;
         self.insert(name, &compressed)
@@ -282,6 +289,7 @@ impl ModelRegistry {
             "registry.load",
             ServeError::Io("injected registry.load fault".to_owned())
         );
+        gobo_sanitize::blocking_io("serve.registry.read_container");
         let bytes = std::fs::read(path).map_err(|e| ServeError::Io(format!("{path}: {e}")))?;
         let compressed = CompressedModel::from_bytes(&bytes)?;
         self.publish(name, &compressed)

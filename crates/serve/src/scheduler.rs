@@ -56,7 +56,9 @@
 use std::collections::VecDeque;
 use std::sync::atomic::Ordering;
 use std::sync::mpsc::{sync_channel, Receiver, RecvTimeoutError, SyncSender};
-use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::sync::Arc;
+
+use gobo_sanitize::{SanCondvar, SanMutex, SanMutexGuard};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -166,8 +168,8 @@ struct Shared {
     registry: Arc<ModelRegistry>,
     lifecycle: Arc<LifecycleController>,
     metrics: Arc<Metrics>,
-    state: Mutex<State>,
-    cvar: Condvar,
+    state: SanMutex<State>,
+    cvar: SanCondvar,
 }
 
 impl Shared {
@@ -176,8 +178,8 @@ impl Shared {
     /// in a popped-or-not state, both of which are valid, so the
     /// recovered guard is safe to use and one panic cannot wedge the
     /// whole scheduler.
-    fn lock_state(&self) -> MutexGuard<'_, State> {
-        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    fn lock_state(&self) -> SanMutexGuard<'_, State> {
+        self.state.lock()
     }
 }
 
@@ -228,7 +230,7 @@ const SUPERVISOR_POLL: Duration = Duration::from_millis(2);
 /// The admission queue + worker pool + supervisor.
 pub struct Scheduler {
     shared: Arc<Shared>,
-    supervisor: Mutex<Option<JoinHandle<()>>>,
+    supervisor: SanMutex<Option<JoinHandle<()>>>,
 }
 
 impl Scheduler {
@@ -244,12 +246,12 @@ impl Scheduler {
             registry,
             lifecycle,
             metrics,
-            state: Mutex::new(State {
-                queue: VecDeque::new(),
-                claimed: Vec::new(),
-                shutdown: false,
-            }),
-            cvar: Condvar::new(),
+            state: SanMutex::new(
+                "serve.scheduler.state",
+                20,
+                State { queue: VecDeque::new(), claimed: Vec::new(), shutdown: false },
+            ),
+            cvar: SanCondvar::new("serve.scheduler.cvar"),
         });
         let supervisor = {
             let shared = Arc::clone(&shared);
@@ -258,7 +260,10 @@ impl Scheduler {
                 .spawn(move || supervisor_loop(&shared))
                 .ok()
         };
-        Scheduler { shared, supervisor: Mutex::new(supervisor) }
+        Scheduler {
+            shared,
+            supervisor: SanMutex::new("serve.scheduler.supervisor", 14, supervisor),
+        }
     }
 
     /// The scheduler's configuration.
@@ -335,7 +340,7 @@ impl Scheduler {
     pub fn shutdown(&self) {
         self.shared.lock_state().shutdown = true;
         self.shared.cvar.notify_all();
-        let handle = self.supervisor.lock().unwrap_or_else(PoisonError::into_inner).take();
+        let handle = self.supervisor.lock().take();
         if let Some(handle) = handle {
             let _ = handle.join();
         }
@@ -499,54 +504,33 @@ fn next_batch(shared: &Shared) -> Option<(BatchKey, Vec<Pending>)> {
     let mut state = shared.lock_state();
     // Find the oldest live request of an unclaimed key, rejecting
     // expired requests in place (claimed or not); sleep when the queue
-    // holds nothing for this worker.
-    let first = loop {
-        let mut found = None;
-        let mut i = 0;
-        while i < state.queue.len() {
-            if state.queue.get(i).is_some_and(|p| Instant::now() >= p.deadline) {
-                if let Some(p) = state.queue.remove(i) {
-                    shared.metrics.queue_pop();
-                    reject_expired(shared, p);
-                }
-                continue;
-            }
-            let is_claimed = state.queue.get(i).is_some_and(|p| {
-                state.claimed.iter().any(|(m, b)| *m == p.req.model && *b == p.req.bits)
-            });
-            if is_claimed {
-                i += 1;
-                continue;
-            }
-            found = state.queue.remove(i);
-            break;
-        }
-        if let Some(p) = found {
-            shared.metrics.queue_pop();
-            break p;
-        }
+    // holds nothing for this worker. The scan runs inside the wait
+    // predicate, so it re-runs after every wake-up (spurious or not).
+    let mut found: Option<Pending> = None;
+    state = shared.cvar.wait_while(state, |s| {
+        found = pop_oldest_unclaimed(shared, s);
         // Drain fully before honouring shutdown; a non-empty queue here
         // is all claimed keys, and the claim owner's dispatch (or the
         // supervisor's final sweep) wakes us again.
-        if state.shutdown && state.queue.is_empty() {
-            return None;
-        }
-        state = shared.cvar.wait(state).unwrap_or_else(PoisonError::into_inner);
-    };
+        found.is_none() && !(s.shutdown && s.queue.is_empty())
+    });
+    let first = found?;
 
     // Claim the key, then coalesce queued requests for it, waiting up
     // to max_wait for stragglers.
     let key = (first.req.model.clone(), first.req.bits);
     state.claimed.push(key.clone());
     let mut batch = vec![first];
-    let wait_until = Instant::now() + shared.config.max_wait;
-    loop {
+    // The predicate sweeps same-key stragglers into the batch before
+    // every wait (and once more on the final, timed-out wake-up), so
+    // requests arriving late in the window still join.
+    let (next, _timed_out) = shared.cvar.wait_timeout_while(state, shared.config.max_wait, |s| {
         let mut i = 0;
-        while i < state.queue.len() && batch.len() < shared.config.max_batch {
+        while i < s.queue.len() && batch.len() < shared.config.max_batch {
             let same_key =
-                state.queue.get(i).is_some_and(|p| p.req.model == key.0 && p.req.bits == key.1);
+                s.queue.get(i).is_some_and(|p| p.req.model == key.0 && p.req.bits == key.1);
             if same_key {
-                if let Some(p) = state.queue.remove(i) {
+                if let Some(p) = s.queue.remove(i) {
                     shared.metrics.queue_pop();
                     batch.push(p);
                 }
@@ -554,25 +538,45 @@ fn next_batch(shared: &Shared) -> Option<(BatchKey, Vec<Pending>)> {
                 i += 1;
             }
         }
-        if batch.len() >= shared.config.max_batch || state.shutdown {
-            break;
-        }
-        let now = Instant::now();
-        if now >= wait_until {
-            break;
-        }
-        let (next, _) = shared
-            .cvar
-            .wait_timeout(state, wait_until - now)
-            .unwrap_or_else(PoisonError::into_inner);
-        state = next;
-    }
+        batch.len() < shared.config.max_batch && !s.shutdown
+    });
+    let mut state = next;
     state.claimed.retain(|k| k != &key);
     drop(state);
     // Same-key requests left behind (past max_batch, or enqueued after
     // the final sweep) are claimable again — wake the pool.
     shared.cvar.notify_all();
     Some((key, batch))
+}
+
+/// One scan of the admission queue: rejects expired requests in
+/// place, then pops (and returns) the oldest live request whose
+/// model/bits key no other worker has claimed.
+fn pop_oldest_unclaimed(shared: &Shared, s: &mut State) -> Option<Pending> {
+    let mut i = 0;
+    while i < s.queue.len() {
+        if s.queue.get(i).is_some_and(|p| Instant::now() >= p.deadline) {
+            if let Some(p) = s.queue.remove(i) {
+                shared.metrics.queue_pop();
+                reject_expired(shared, p);
+            }
+            continue;
+        }
+        let is_claimed = s
+            .queue
+            .get(i)
+            .is_some_and(|p| s.claimed.iter().any(|(m, b)| *m == p.req.model && *b == p.req.bits));
+        if is_claimed {
+            i += 1;
+            continue;
+        }
+        let popped = s.queue.remove(i);
+        if popped.is_some() {
+            shared.metrics.queue_pop();
+        }
+        return popped;
+    }
+    None
 }
 
 fn reject_expired(shared: &Shared, p: Pending) {

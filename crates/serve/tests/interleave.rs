@@ -25,7 +25,19 @@
 //! weights in place instead of deferring to the refcount — proves the
 //! explorer actually catches the bug these invariants guard against.
 
-use gobo_lint::interleave::{explore_exhaustive, explore_sampled, Program};
+use gobo_lint::interleave::{
+    explore_dpor, explore_exhaustive, explore_sampled, DporProgram, Footprint, Program,
+};
+
+/// Abstract variable ids for DPOR footprints. `STRONG` covers the
+/// refcount *and* the freed/frees bookkeeping it drives (drop_ref
+/// writes both atomically), `RESIDENT` the entries-map membership,
+/// `FREED` the weights' liveness as observed by encodes, `UAF` the
+/// use-after-free flag.
+const V_STRONG: u32 = 0;
+const V_RESIDENT: u32 = 1;
+const V_FREED: u32 = 2;
+const V_UAF: u32 = 3;
 
 /// The modeled registry slot: what the `Arc` refcount and the entries
 /// map hold, plus the bookkeeping the invariants need.
@@ -186,6 +198,30 @@ impl Program<Slot> for Thread {
     }
 }
 
+impl DporProgram<Slot> for Thread {
+    fn next_footprint(&self) -> Footprint {
+        match self {
+            Thread::Get(g) => {
+                if !g.pinned {
+                    // Lock, check residency, bump the refcount.
+                    Footprint::new(&[V_RESIDENT, V_STRONG], &[V_STRONG])
+                } else if !g.encoded {
+                    // Encode on the pin: reads liveness, may set UAF.
+                    Footprint::new(&[V_FREED], &[V_UAF])
+                } else {
+                    // Pin drops: refcount down, possibly frees.
+                    Footprint::new(&[V_STRONG], &[V_STRONG, V_FREED])
+                }
+            }
+            // Eviction: removes from the map and drops the registry
+            // reference (possibly freeing).
+            Thread::Evict(_) | Thread::Eager(_) => {
+                Footprint::new(&[V_RESIDENT, V_STRONG], &[V_RESIDENT, V_STRONG, V_FREED])
+            }
+        }
+    }
+}
+
 #[test]
 fn interleave_pin_evict_every_schedule_is_safe() {
     // One getter racing the evictor: every interleaving of the 4 steps.
@@ -223,6 +259,63 @@ fn interleave_pin_evict_sampled_wide_race_is_safe() {
         assert_slot_clean(slot, schedule);
     });
     assert_eq!(count, 512);
+}
+
+/// Three getters racing the evictor, checked **exhaustively** — the
+/// configuration that previously had to fall back to sampling. Sleep-set
+/// DPOR collapses schedules that only reorder independent steps (e.g.
+/// two encodes on already-held pins), keeping the run well inside the
+/// 60s CI cap while still visiting every reachable terminal state.
+#[test]
+fn interleave_dpor_three_getters_exhaustive_is_safe() {
+    let threads = || {
+        [
+            Thread::Get(Getter::new()),
+            Thread::Get(Getter::new()),
+            Thread::Get(Getter::new()),
+            Thread::Evict(Evictor { done: false }),
+        ]
+    };
+    let start = std::time::Instant::now();
+    let naive = explore_exhaustive(&Slot::new(), &threads(), |slot, schedule| {
+        assert_slot_clean(slot, schedule);
+    });
+    let naive_elapsed = start.elapsed();
+    // Fewer than the 10!/(3!3!3!1!) = 16_800 full interleavings of
+    // 3×3+1 steps: a getter that loses the race to the evictor ends
+    // after its single miss step, shortening those branches.
+    assert_eq!(naive, 10_542);
+
+    let start = std::time::Instant::now();
+    let stats = explore_dpor(&Slot::new(), &threads(), |slot, schedule| {
+        assert_slot_clean(slot, schedule);
+    });
+    let dpor_elapsed = start.elapsed();
+    println!(
+        "pin/evict 3 getters + evictor: naive {} schedules in {:?}; \
+         dpor {} schedules, {} sleep prunes, {} steps in {:?}",
+        naive, naive_elapsed, stats.schedules, stats.sleep_prunes, stats.steps, dpor_elapsed
+    );
+    assert!(
+        stats.schedules < naive,
+        "DPOR explored {} schedules — no reduction over naive {naive}",
+        stats.schedules
+    );
+}
+
+#[test]
+fn interleave_dpor_catches_eager_free_bug() {
+    // Soundness guard: the reduced exploration must still surface the
+    // use-after-free the full enumeration finds.
+    let threads = [Thread::Get(Getter::new()), Thread::Eager(EagerEvictor { done: false })];
+    let mut bad = 0u64;
+    let stats = explore_dpor(&Slot::new(), &threads, |slot, _| {
+        if slot.use_after_free {
+            bad += 1;
+        }
+    });
+    assert!(stats.schedules >= 2);
+    assert!(bad > 0, "DPOR pruned away the eager-free use-after-free — unsound");
 }
 
 #[test]
